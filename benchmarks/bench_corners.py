@@ -1,0 +1,39 @@
+"""Extension — process-corner sign-off of a variation-aware design.
+
+Complements the Monte-Carlo robustness numbers with deterministic
+corner analysis (TT/SS/FF/SF/FS): the designer's question is whether a
+systematically slow or fast print run still classifies.  Expected
+shape: the VA-trained ADAPT-pNC's worst corner stays within a modest
+margin of its typical corner.
+"""
+
+import numpy as np
+
+from repro.analysis import corner_analysis
+from repro.augment import default_config
+from repro.core import AdaptPNC, Trainer, TrainingConfig
+from repro.data import load_dataset
+from repro.utils import render_table
+
+
+def run_corners(dataset_name: str = "Slope"):
+    dataset = load_dataset(dataset_name, n_samples=90, seed=0)
+    model = AdaptPNC(dataset.info.n_classes, rng=np.random.default_rng(0))
+    Trainer(
+        model,
+        TrainingConfig.ci(),
+        variation_aware=True,
+        augmentation=default_config(dataset_name),
+        seed=0,
+    ).fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+    return corner_analysis(model, dataset.x_test, dataset.y_test, delta=0.10)
+
+
+def test_corner_signoff(benchmark):
+    report = benchmark.pedantic(run_corners, rounds=1, iterations=1)
+    rows = [[corner, f"{acc:.3f}"] for corner, acc in report.accuracy.items()]
+    print("\n" + render_table(["Corner", "Accuracy"], rows))
+    print(f"worst corner: {report.worst_corner()}, spread: {report.spread():.3f}")
+
+    assert report.accuracy["TT"] >= 0.5  # the typical corner must work
+    assert report.spread() < 0.6  # corners bounded, no total collapse

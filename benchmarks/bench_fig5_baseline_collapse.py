@@ -1,0 +1,22 @@
+"""Fig. 5 — the no-variation-aware baseline under stress.
+
+Trains the clean baseline pTPNC and evaluates it on the 2x2 grid of
+conditions: {clean, perturbed inputs} x {ideal, ±10 % components}.
+The paper's point: accuracy drops significantly away from the
+clean-and-ideal corner.
+"""
+
+from repro.core import run_fig5
+from repro.utils import render_table
+
+
+def test_fig5_baseline_collapse(benchmark, config):
+    result = benchmark.pedantic(
+        run_fig5, args=(config,), kwargs={"dataset_name": "CBF"}, rounds=1, iterations=1
+    )
+    rows = [[k.replace("_", " "), f"{v:.3f}"] for k, v in result.items()]
+    print("\n" + render_table(["Condition", "Accuracy"], rows))
+
+    # The stressed corner must not beat the clean-ideal corner by a margin.
+    assert result["perturbed_varied"] <= result["clean_ideal"] + 0.1
+    assert all(0.0 <= v <= 1.0 for v in result.values())

@@ -1,0 +1,36 @@
+"""Fig. 6 — augmentation techniques on the PowerCons dataset.
+
+Regenerates the figure's data: one PowerCons series under each of the
+five augmentations (original, jittering, time warping, magnitude
+scaling, frequency-domain).  The series are emitted as CSV next to the
+benchmark output so they can be plotted externally.
+"""
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.core import run_fig6
+
+OUT = pathlib.Path(__file__).parent / "fig6_augmentation.csv"
+
+
+def test_fig6_augmentation(benchmark):
+    series = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    keys = list(series)
+    with OUT.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t"] + keys)
+        for t in range(len(series["original"])):
+            writer.writerow([t] + [f"{series[k][t]:.6f}" for k in keys])
+    print(f"\nwrote {OUT}")
+
+    original = series["original"]
+    for key, values in series.items():
+        assert len(values) == 64
+        if key != "original":
+            assert not np.allclose(values, original), f"{key} left the series unchanged"
+            # augmentations are perturbations, not replacements
+            assert np.corrcoef(values, original)[0, 1] > 0.2, key

@@ -1,0 +1,24 @@
+"""Fig. 7 — ablation of VA / AT / SO-LF.
+
+Trains the five configurations (baseline, +VA, +AT, +SO-LF, combined)
+and reports mean accuracy on clean and perturbed test data under ±10 %
+component variation.  The expected shape: every ingredient helps over
+the baseline; the combination is at or near the top with the lowest
+variability.
+"""
+
+from repro.core import format_fig7, run_fig7_ablation
+
+
+def test_fig7_ablation(benchmark, config):
+    results = benchmark.pedantic(run_fig7_ablation, args=(config,), rounds=1, iterations=1)
+    print("\n" + format_fig7(results))
+
+    baseline = results["baseline"]["perturbed"].mean
+    combined = results["va_so_at"]["perturbed"].mean
+    assert combined >= baseline - 0.05, (
+        f"combined config ({combined:.3f}) should not trail the baseline ({baseline:.3f})"
+    )
+    for modes in results.values():
+        for res in modes.values():
+            assert 0.0 <= res.mean <= 1.0

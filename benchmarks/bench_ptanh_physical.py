@@ -1,0 +1,35 @@
+"""Extension — physical ptanh characterisation (Sec. II-B).
+
+Times the circuit-level derivation of η from component values
+q^A = [R₁, R₂, T₁, T₂] (Newton DC sweep + curve fit) and checks that
+the two-stage EGT cascade really is tanh-like across the printable
+design space.
+"""
+
+import numpy as np
+
+from repro.circuits import derive_eta
+from repro.utils import render_table
+
+
+def run_characterisation():
+    designs = {
+        "r=5k": dict(r1=5e3, r2=5e3),
+        "r=20k": dict(r1=20e3, r2=20e3),
+        "r=100k": dict(r1=100e3, r2=100e3),
+    }
+    return {label: derive_eta(points=40, **kwargs) for label, kwargs in designs.items()}
+
+
+def test_ptanh_physical(benchmark):
+    fits = benchmark.pedantic(run_characterisation, rounds=1, iterations=1)
+    rows = [
+        [label, f"{f.eta2:.3f}", f"{f.eta4:.2f}", f"{f.rms_error*1e3:.1f} mV"]
+        for label, f in fits.items()
+    ]
+    print("\n" + render_table(["Design", "η2 (swing)", "η4 (gain)", "fit RMS"], rows))
+
+    for label, fit in fits.items():
+        assert fit.rms_error < 0.02, f"{label}: transfer is not tanh-like"
+    # Stage gain must grow with load resistance.
+    assert fits["r=100k"].eta4 > fits["r=5k"].eta4

@@ -1,0 +1,57 @@
+"""Extension — accuracy vs printable-grid resolution.
+
+Printers realise discrete component values; this benchmark snaps a
+trained ADAPT-pNC to E3/E6/E12/E24-style grids and measures the
+accuracy cost of manufacturability.  Expected shape: coarse grids cost
+accuracy, E12 (10 % steps — comparable to the process variation the
+model was trained against) is nearly free.
+"""
+
+import numpy as np
+
+from repro.augment import default_config
+from repro.circuits import quantize_model
+from repro.core import AdaptPNC, Trainer, TrainingConfig, evaluate_under_variation
+from repro.data import load_dataset
+from repro.utils import render_table
+
+GRIDS = (3, 6, 12, 24)
+
+
+def run_quantization(dataset_name: str = "Slope"):
+    dataset = load_dataset(dataset_name, n_samples=90, seed=0)
+    model = AdaptPNC(dataset.info.n_classes, rng=np.random.default_rng(0))
+    Trainer(
+        model,
+        TrainingConfig.ci(),
+        variation_aware=True,
+        augmentation=default_config(dataset_name),
+        seed=0,
+    ).fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+    pristine = model.state_dict()
+
+    results = {}
+    results["continuous"] = evaluate_under_variation(
+        model, dataset.x_test, dataset.y_test, delta=0.10, mc_samples=5, seed=0
+    ).mean
+    for grid in GRIDS:
+        model.load_state_dict(pristine)
+        report = quantize_model(model, values_per_decade=grid)
+        acc = evaluate_under_variation(
+            model, dataset.x_test, dataset.y_test, delta=0.10, mc_samples=5, seed=0
+        ).mean
+        results[f"E-style {grid}/decade"] = acc
+    model.load_state_dict(pristine)
+    return results
+
+
+def test_quantization_cost(benchmark):
+    results = benchmark.pedantic(run_quantization, rounds=1, iterations=1)
+    rows = [[grid, f"{acc:.3f}"] for grid, acc in results.items()]
+    print("\n" + render_table(["Component grid", "Robust accuracy"], rows))
+
+    # A 10%-step grid must be nearly free for a model trained under
+    # 10% variation.
+    assert results["E-style 12/decade"] >= results["continuous"] - 0.1
+    # The finest grid cannot be worse than the coarsest by a margin.
+    assert results["E-style 24/decade"] >= results["E-style 3/decade"] - 0.1

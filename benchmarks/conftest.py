@@ -1,0 +1,36 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures
+through the same code path as the full protocol, at a scale set by the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``smoke`` (default) — seconds per artefact, 1-3 datasets, 1 seed;
+* ``ci`` — minutes, all 15 datasets, 2 seeds, short training;
+* ``paper`` — the published protocol (hours; 10 seeds, full training).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_SCALE=ci pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.core import ExperimentConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def make_config() -> ExperimentConfig:
+    if SCALE == "paper":
+        return ExperimentConfig.paper()
+    if SCALE == "ci":
+        return ExperimentConfig.ci()
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return make_config()

@@ -1,0 +1,67 @@
+"""Architecture search for ADAPT-pNCs — the paper's future-work direction.
+
+"Future work may include new architectural search methodologies for
+ADAPT-pNCs to further address sensor variations" (Sec. V).  This
+example searches hidden width × filter order × logit scale on one
+dataset, scoring candidates by accuracy *under component variation*
+(the deployed metric), with successive halving pruning weak candidates
+early.  It then reports the hardware cost of the winner — the
+accuracy/devices trade-off a printed-circuit designer actually faces.
+
+    python examples/architecture_search.py [dataset]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import search_architecture
+from repro.core.models import PrintedTemporalClassifier
+from repro.data import load_dataset
+from repro.hw import count_devices, estimate_power
+from repro.utils import render_table
+
+
+def main(dataset_name: str = "CBF") -> None:
+    print(f"== ADAPT-pNC architecture search on {dataset_name} ==")
+    dataset = load_dataset(dataset_name, n_samples=120, seed=0)
+
+    results = search_architecture(
+        dataset,
+        n_trials=6,
+        budgets=(1, 3),
+        base_epochs=20,
+        eval_mc=4,
+        seed=0,
+    )
+
+    rows = [
+        [
+            r.hidden_size,
+            f"{r.filter_order} ({'SO-LF' if r.filter_order == 2 else 'first-order'})",
+            f"{r.logit_scale:.1f}",
+            f"{r.robust_accuracy:.3f}",
+        ]
+        for r in results
+    ]
+    print("\nFinal round (best first):")
+    print(render_table(["Hidden", "Filter order", "Logit scale", "Robust val acc"], rows))
+
+    best = results[0]
+    model = PrintedTemporalClassifier(
+        dataset.info.n_classes,
+        best.hidden_size,
+        filter_order=best.filter_order,
+        rng=np.random.default_rng(0),
+    )
+    devices = count_devices(model)
+    power = estimate_power(model)
+    print(
+        f"\nwinning architecture hardware: {devices.total} devices "
+        f"({devices.transistors}T / {devices.resistors}R / {devices.capacitors}C), "
+        f"{power.total_mw:.3f} mW static"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "CBF")

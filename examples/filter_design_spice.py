@@ -1,0 +1,99 @@
+"""Filter design with the analog circuit simulator.
+
+Reproduces the circuit-design workflow of Sec. IV-A1 without Cadence:
+
+1. build a printable second-order RC filter netlist (sub-kΩ resistors,
+   100 nF - 100 µF capacitors) loaded by a crossbar input;
+2. obtain the magnitude response and -3 dB cutoff from an AC sweep;
+3. obtain the step response from a backward-Euler transient run;
+4. fit the coupling factor μ of the paper's discrete model (Eqs. 10-11)
+   and check it lies in the published band μ ∈ [1, 1.3];
+5. cross-validate the differentiable SO-LF layer against the simulator.
+
+    python examples/filter_design_spice.py
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.circuits import SecondOrderLearnableFilter, fit_mu, ideal_sampler
+from repro.spice import Circuit, PiecewiseLinear, ac_sweep, cutoff_frequency, transient
+
+
+def main() -> None:
+    # -- chosen printable design -------------------------------------------
+    r1, c1 = 800.0, 20e-6  # stage 1: tau = 16 ms
+    r2, c2 = 150.0, 10e-6  # stage 2: tau = 1.5 ms (loads stage 1 noticeably)
+    r_load = 500e3  # crossbar input resistance
+    dt = 1e-3  # 1 kHz sensor sampling
+
+    print("== SO-LF design study (MNA engine) ==")
+    print(f"stage 1: R={r1:.0f}Ω C={c1*1e6:.0f}µF | stage 2: R={r2:.0f}Ω C={c2*1e6:.0f}µF")
+
+    # -- AC characterisation ----------------------------------------------
+    from repro.circuits.coupling import build_so_filter_circuit
+
+    circuit = build_so_filter_circuit(r1, c1, r2, c2, r_load)
+    freqs = np.logspace(0, 4, 200)
+    response = ac_sweep(circuit, "vin", "out", freqs)
+    fc = cutoff_frequency(response)
+    rolloff = (
+        response.magnitude_db[-1] - response.magnitude_db[len(freqs) // 2]
+    ) / (np.log10(freqs[-1]) - np.log10(freqs[len(freqs) // 2]))
+    print(f"-3 dB cutoff: {fc:.1f} Hz;  high-frequency roll-off: {rolloff:.1f} dB/decade")
+    print("(second-order: roll-off approaches -40 dB/decade, vs -20 for first-order)")
+
+    # -- coupling factor ------------------------------------------------------
+    fit = fit_mu(r1, c1, r2, c2, r_load, dt=dt, steps=100)
+    print(f"fitted coupling: µ1={fit.mu1:.3f}, µ2={fit.mu2:.3f} (paper band: [1, 1.3])")
+
+    # -- cross-validation: differentiable layer vs circuit simulator ---------
+    # The layer implements the *decoupled* discrete model; the netlist is
+    # the physically coupled circuit.  With µ = 1 the model underestimates
+    # the inter-stage current shunt; the fitted µ narrows the gap.  The
+    # remainder is the frequency dependence of µ the paper acknowledges
+    # ("µ is influenced by the frequency of the input signal, which is
+    # typically unknown during the design stage").
+    from repro.circuits.filters import _run_recurrence
+    from repro.circuits.variation import NoVariation, VariationSampler
+
+    flt = SecondOrderLearnableFilter(1, dt=dt, sampler=ideal_sampler())
+    flt.stage1.log_r.data = np.log([r1])
+    flt.stage1.log_c.data = np.log([c1])
+    flt.stage2.log_r.data = np.log([r2])
+    flt.stage2.log_c.data = np.log([c2])
+
+    rng = np.random.default_rng(0)
+    steps = 64
+    signal = np.cumsum(rng.normal(0, 0.2, steps))  # random sensor walk
+
+    def run_layer(mu1: float, mu2: float) -> np.ndarray:
+        s1 = VariationSampler(model=NoVariation(), mu_low=mu1, mu_high=mu1, v0_max=0.0)
+        s2 = VariationSampler(model=NoVariation(), mu_low=mu2, mu_high=mu2, v0_max=0.0)
+        a1, b1 = flt.stage1.coefficients(dt, s1)
+        a2, b2 = flt.stage2.coefficients(dt, s2)
+        x = Tensor(signal.reshape(1, steps, 1))
+        v0 = Tensor(np.zeros((1, 1)))
+        inter = _run_recurrence(x, a1, b1, v0)
+        return _run_recurrence(inter, a2, b2, v0).data[0, :, 0]
+
+    net = Circuit("so_loaded")
+    times = np.arange(steps + 1) * dt
+    drive = np.concatenate([[signal[0]], signal])
+    net.add_voltage_source("vin", "in", 0, PiecewiseLinear(times, drive))
+    net.add_resistor("r1", "in", "m", r1)
+    net.add_capacitor("c1", "m", 0, c1)
+    net.add_resistor("r2", "m", "out", r2)
+    net.add_capacitor("c2", "out", 0, c2)
+    net.add_resistor("rl", "out", 0, r_load)
+    sim = transient(net, dt=dt, steps=steps, probes=["out"])["out"][1:]
+
+    rms = lambda e: float(np.sqrt(np.mean(e**2)))  # noqa: E731
+    err_ideal = rms(run_layer(1.0, 1.0) - sim)
+    err_fitted = rms(run_layer(fit.mu1, fit.mu2) - sim)
+    print(f"layer (µ=1)      vs coupled netlist: RMS error {err_ideal:.4f} V")
+    print(f"layer (µ fitted) vs coupled netlist: RMS error {err_fitted:.4f} V")
+
+
+if __name__ == "__main__":
+    main()

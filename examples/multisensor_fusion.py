@@ -1,0 +1,93 @@
+"""Multi-sensor fusion with a multi-input pTPB (Fig. 4).
+
+The paper's Fig. 4 shows a 6-input temporal processing block fed by
+"sensory signals from various inputs" — near-sensor fusion is exactly
+where printed circuits live (a smart bandage reads temperature,
+moisture and strain at once).  This example builds a 3-sensor scenario
+where *no single channel* separates the classes; only the joint
+temporal pattern does:
+
+each sensor drifts up or down at random; the wound is "inflamed"
+(class 1) exactly when temperature and moisture drift in the *same*
+direction — an XOR across channels.  No single channel carries any
+label information (each is 50/50 by construction); only the joint
+pattern separates the classes.  A univariate model on each channel is
+compared against the 3-channel fusion model.
+
+    python examples/multisensor_fusion.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import (
+    PrintedTemporalClassifier,
+    Trainer,
+    TrainingConfig,
+    evaluate_under_variation,
+)
+from repro.data.preprocessing import train_val_test_split
+
+
+def generate_bandage(n: int, length: int = 64, seed: int = 0):
+    """Synthetic smart-bandage telemetry: (n, length, 3), labels (n,)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, length)
+    x = np.zeros((n, length, 3))
+    y = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        temp_dir = rng.choice([-1.0, 1.0])
+        moist_dir = rng.choice([-1.0, 1.0])
+        y[i] = int(temp_dir == moist_dir)  # XOR across channels
+        noise = rng.normal(0, 0.12, (length, 3))
+        temp = temp_dir * 0.6 * t + rng.normal(0, 0.05)
+        moist = moist_dir * 0.6 * t + rng.normal(0, 0.05)
+        strain = 0.3 * np.sin(2 * np.pi * 3 * t + rng.uniform(0, 2 * np.pi))
+        x[i, :, 0] = np.clip(temp + noise[:, 0], -1, 1)
+        x[i, :, 1] = np.clip(moist + noise[:, 1], -1, 1)
+        x[i, :, 2] = np.clip(strain + noise[:, 2], -1, 1)  # pure distractor
+    return x, y
+
+
+def train_and_score(x_train, y_train, x_val, y_val, x_test, y_test, channels, label):
+    model = PrintedTemporalClassifier(
+        2, hidden_size=6, in_channels=channels, rng=np.random.default_rng(1)
+    )
+    # The cross-channel XOR needs a longer schedule than the CI default.
+    cfg = replace(TrainingConfig.ci(), max_epochs=300, lr_patience=25, min_lr=1e-5)
+    Trainer(model, cfg, variation_aware=True, seed=0).fit(x_train, y_train, x_val, y_val)
+    result = evaluate_under_variation(model, x_test, y_test, delta=0.10, mc_samples=8, seed=0)
+    print(f"{label:<28} accuracy under ±10% variation: {result.mean:.3f} ± {result.std:.3f}")
+    return result.mean
+
+
+def main() -> None:
+    print("== Smart-bandage multi-sensor fusion ==")
+    x, y = generate_bandage(150, seed=0)
+    splits = train_val_test_split(x, y, seed=1)
+    x_train, y_train, x_val, y_val, x_test, y_test = splits
+
+    single_scores = []
+    for ch, name in enumerate(("temperature only", "moisture only", "strain only")):
+        score = train_and_score(
+            x_train[:, :, ch],
+            y_train,
+            x_val[:, :, ch],
+            y_val,
+            x_test[:, :, ch],
+            y_test,
+            channels=1,
+            label=name,
+        )
+        single_scores.append(score)
+
+    fused = train_and_score(
+        x_train, y_train, x_val, y_val, x_test, y_test, channels=3,
+        label="3-sensor fusion (Fig. 4)",
+    )
+    print(f"\nfusion gain over the best single sensor: {fused - max(single_scores):+.3f}")
+
+
+if __name__ == "__main__":
+    main()

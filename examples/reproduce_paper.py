@@ -1,0 +1,122 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+    python examples/reproduce_paper.py --scale smoke            # everything, fast
+    python examples/reproduce_paper.py --scale ci --table 1     # Table I, minutes
+    python examples/reproduce_paper.py --scale paper --table 1  # full protocol (hours)
+    python examples/reproduce_paper.py --figure 7               # Fig. 7 ablation
+
+Scales: ``smoke`` (seconds per artefact, 3 datasets, 1 seed), ``ci``
+(minutes, all 15 datasets, 2 seeds, short training), ``paper`` (the
+published protocol: 10 seeds, full training).
+"""
+
+import argparse
+
+from repro.core import (
+    ExperimentConfig,
+    format_fig7,
+    format_table1,
+    run_fig5,
+    run_fig6,
+    run_fig7_ablation,
+    run_mu_extraction,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.hw import format_hardware_table
+from repro.utils import render_table
+
+
+def get_config(scale: str) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "ci":
+        return ExperimentConfig.ci()
+    return ExperimentConfig.smoke()
+
+
+def do_table1(config: ExperimentConfig) -> None:
+    print("\n=== Table I: accuracy under ±10% variation + perturbed inputs ===")
+    print(format_table1(run_table1(config, verbose=True)))
+
+
+def do_table2(config: ExperimentConfig) -> None:
+    print("\n=== Table II: average runtime per training step ===")
+    timings = run_table2(config)
+    rows = [[k, f"{v*1e3:.1f} ms"] for k, v in timings.items()]
+    print(render_table(["Model", "Runtime / step"], rows))
+
+
+def do_table3(config: ExperimentConfig) -> None:
+    print("\n=== Table III: hardware costs, baseline vs proposed ===")
+    print(format_hardware_table(run_table3(config)))
+
+
+def do_fig5(config: ExperimentConfig) -> None:
+    print("\n=== Fig. 5: no-variation-aware baseline under stress ===")
+    result = run_fig5(config)
+    rows = [[k.replace("_", " "), f"{v:.3f}"] for k, v in result.items()]
+    print(render_table(["Condition", "Accuracy"], rows))
+
+
+def do_fig6(config: ExperimentConfig) -> None:
+    print("\n=== Fig. 6: augmentation techniques on PowerCons ===")
+    series = run_fig6()
+    header = ["t"] + list(series)
+    length = len(series["original"])
+    rows = [
+        [str(t)] + [f"{series[k][t]:.3f}" for k in series]
+        for t in range(0, length, max(1, length // 16))
+    ]
+    print(render_table(header, rows))
+
+
+def do_fig7(config: ExperimentConfig) -> None:
+    print("\n=== Fig. 7: VA / AT / SO-LF ablation ===")
+    print(format_fig7(run_fig7_ablation(config, verbose=True)))
+
+
+def do_mu(config: ExperimentConfig) -> None:
+    print("\n=== Sec. III-2: coupling-factor µ extraction ===")
+    result = run_mu_extraction(samples=12)
+    rows = [[k, f"{v:.3f}"] for k, v in result.items()]
+    print(render_table(["Statistic", "Value"], rows))
+
+
+ARTEFACTS = {
+    "table1": do_table1,
+    "table2": do_table2,
+    "table3": do_table3,
+    "fig5": do_fig5,
+    "fig6": do_fig6,
+    "fig7": do_fig7,
+    "mu": do_mu,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+    parser.add_argument("--table", choices=("1", "2", "3"), default=None)
+    parser.add_argument("--figure", choices=("5", "6", "7"), default=None)
+    parser.add_argument("--mu", action="store_true", help="run the µ extraction study")
+    args = parser.parse_args()
+
+    config = get_config(args.scale)
+    selected = []
+    if args.table:
+        selected.append(f"table{args.table}")
+    if args.figure:
+        selected.append(f"fig{args.figure}")
+    if args.mu:
+        selected.append("mu")
+    if not selected:
+        selected = list(ARTEFACTS)
+
+    for name in selected:
+        ARTEFACTS[name](config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Run the complete evaluation at a chosen scale and save results.
+
+Produces ``results/<scale>/`` with a text report and a JSON record for
+every table and figure — the source of the numbers in EXPERIMENTS.md.
+
+    python examples/run_full_evaluation.py --scale ci
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.core import (
+    ExperimentConfig,
+    format_fig7,
+    format_table1,
+    run_fig5,
+    run_fig7_ablation,
+    run_mu_extraction,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.hw import format_hardware_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+
+    config = {
+        "paper": ExperimentConfig.paper,
+        "ci": ExperimentConfig.ci,
+        "smoke": ExperimentConfig.smoke,
+    }[args.scale]()
+    out_dir = pathlib.Path(args.out or f"results/{args.scale}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    record = {"scale": args.scale, "datasets": list(config.datasets), "seeds": list(config.seeds)}
+    report_lines = [f"ADAPT-pNC evaluation — scale={args.scale}", ""]
+
+    t0 = time.time()
+    table1 = run_table1(config, verbose=True)
+    record["table1"] = {
+        name: {kind: {"mean": r.mean, "std": r.std} for kind, r in entry.items()}
+        for name, entry in table1.items()
+    }
+    report_lines += ["=== Table I ===", format_table1(table1), ""]
+    print(f"table1 done in {time.time()-t0:.0f}s", flush=True)
+
+    timings = run_table2(config)
+    record["table2_seconds_per_step"] = timings
+    report_lines += [
+        "=== Table II (seconds per training step) ===",
+        json.dumps(timings, indent=2),
+        "",
+    ]
+    print("table2 done", flush=True)
+
+    rows = run_table3(config)
+    record["table3"] = [
+        {
+            "dataset": r.dataset,
+            "baseline": r.baseline.as_row(),
+            "proposed": r.proposed.as_row(),
+            "baseline_power_mw": r.baseline_power_mw,
+            "proposed_power_mw": r.proposed_power_mw,
+        }
+        for r in rows
+    ]
+    report_lines += ["=== Table III ===", format_hardware_table(rows), ""]
+    print("table3 done", flush=True)
+
+    fig5 = run_fig5(config, dataset_name="CBF")
+    record["fig5"] = fig5
+    report_lines += ["=== Fig. 5 (baseline pTPNC on CBF) ===", json.dumps(fig5, indent=2), ""]
+    print("fig5 done", flush=True)
+
+    t0 = time.time()
+    fig7 = run_fig7_ablation(config, verbose=True)
+    record["fig7"] = {
+        name: {mode: {"mean": r.mean, "std": r.std} for mode, r in modes.items()}
+        for name, modes in fig7.items()
+    }
+    report_lines += ["=== Fig. 7 (ablation) ===", format_fig7(fig7), ""]
+    print(f"fig7 done in {time.time()-t0:.0f}s", flush=True)
+
+    mu = run_mu_extraction(samples=20)
+    record["mu_extraction"] = mu
+    report_lines += ["=== µ extraction ===", json.dumps(mu, indent=2), ""]
+
+    (out_dir / "report.txt").write_text("\n".join(report_lines))
+    (out_dir / "results.json").write_text(json.dumps(record, indent=2))
+
+    from repro.report import render_report
+
+    (out_dir / "report.md").write_text(render_report(record))
+    print(f"wrote {out_dir}/report.txt, report.md and results.json")
+
+
+if __name__ == "__main__":
+    main()

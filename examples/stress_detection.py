@@ -1,0 +1,93 @@
+"""Near-sensor stress detection — the paper's motivating application.
+
+The paper motivates temporal printed circuits with wearable stress
+detection from electrodermal activity (EDA) [26]: "the absolute values
+of sensory signals may not provide significant insights due to
+individual variability; instead, the temporal dynamics of these signals
+are more informative" (Sec. III).
+
+This example builds exactly that scenario: synthetic EDA traces whose
+*tonic (baseline) level differs per wearer* — amplitude alone carries
+no class information — while stress onset shows as a slow tonic rise
+decorated with skin-conductance responses (fast rise, slow decay).
+The baseline first-order pTPNC and the SO-LF ADAPT-pNC are trained
+identically and compared under ±10 % printed-component variation.
+
+    python examples/stress_detection.py
+"""
+
+import numpy as np
+
+from repro.core import AdaptPNC, PTPNC, Trainer, TrainingConfig, evaluate_under_variation
+from repro.data.preprocessing import normalize_series, train_val_test_split
+
+
+def generate_eda(n: int, length: int = 64, seed: int = 0):
+    """Synthetic electrodermal activity: calm (0) vs stress onset (1).
+
+    Every subject has a random tonic level in 2-12 µS (uninformative).
+    Stress shows as a rising tonic drift plus sporadic skin-conductance
+    responses; calm traces drift randomly by a much smaller amount.
+    """
+    rng = np.random.default_rng(seed)
+    frac = np.arange(length) / length
+    steps = np.arange(length)
+    x = np.zeros((n, length))
+    y = rng.integers(0, 2, size=n)
+    for i in range(n):
+        tonic = rng.uniform(2.0, 12.0)  # microsiemens; per-subject
+        trace = tonic + rng.normal(0, 0.15, length)
+        if y[i] == 1:
+            trace += rng.uniform(1.0, 2.0) * frac  # stress onset: tonic rise
+            for _ in range(rng.poisson(3) + 1):  # SCR events
+                onset = rng.integers(4, length - 6)
+                amp = rng.uniform(0.3, 0.8)
+                response = (
+                    amp
+                    * (1 - np.exp(-(steps - onset) / 1.5))
+                    * np.exp(-(steps - onset) / 8.0)
+                )
+                trace += np.where(steps >= onset, response, 0.0)
+        else:
+            trace += rng.normal(0, 0.3) * frac  # small aimless drift
+        x[i] = trace
+    return x, y
+
+
+def main(seeds: int = 3) -> None:
+    print("== Printed stress detection from EDA dynamics ==")
+    x_raw, y = generate_eda(150, seed=0)
+    x = normalize_series(x_raw)  # per-series: removes the tonic level
+    x_train, y_train, x_val, y_val, x_test, y_test = train_val_test_split(x, y, seed=1)
+
+    results = {}
+    for name, model_cls, variation_aware in (
+        ("pTPNC (first-order, no VA)", PTPNC, False),
+        ("ADAPT-pNC (SO-LF + VA)", AdaptPNC, True),
+    ):
+        accs = []
+        for seed in range(seeds):
+            model = model_cls(2, rng=np.random.default_rng(seed))
+            trainer = Trainer(
+                model, TrainingConfig.ci(), variation_aware=variation_aware, seed=seed
+            )
+            trainer.fit(x_train, y_train, x_val, y_val)
+            accs.append(
+                evaluate_under_variation(
+                    model, x_test, y_test, delta=0.10, mc_samples=8, seed=0
+                ).mean
+            )
+        results[name] = (float(np.mean(accs)), float(np.std(accs)))
+        print(
+            f"{name:<28} accuracy under ±10% variation: "
+            f"{results[name][0]:.3f} ± {results[name][1]:.3f}"
+        )
+
+    gain = results["ADAPT-pNC (SO-LF + VA)"][0] - results["pTPNC (first-order, no VA)"][0]
+    print(f"\nSO-LF + variation-aware training gain: {gain:+.3f} accuracy")
+    print("(the slow tonic rise must be separated from SCR transients and sensor")
+    print(" noise — the second-order filter's sharper cutoff does exactly that)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""ADAPT-pNC reproduction — robust printed temporal neuromorphic circuits.
+
+A full-stack, numpy-only reproduction of "ADAPT-pNC: Mitigating Device
+Variability and Sensor Noise in Printed Neuromorphic Circuits with SO
+Adaptive Learnable Filters" (DATE 2025), including its substrates:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` —
+  reverse-mode autodiff, module system and optimisers (the PyTorch
+  substitute);
+* :mod:`repro.spice` — an MNA analog circuit simulator (the Cadence
+  substitute);
+* :mod:`repro.circuits` — printed crossbars, ptanh activations,
+  first/second-order learnable filters, variation models, pPDK;
+* :mod:`repro.data` — 15 synthetic UCR-like benchmark datasets;
+* :mod:`repro.augment` — time-series augmentation (the tsaug
+  substitute);
+* :mod:`repro.core` — the evaluated models and the experiment harness
+  for every table and figure;
+* :mod:`repro.hw` — device counting and power estimation (Table III);
+* :mod:`repro.tuning` — augmentation hyper-parameter search (the Ray
+  Tune substitute).
+
+Quickstart::
+
+    from repro.core import AdaptPNC, Trainer, TrainingConfig
+    from repro.data import load_dataset
+
+    ds = load_dataset("PowerCons")
+    model = AdaptPNC(ds.info.n_classes)
+    Trainer(model, TrainingConfig.ci(), variation_aware=True).fit(
+        ds.x_train, ds.y_train, ds.x_val, ds.y_val)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Post-training analysis: frequency responses, yield, sensitivity, corners."""
+
+from .corners import CORNERS, ConstantVariation, CornerReport, corner_analysis
+from .faults import FAULT_KINDS, FaultResult, fault_sweep, inject_faults
+from .frequency import (
+    filter_cutoff_frequencies,
+    filter_frequency_response,
+    stage_response,
+)
+from .sensitivity import SensitivityReport, component_sensitivity
+from .yield_analysis import YieldResult, estimate_yield, yield_curve
+
+__all__ = [
+    "filter_frequency_response",
+    "filter_cutoff_frequencies",
+    "stage_response",
+    "estimate_yield",
+    "yield_curve",
+    "YieldResult",
+    "component_sensitivity",
+    "SensitivityReport",
+    "corner_analysis",
+    "CornerReport",
+    "ConstantVariation",
+    "CORNERS",
+    "inject_faults",
+    "fault_sweep",
+    "FaultResult",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,129 @@
+"""Process-corner analysis of printed temporal networks.
+
+Monte-Carlo variation answers "what is the average fabricated instance
+like"; corner analysis answers the designer's sign-off question: does
+the circuit still work when the printing process lands *systematically*
+slow or fast?  Following silicon practice we evaluate five corners:
+
+* **TT** — typical: every component at its nominal value;
+* **SS** — slow-slow: every component value scaled by 1 − δ;
+* **FF** — fast-fast: every component value scaled by 1 + δ;
+* **SF** — filters slow (1 − δ), crossbar/activation fast (1 + δ);
+* **FS** — filters fast, crossbar/activation slow.
+
+The mixed corners matter because ink batches differ per layer: the
+capacitor dielectric and the resistor ink are printed in separate
+passes, so their deviations need not be correlated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..circuits.variation import VariationModel, VariationSampler, ideal_sampler
+from ..core.models import PrintedTemporalClassifier
+
+__all__ = ["ConstantVariation", "CornerReport", "corner_analysis", "CORNERS"]
+
+
+@dataclass(frozen=True)
+class ConstantVariation(VariationModel):
+    """Deterministic variation: every ε equals ``factor``."""
+
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, self.factor)
+
+    def spread(self) -> float:
+        return abs(self.factor - 1.0)
+
+
+#: corner name -> (filter factor sign, crossbar/activation factor sign)
+CORNERS: Dict[str, Tuple[int, int]] = {
+    "TT": (0, 0),
+    "SS": (-1, -1),
+    "FF": (+1, +1),
+    "SF": (-1, +1),
+    "FS": (+1, -1),
+}
+
+
+@dataclass
+class CornerReport:
+    """Accuracy at each process corner."""
+
+    accuracy: Dict[str, float]
+    delta: float
+
+    def worst_corner(self) -> str:
+        """The corner with the lowest accuracy."""
+        return min(self.accuracy, key=self.accuracy.get)
+
+    def spread(self) -> float:
+        """Best-minus-worst corner accuracy."""
+        return max(self.accuracy.values()) - min(self.accuracy.values())
+
+
+def _constant_sampler(factor: float) -> VariationSampler:
+    return VariationSampler(
+        model=ConstantVariation(factor), mu_low=1.0, mu_high=1.0, v0_max=0.0
+    )
+
+
+def _accuracy(model, x, y) -> float:
+    with no_grad():
+        logits = model(x)
+    return float((np.argmax(logits.data, axis=1) == np.asarray(y)).mean())
+
+
+def corner_analysis(
+    model: PrintedTemporalClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    delta: float = 0.10,
+) -> CornerReport:
+    """Evaluate a trained printed model at the five process corners.
+
+    Deterministic (no Monte-Carlo): each corner pins every component of
+    a group at its extreme.  The model's samplers are restored
+    afterwards.
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    original = [
+        (b.filters.sampler, b.crossbar.sampler, b.activation.sampler)
+        for b in model.blocks
+    ]
+    try:
+        accuracy: Dict[str, float] = {}
+        for name, (filter_sign, rest_sign) in CORNERS.items():
+            filter_sampler = (
+                ideal_sampler()
+                if filter_sign == 0
+                else _constant_sampler(1.0 + filter_sign * delta)
+            )
+            rest_sampler = (
+                ideal_sampler()
+                if rest_sign == 0
+                else _constant_sampler(1.0 + rest_sign * delta)
+            )
+            for block in model.blocks:
+                block.filters.sampler = filter_sampler
+                block.crossbar.sampler = rest_sampler
+                block.activation.sampler = rest_sampler
+            accuracy[name] = _accuracy(model, x, y)
+        return CornerReport(accuracy=accuracy, delta=delta)
+    finally:
+        for block, (f, c, a) in zip(model.blocks, original):
+            block.filters.sampler = f
+            block.crossbar.sampler = c
+            block.activation.sampler = a

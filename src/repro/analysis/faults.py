@@ -1,0 +1,161 @@
+"""Fabrication-fault injection for printed neuromorphic circuits.
+
+Beyond parametric variation, additive printing suffers *catastrophic*
+defects: "droplet irregularities and missing droplets" (Sec. II-E,
+[20, 23]) leave crossings open.  This module injects such faults into
+a trained model and measures the accuracy degradation:
+
+* **open crossbar crossing** — a missing weight droplet: the surrogate
+  θ is zeroed (the crossing disappears from the conductance divider);
+* **open filter path** — a broken filter resistor: the channel's RC
+  drive vanishes, modelled by pushing the time constant to the
+  printable maximum so the channel holds a stale value;
+* **stuck activation** — a dead ptanh stage: η₂ is zeroed, pinning the
+  neuron's output at its offset η₁.
+
+All injections operate on a state-dict *copy*; the trained model is
+never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..core.models import PrintedTemporalClassifier
+
+__all__ = ["FaultResult", "inject_faults", "fault_sweep"]
+
+FAULT_KINDS = ("open_crossing", "open_filter", "stuck_activation")
+
+
+@dataclass
+class FaultResult:
+    """Accuracy under one fault scenario."""
+
+    kind: str
+    n_faults: int
+    mean_accuracy: float
+    std_accuracy: float
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultResult({self.kind}, n={self.n_faults}, "
+            f"acc={self.mean_accuracy:.3f} ± {self.std_accuracy:.3f})"
+        )
+
+
+def _accuracy(model, x, y) -> float:
+    with no_grad():
+        logits = model(x)
+    return float((np.argmax(logits.data, axis=1) == np.asarray(y)).mean())
+
+
+def _inject_open_crossings(model, n: int, rng: np.random.Generator) -> None:
+    """Zero n random printable crossbar crossings."""
+    sites = []
+    for b, block in enumerate(model.blocks):
+        theta = block.crossbar.theta.data
+        for idx in np.ndindex(theta.shape):
+            sites.append((b, idx))
+    chosen = rng.choice(len(sites), size=min(n, len(sites)), replace=False)
+    for k in np.atleast_1d(chosen):
+        b, idx = sites[int(k)]
+        model.blocks[b].crossbar.theta.data[idx] = 0.0
+
+
+def _inject_open_filters(model, n: int, rng: np.random.Generator) -> None:
+    """Break n random filter channels (stage 1 of each)."""
+    sites = []
+    for b, block in enumerate(model.blocks):
+        for ch in range(block.filters.num_filters):
+            sites.append((b, ch))
+    chosen = rng.choice(len(sites), size=min(n, len(sites)), replace=False)
+    for k in np.atleast_1d(chosen):
+        b, ch = sites[int(k)]
+        filters = model.blocks[b].filters
+        stage = filters.stage1 if hasattr(filters, "stage1") else filters.stage
+        # Broken series resistor: the channel can no longer charge —
+        # time constant pushed far beyond the sequence duration.
+        stage.log_r.data[ch] = np.log(filters.pdk.filter_r_max * 1e3)
+
+
+def _inject_stuck_activations(model, n: int, rng: np.random.Generator) -> None:
+    """Kill n random ptanh stages (zero swing)."""
+    sites = []
+    for b, block in enumerate(model.blocks):
+        for neuron in range(block.activation.num_neurons):
+            sites.append((b, neuron))
+    chosen = rng.choice(len(sites), size=min(n, len(sites)), replace=False)
+    for k in np.atleast_1d(chosen):
+        b, neuron = sites[int(k)]
+        model.blocks[b].activation.eta2.data[neuron] = 0.0
+
+
+_INJECTORS = {
+    "open_crossing": _inject_open_crossings,
+    "open_filter": _inject_open_filters,
+    "stuck_activation": _inject_stuck_activations,
+}
+
+
+def inject_faults(
+    model: PrintedTemporalClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    kind: str,
+    n_faults: int = 1,
+    trials: int = 10,
+    seed: int = 0,
+) -> FaultResult:
+    """Accuracy under ``n_faults`` random defects of one kind.
+
+    Each trial restores the trained parameters, injects fresh fault
+    sites and classifies the test set.
+    """
+    if kind not in _INJECTORS:
+        raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+    if n_faults < 1 or trials < 1:
+        raise ValueError("n_faults and trials must be >= 1")
+    pristine = model.state_dict()
+    rng = np.random.default_rng(seed)
+    accuracies = np.zeros(trials)
+    try:
+        for t in range(trials):
+            model.load_state_dict(pristine)
+            _INJECTORS[kind](model, n_faults, rng)
+            accuracies[t] = _accuracy(model, x, y)
+    finally:
+        model.load_state_dict(pristine)
+    return FaultResult(
+        kind=kind,
+        n_faults=n_faults,
+        mean_accuracy=float(accuracies.mean()),
+        std_accuracy=float(accuracies.std()),
+    )
+
+
+def fault_sweep(
+    model: PrintedTemporalClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    max_faults: int = 4,
+    trials: int = 8,
+    seed: int = 0,
+) -> Dict[str, List[FaultResult]]:
+    """Accuracy vs defect count for every fault kind.
+
+    Returns ``{kind: [FaultResult for n = 1..max_faults]}``.
+    """
+    if max_faults < 1:
+        raise ValueError("max_faults must be >= 1")
+    return {
+        kind: [
+            inject_faults(model, x, y, kind, n_faults=n, trials=trials, seed=seed + n)
+            for n in range(1, max_faults + 1)
+        ]
+        for kind in FAULT_KINDS
+    }

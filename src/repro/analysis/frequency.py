@@ -1,0 +1,94 @@
+"""Frequency-domain analysis of the *learned* filters.
+
+The discrete-time recurrence ``v_k = a v_{k-1} + b x_k`` has transfer
+
+    H(e^{jωΔt}) = b / (1 − a e^{−jωΔt})
+
+so the frequency response of a trained filter bank follows in closed
+form from its learned (R, C) values.  A second-order filter is the
+product of its two stage responses.  This is the digital-domain
+counterpart of the AC sweeps in :mod:`repro.spice` — the test suite
+cross-validates the two against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..circuits.filters import (
+    FirstOrderLearnableFilter,
+    SecondOrderLearnableFilter,
+    _RCStage,
+)
+
+__all__ = ["stage_response", "filter_frequency_response", "filter_cutoff_frequencies"]
+
+LearnableFilter = Union[FirstOrderLearnableFilter, SecondOrderLearnableFilter]
+
+
+def _stage_coefficients(stage: _RCStage, dt: float, mu: float = 1.0):
+    r = np.exp(stage.log_r.data)
+    c = np.exp(stage.log_c.data)
+    rc = r * c
+    a = rc / (rc + mu * dt)
+    b = dt / (rc + mu * dt)
+    return a, b
+
+
+def stage_response(
+    stage: _RCStage, frequencies: np.ndarray, dt: float, mu: float = 1.0
+) -> np.ndarray:
+    """Complex response of one RC stage, shape ``(n_freq, n_filters)``."""
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    nyquist = 0.5 / dt
+    if np.any(frequencies <= 0) or np.any(frequencies > nyquist):
+        raise ValueError(f"frequencies must lie in (0, {nyquist}] Hz")
+    a, b = _stage_coefficients(stage, dt, mu)
+    z_inv = np.exp(-1j * 2.0 * np.pi * frequencies * dt)[:, None]
+    return b[None, :] / (1.0 - a[None, :] * z_inv)
+
+
+def filter_frequency_response(
+    flt: LearnableFilter, frequencies: np.ndarray, mu: float = 1.0
+) -> np.ndarray:
+    """Complex response of a trained filter bank, ``(n_freq, n_filters)``.
+
+    For SO-LF banks the response is the product of the two learned
+    stages — the sharper roll-off the paper's Fig. 4 sketches.
+    """
+    if isinstance(flt, FirstOrderLearnableFilter):
+        return stage_response(flt.stage, frequencies, flt.dt, mu)
+    if isinstance(flt, SecondOrderLearnableFilter):
+        return stage_response(flt.stage1, frequencies, flt.dt, mu) * stage_response(
+            flt.stage2, frequencies, flt.dt, mu
+        )
+    raise TypeError(f"unsupported filter type {type(flt).__name__}")
+
+
+def filter_cutoff_frequencies(flt: LearnableFilter, points: int = 400) -> np.ndarray:
+    """-3 dB cutoff of every channel of a trained filter bank (Hz).
+
+    Channels whose response never falls 3 dB below DC within the
+    Nyquist band report the Nyquist frequency.
+    """
+    nyquist = 0.5 / flt.dt
+    freqs = np.logspace(np.log10(nyquist * 1e-4), np.log10(nyquist), points)
+    magnitude = np.abs(filter_frequency_response(flt, freqs))
+    dc = magnitude[0]
+    threshold = dc / np.sqrt(2.0)
+    cutoffs = np.full(flt.num_filters, nyquist)
+    for ch in range(flt.num_filters):
+        below = np.nonzero(magnitude[:, ch] < threshold[ch])[0]
+        if below.size:
+            j = below[0]
+            if j == 0:
+                cutoffs[ch] = freqs[0]
+            else:
+                m0, m1 = magnitude[j - 1, ch], magnitude[j, ch]
+                w = (m0 - threshold[ch]) / (m0 - m1)
+                cutoffs[ch] = np.exp(
+                    np.log(freqs[j - 1]) + w * (np.log(freqs[j]) - np.log(freqs[j - 1]))
+                )
+    return cutoffs

@@ -1,0 +1,117 @@
+"""Manufacturing-yield analysis of printed neuromorphic circuits.
+
+A fabricated pNC instance is one draw of every component's variation;
+the instance "yields" if its classification accuracy clears an
+application threshold.  Yield — the fraction of printed instances that
+meet spec — is the economic quantity behind the paper's robustness
+story: variation-aware training buys printable circuits, not just
+average accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..circuits import UniformVariation, VariationSampler
+from ..nn.module import Module
+
+__all__ = ["YieldResult", "estimate_yield", "yield_curve"]
+
+
+@dataclass
+class YieldResult:
+    """Yield statistics over Monte-Carlo fabricated instances."""
+
+    yield_fraction: float
+    threshold: float
+    accuracies: np.ndarray
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean accuracy across instances."""
+        return float(self.accuracies.mean())
+
+    @property
+    def worst_case(self) -> float:
+        """Worst sampled instance — the pessimistic corner."""
+        return float(self.accuracies.min())
+
+    def __repr__(self) -> str:
+        return (
+            f"YieldResult(yield={self.yield_fraction:.1%} @ acc>={self.threshold:.2f}, "
+            f"mean={self.mean_accuracy:.3f}, worst={self.worst_case:.3f})"
+        )
+
+
+def _instance_accuracies(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    delta: float,
+    instances: int,
+    seed: int,
+) -> np.ndarray:
+    if not hasattr(model, "set_sampler"):
+        raise TypeError("yield analysis requires a printed model (set_sampler)")
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    original = model.sampler
+    try:
+        sampler = VariationSampler(
+            model=UniformVariation(delta), rng=np.random.default_rng(seed)
+        )
+        model.set_sampler(sampler)
+        y = np.asarray(y)
+        accuracies = np.zeros(instances)
+        for i in range(instances):
+            with no_grad():
+                logits = model(x)
+            accuracies[i] = float((np.argmax(logits.data, axis=1) == y).mean())
+        return accuracies
+    finally:
+        model.set_sampler(original)
+
+
+def estimate_yield(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    threshold: float = 0.7,
+    delta: float = 0.10,
+    instances: int = 50,
+    seed: int = 0,
+) -> YieldResult:
+    """Fraction of fabricated instances with accuracy ≥ ``threshold``.
+
+    Each instance draws fresh ±``delta`` component variations (plus
+    sampled μ and V₀) and classifies the full test set.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    accuracies = _instance_accuracies(model, x, y, delta, instances, seed)
+    return YieldResult(
+        yield_fraction=float((accuracies >= threshold).mean()),
+        threshold=threshold,
+        accuracies=accuracies,
+    )
+
+
+def yield_curve(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    thresholds: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    delta: float = 0.10,
+    instances: int = 50,
+    seed: int = 0,
+) -> dict:
+    """Yield at several accuracy thresholds (one MC batch, reused).
+
+    Returns ``{threshold: yield_fraction}``.
+    """
+    accuracies = _instance_accuracies(model, x, y, delta, instances, seed)
+    return {float(t): float((accuracies >= t).mean()) for t in thresholds}

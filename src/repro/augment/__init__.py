@@ -1,0 +1,40 @@
+"""Time-series augmentation (the tsaug substitute)."""
+
+from .base import Augmenter, Compose
+from .pipeline import (
+    RECOMMENDED_CONFIGS,
+    AugmentationConfig,
+    augment_dataset,
+    build_pipeline,
+    default_config,
+    perturb,
+)
+from .transforms import (
+    Drift,
+    Dropout,
+    FrequencyNoise,
+    Jitter,
+    MagnitudeScale,
+    Pool,
+    RandomCrop,
+    TimeWarp,
+)
+
+__all__ = [
+    "Augmenter",
+    "Compose",
+    "Jitter",
+    "TimeWarp",
+    "MagnitudeScale",
+    "RandomCrop",
+    "FrequencyNoise",
+    "Drift",
+    "Pool",
+    "Dropout",
+    "AugmentationConfig",
+    "build_pipeline",
+    "augment_dataset",
+    "perturb",
+    "RECOMMENDED_CONFIGS",
+    "default_config",
+]

@@ -1,0 +1,70 @@
+"""Augmenter protocol and composition.
+
+Re-implements the tsaug-style interface the paper uses (Sec. III-B):
+every augmenter maps a batch of series ``(n, length)`` to an augmented
+batch of the same shape, driven by an explicit RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Augmenter", "Compose", "check_batch"]
+
+
+def check_batch(x: np.ndarray) -> np.ndarray:
+    """Validate and coerce a batch of series to float64 ``(n, length)``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, length) batch, got shape {x.shape}")
+    if x.shape[1] < 2:
+        raise ValueError("series must have at least 2 samples")
+    return x
+
+
+class Augmenter:
+    """Base class: subclasses implement :meth:`apply`."""
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return an augmented copy of the batch ``x``."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.apply(check_batch(x), rng)
+
+    def __repr__(self) -> str:
+        params = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        inner = ", ".join(f"{k}={v}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"
+
+
+class Compose(Augmenter):
+    """Apply a sequence of augmenters, each with probability ``p``.
+
+    Mirrors how the paper combines jittering, time warping, magnitude
+    scaling, cropping and frequency-domain noise into one training-time
+    pipeline (Fig. 6 shows the combined application on PowerCons).
+    """
+
+    def __init__(self, augmenters: Sequence[Augmenter], p: float = 1.0) -> None:
+        if not augmenters:
+            raise ValueError("Compose needs at least one augmenter")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.augmenters: List[Augmenter] = list(augmenters)
+        self.p = p
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = x
+        for augmenter in self.augmenters:
+            if self.p >= 1.0 or rng.uniform() < self.p:
+                out = augmenter(out, rng)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.augmenters)
+        return f"Compose([{inner}], p={self.p})"

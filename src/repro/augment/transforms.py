@@ -1,0 +1,217 @@
+"""The five augmentation techniques of Sec. III-B.
+
+* :class:`Jitter` — additive Gaussian noise, "to introduce sensor
+  inaccuracies";
+* :class:`TimeWarp` — smooth non-linear time re-parameterisation, "to
+  alter the temporal dynamics";
+* :class:`MagnitudeScale` — per-series amplitude scaling, "to simulate
+  changes in sensor readings";
+* :class:`RandomCrop` — crop-and-stretch, "to mimic partial data
+  availability" (effective for MSRT and Symbols);
+* :class:`FrequencyNoise` — perturbation of FFT coefficients, "to
+  simulate signal distortions" (applied to PowerCons and SmoothS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Augmenter
+
+__all__ = [
+    "Jitter",
+    "TimeWarp",
+    "MagnitudeScale",
+    "RandomCrop",
+    "FrequencyNoise",
+    "Drift",
+    "Pool",
+    "Dropout",
+]
+
+
+class Jitter(Augmenter):
+    """Additive i.i.d. Gaussian noise of standard deviation ``sigma``."""
+
+    def __init__(self, sigma: float = 0.05) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return x + rng.normal(0.0, self.sigma, size=x.shape)
+
+
+class TimeWarp(Augmenter):
+    """Smooth random warping of the time axis.
+
+    A monotone warp is built from ``n_knots`` random slopes and each
+    series is resampled along it; ``strength`` bounds the local speed
+    change (0.3 means the warped clock runs 0.7×-1.3×).
+    """
+
+    def __init__(self, strength: float = 0.2, n_knots: int = 4) -> None:
+        if not 0 <= strength < 1:
+            raise ValueError("strength must be in [0, 1)")
+        if n_knots < 2:
+            raise ValueError("need at least 2 knots")
+        self.strength = strength
+        self.n_knots = n_knots
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, length = x.shape
+        t = np.linspace(0.0, 1.0, length)
+        knots = np.linspace(0.0, 1.0, self.n_knots)
+        out = np.empty_like(x)
+        for i in range(n):
+            speeds = rng.uniform(1.0 - self.strength, 1.0 + self.strength, self.n_knots)
+            local_speed = np.interp(t, knots, speeds)
+            warped = np.cumsum(local_speed)
+            warped = (warped - warped[0]) / (warped[-1] - warped[0])
+            out[i] = np.interp(warped, t, x[i])
+        return out
+
+
+class MagnitudeScale(Augmenter):
+    """Multiply each series by a random factor around 1."""
+
+    def __init__(self, sigma: float = 0.1) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        scale = rng.normal(1.0, self.sigma, size=(x.shape[0], 1))
+        return x * scale
+
+
+class RandomCrop(Augmenter):
+    """Crop a random window of relative size ``crop_fraction`` and
+    stretch it back to the original length — partial data availability
+    with unchanged series length."""
+
+    def __init__(self, crop_fraction: float = 0.8) -> None:
+        if not 0.1 <= crop_fraction <= 1.0:
+            raise ValueError("crop_fraction must be in [0.1, 1]")
+        self.crop_fraction = crop_fraction
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, length = x.shape
+        window = max(2, int(round(self.crop_fraction * length)))
+        if window >= length:
+            return x.copy()
+        t_out = np.linspace(0.0, 1.0, length)
+        out = np.empty_like(x)
+        for i in range(n):
+            start = rng.integers(0, length - window + 1)
+            segment = x[i, start : start + window]
+            t_in = np.linspace(0.0, 1.0, window)
+            out[i] = np.interp(t_out, t_in, segment)
+        return out
+
+
+class FrequencyNoise(Augmenter):
+    """Perturb rFFT coefficients with relative Gaussian noise.
+
+    Each retained frequency bin's complex amplitude is scaled by
+    ``1 + N(0, sigma)`` and rotated by a small random phase; bins above
+    ``max_bin_fraction`` of the spectrum are left untouched so the
+    distortion stays plausible for band-limited sensor signals.
+    """
+
+    def __init__(self, sigma: float = 0.1, max_bin_fraction: float = 0.5) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 < max_bin_fraction <= 1:
+            raise ValueError("max_bin_fraction must be in (0, 1]")
+        self.sigma = sigma
+        self.max_bin_fraction = max_bin_fraction
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, length = x.shape
+        spectrum = np.fft.rfft(x, axis=1)
+        bins = spectrum.shape[1]
+        cutoff = max(1, int(round(self.max_bin_fraction * bins)))
+        gain = 1.0 + rng.normal(0.0, self.sigma, size=(n, cutoff))
+        phase = rng.normal(0.0, self.sigma * 0.5, size=(n, cutoff))
+        spectrum[:, :cutoff] *= gain * np.exp(1j * phase)
+        return np.fft.irfft(spectrum, n=length, axis=1)
+
+
+class Drift(Augmenter):
+    """Smooth random baseline drift added to each series.
+
+    Sensor baselines wander (temperature dependence, electrode
+    polarisation); tsaug models this as a random walk through
+    ``n_knots`` anchor points with maximum excursion ``max_drift``.
+    """
+
+    def __init__(self, max_drift: float = 0.2, n_knots: int = 4) -> None:
+        if max_drift < 0:
+            raise ValueError("max_drift must be non-negative")
+        if n_knots < 2:
+            raise ValueError("need at least 2 knots")
+        self.max_drift = max_drift
+        self.n_knots = n_knots
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, length = x.shape
+        t = np.linspace(0.0, 1.0, length)
+        knots = np.linspace(0.0, 1.0, self.n_knots)
+        out = np.empty_like(x)
+        for i in range(n):
+            anchors = np.cumsum(rng.normal(0.0, 1.0, self.n_knots))
+            span = np.abs(anchors).max()
+            if span > 0:
+                anchors = anchors / span * self.max_drift * rng.uniform(0.3, 1.0)
+            out[i] = x[i] + np.interp(t, knots, anchors)
+        return out
+
+
+class Pool(Augmenter):
+    """Local average pooling that blurs fine temporal detail.
+
+    Replaces each window of ``size`` samples by its mean (then holds
+    it), mimicking a slow/averaging sensor front-end — the tsaug
+    ``Pool`` operator.
+    """
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.size == 1:
+            return x.copy()
+        n, length = x.shape
+        out = np.empty_like(x)
+        for start in range(0, length, self.size):
+            stop = min(start + self.size, length)
+            out[:, start:stop] = x[:, start:stop].mean(axis=1, keepdims=True)
+        return out
+
+
+class Dropout(Augmenter):
+    """Randomly drop samples and fill them with the previous value.
+
+    Models intermittent sensor dropouts / transmission losses (tsaug's
+    ``Dropout`` with ``fill='ffill'``): each sample is lost with
+    probability ``p`` and replaced by the last delivered value.
+    """
+
+    def __init__(self, p: float = 0.05) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = p
+
+    def apply(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.p == 0.0:
+            return x.copy()
+        out = x.copy()
+        lost = rng.uniform(size=x.shape) < self.p
+        lost[:, 0] = False  # the first sample is always delivered
+        for i in range(x.shape[0]):
+            for k in np.nonzero(lost[i])[0]:
+                out[i, k] = out[i, k - 1]
+        return out

@@ -1,0 +1,42 @@
+"""Reverse-mode automatic differentiation engine (the PyTorch substitute).
+
+Public API::
+
+    from repro.autograd import Tensor, no_grad, stack, softmax, ...
+"""
+
+from .context import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .functional import (
+    concat,
+    log_softmax,
+    logsumexp,
+    maximum,
+    minimum,
+    one_hot,
+    outer,
+    softmax,
+    stack,
+    where,
+)
+from .grad_check import check_gradients, numerical_gradient
+from .tensor import Tensor
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "stack",
+    "concat",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "one_hot",
+    "outer",
+    "check_gradients",
+    "numerical_gradient",
+]

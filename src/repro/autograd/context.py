@@ -1,0 +1,59 @@
+"""Gradient-tracking context management.
+
+Mirrors the semantics of ``torch.no_grad()``: inside a disabled region,
+newly created tensors do not record a backward graph even when their
+inputs require gradients.  The state is process-global (the engine is
+single-threaded, like the experiments in the paper).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record a backward graph."""
+    return _grad_enabled
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable gradient recording."""
+    global _grad_enabled
+    _grad_enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording.
+
+    Example
+    -------
+    >>> from repro.autograd import Tensor, no_grad
+    >>> x = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 2.0
+    >>> y.requires_grad
+    False
+    """
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables graph recording inside ``no_grad``."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = True
+    try:
+        yield
+    finally:
+        _grad_enabled = previous

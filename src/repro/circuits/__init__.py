@@ -1,0 +1,62 @@
+"""Printed neuromorphic circuit primitives (crossbar, ptanh, filters, PDK)."""
+
+from .coupling import CouplingFit, build_so_filter_circuit, extract_mu_range, fit_mu
+from .crossbar import THETA_MAX, THETA_MIN, PrintedCrossbar, program_crossbar
+from .filters import (
+    DEFAULT_DT,
+    FirstOrderLearnableFilter,
+    SecondOrderLearnableFilter,
+)
+from .pdk import BASELINE_PDK, DEFAULT_PDK, PrintedPDK
+from .ptanh import PrintedTanh
+from .quantize import QuantizationReport, quantize_model, snap_to_grid
+from .synthesis import SynthesisResult, synthesize_ptanh
+from .ptanh_physical import (
+    PhysicalTanhFit,
+    build_ptanh_circuit,
+    derive_eta,
+    make_printed_tanh,
+)
+from .variation import (
+    GaussianVariation,
+    GMMVariation,
+    NoVariation,
+    UniformVariation,
+    VariationModel,
+    VariationSampler,
+    ideal_sampler,
+)
+
+__all__ = [
+    "PrintedCrossbar",
+    "program_crossbar",
+    "THETA_MIN",
+    "THETA_MAX",
+    "PrintedTanh",
+    "FirstOrderLearnableFilter",
+    "SecondOrderLearnableFilter",
+    "DEFAULT_DT",
+    "PrintedPDK",
+    "DEFAULT_PDK",
+    "BASELINE_PDK",
+    "VariationModel",
+    "NoVariation",
+    "UniformVariation",
+    "GaussianVariation",
+    "GMMVariation",
+    "VariationSampler",
+    "ideal_sampler",
+    "fit_mu",
+    "extract_mu_range",
+    "build_so_filter_circuit",
+    "CouplingFit",
+    "PhysicalTanhFit",
+    "build_ptanh_circuit",
+    "derive_eta",
+    "make_printed_tanh",
+    "snap_to_grid",
+    "quantize_model",
+    "QuantizationReport",
+    "synthesize_ptanh",
+    "SynthesisResult",
+]

@@ -1,0 +1,258 @@
+"""Differentiable printed resistor crossbar (Fig. 3a, Eq. 1).
+
+A crossbar column computes a voltage-domain weighted sum
+
+    V_out = Σ_i (g_i / G) V_i + g_b / G,     G = Σ_i g_i + g_b + g_d,
+
+where every g is a printed conductance.  Negative weights route the
+input through a printed inverter (Fig. 3c).  Training follows the
+surrogate-conductance formulation of the pNC literature [12, 15]: a
+signed surrogate θ per crossing, with ``|θ|`` the conductance in
+normalised units and ``sign(θ)`` selecting the inverter path.
+
+Process variation enters as multiplicative factors ε on every
+conductance and on the inverter gain, drawn from the module's
+:class:`~repro.circuits.variation.VariationSampler` at each forward
+call (fresh draw per Monte-Carlo sample, Eq. 13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn.module import Module, Parameter
+from .pdk import DEFAULT_PDK, PrintedPDK
+from .variation import VariationSampler, ideal_sampler
+
+__all__ = ["PrintedCrossbar", "program_crossbar", "THETA_MIN", "THETA_MAX"]
+
+#: Surrogate-conductance range in normalised units.  Conductances below
+#: THETA_MIN are not printable and the crossing is left open (pruned).
+THETA_MIN = 0.01
+THETA_MAX = 1.0
+
+
+class PrintedCrossbar(Module):
+    """One layer of printed crossbar columns (``n_out`` weighted sums).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Number of input voltage rails and output columns.
+    sampler:
+        Source of variation draws; ideal (ε ≡ 1) when omitted.
+    pdk:
+        Technology used to map normalised conductances to printable
+        resistances (power/device accounting).
+    rng:
+        Initialisation generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        sampler: Optional[VariationSampler] = None,
+        pdk: PrintedPDK = DEFAULT_PDK,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.sampler = sampler if sampler is not None else ideal_sampler()
+        self.pdk = pdk
+
+        # Signed surrogate conductances.  Init keeps |θ| comfortably
+        # inside the printable window and mixes signs evenly.
+        scale = 1.0 / np.sqrt(in_features + 2)
+        magnitude = rng.uniform(0.1, 0.5, size=(out_features, in_features)) * scale * 3
+        sign = rng.choice([-1.0, 1.0], size=(out_features, in_features))
+        self.theta = Parameter(magnitude * sign)
+        self.theta_b = Parameter(rng.uniform(-0.2, 0.2, size=out_features))
+        self.theta_d = Parameter(rng.uniform(0.2, 0.6, size=out_features))
+
+    # -- conductance views --------------------------------------------------
+
+    def _magnitudes(self) -> tuple[Tensor, Tensor, Tensor, np.ndarray]:
+        """Printable conductance magnitudes and the pruning mask.
+
+        Crossings with ``|θ| < THETA_MIN`` are open circuits: they
+        contribute no conductance and receive no gradient (they were
+        pruned from the layout).  The remaining magnitudes are clamped
+        at the printable maximum.
+        """
+        mag = self.theta.abs()
+        mask = (np.abs(self.theta.data) >= THETA_MIN).astype(np.float64)
+        g = mag.clip(0.0, THETA_MAX) * mask
+        g_b = self.theta_b.abs().clip(0.0, THETA_MAX)
+        g_d = self.theta_d.abs().clip(THETA_MIN, THETA_MAX)
+        return g, g_b, g_d, mask
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Weighted sum of a batch of input voltages.
+
+        Parameters
+        ----------
+        x:
+            Input voltages, shape ``(batch, in_features)``.
+
+        Returns
+        -------
+        Output voltages, shape ``(batch, out_features)``.
+        """
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (batch, {self.in_features}), got {x.shape}")
+        g, g_b, g_d, _ = self._magnitudes()
+
+        eps = Tensor(self.sampler.epsilon((self.out_features, self.in_features)))
+        eps_b = Tensor(self.sampler.epsilon((self.out_features,)))
+        eps_d = Tensor(self.sampler.epsilon((self.out_features,)))
+        # Inverter non-ideality: gain = -(1 ⊙ ε_inv) on inverted rails.
+        inv_gain = Tensor(self.sampler.epsilon((self.out_features, self.in_features)))
+
+        g_eps = g * eps
+        gb_eps = g_b * eps_b
+        gd_eps = g_d * eps_d
+        denom = g_eps.sum(axis=1) + gb_eps + gd_eps  # (out,)
+
+        # Positive crossings pass the rail directly (gain +1); negative
+        # ones pass the inverted rail, whose gain -ε_inv carries the
+        # inverter's own process variation.
+        sign = np.sign(self.theta.data)
+        direct = Tensor(np.where(sign >= 0, 1.0, 0.0))
+        inverted = Tensor(np.where(sign >= 0, 0.0, -1.0))
+        path = direct + inv_gain * inverted
+
+        weights = path * g_eps / denom.unsqueeze(1)  # (out, in)
+        bias_sign = Tensor(np.sign(self.theta_b.data))
+        bias = bias_sign * gb_eps / denom * self.pdk.supply_voltage  # (out,)
+        return x @ weights.T + bias
+
+    # -- hardware accounting ---------------------------------------------------
+
+    def printable_resistances(self) -> np.ndarray:
+        """Physical resistance (Ω) of every printable crossing.
+
+        Normalised conductance 1.0 maps to the PDK's minimum crossbar
+        resistance; THETA_MIN maps to its maximum.
+        """
+        g, g_b, g_d, mask = self._magnitudes()
+        all_g = np.concatenate(
+            [
+                (g.data * mask).reshape(-1),
+                np.abs(self.theta_b.data),
+                g_d.data.reshape(-1),
+            ]
+        )
+        all_g = all_g[all_g >= THETA_MIN]
+        g_unit = 1.0 / (self.pdk.crossbar_r_min * THETA_MAX)
+        return 1.0 / (all_g * g_unit)
+
+    def count_input_resistors(self) -> int:
+        """Printable input crossings (pruned ones excluded)."""
+        return int((np.abs(self.theta.data) >= THETA_MIN).sum())
+
+    def count_bias_resistors(self) -> int:
+        """Bias + dummy resistors (one pair per output column)."""
+        bias = int((np.abs(self.theta_b.data) >= THETA_MIN).sum())
+        return bias + self.out_features  # dummy g_d always present
+
+    def count_inverters(self) -> int:
+        """Inverters needed: one per negative printable crossing, plus
+        one per negative bias."""
+        neg = (self.theta.data < -THETA_MIN).sum()
+        neg_bias = (self.theta_b.data < -THETA_MIN).sum()
+        return int(neg + neg_bias)
+
+    def weight_matrix(self) -> np.ndarray:
+        """Nominal effective signed weights (no variation) — analysis aid."""
+        g, g_b, g_d, mask = self._magnitudes()
+        denom = g.data.sum(axis=1) + g_b.data + g_d.data
+        return np.sign(self.theta.data) * g.data / denom[:, None]
+
+    def __repr__(self) -> str:
+        return (
+            f"PrintedCrossbar(in={self.in_features}, out={self.out_features}, "
+            f"pdk={self.pdk.name!r})"
+        )
+
+
+def program_crossbar(
+    crossbar: PrintedCrossbar,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    headroom: float = 0.9,
+) -> None:
+    """Program a crossbar to realise given signed weights and biases.
+
+    Inverts Eq. (1): for each output row, conductances are chosen so
+    that ``g_i / G = |w_i|`` and ``g_b / G = |b|``, with the dummy
+    conductance absorbing the slack ``1 − Σ|w| − |b|``.  This imports a
+    software-trained affine layer into the printed substrate (weights
+    are then refined by variation-aware training, or used as-is).
+
+    Parameters
+    ----------
+    crossbar:
+        Layer to program in place.
+    weights:
+        Signed weight matrix ``(out_features, in_features)``; every row
+        must satisfy ``Σ|w| + |b| < 1`` (the conductance-divider
+        constraint of the printed crossbar).
+    bias:
+        Signed biases ``(out_features,)``; zero when omitted.
+    headroom:
+        Fraction of the printable conductance ceiling used by the
+        largest conductance of each row.
+
+    Raises
+    ------
+    ValueError
+        If a row violates the divider constraint, or a non-zero weight
+        is too small to print relative to the row's largest (it would
+        fall below the printable minimum and be pruned).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (crossbar.out_features, crossbar.in_features):
+        raise ValueError(
+            f"weights must be {(crossbar.out_features, crossbar.in_features)}, "
+            f"got {weights.shape}"
+        )
+    bias = (
+        np.zeros(crossbar.out_features)
+        if bias is None
+        else np.asarray(bias, dtype=np.float64)
+    )
+    if bias.shape != (crossbar.out_features,):
+        raise ValueError("bias must have one entry per output")
+    if not 0 < headroom <= 1:
+        raise ValueError("headroom must be in (0, 1]")
+
+    for o in range(crossbar.out_features):
+        row = np.abs(weights[o])
+        total = row.sum() + abs(bias[o])
+        if total >= 1.0:
+            raise ValueError(
+                f"row {o}: sum of |weights| + |bias| = {total:.3f} must be < 1 "
+                "(conductance-ratio constraint of Eq. 1)"
+            )
+        slack = 1.0 - total  # dummy conductance share
+        shares = np.concatenate([row, [abs(bias[o]), slack]])
+        largest = shares.max()
+        scale = THETA_MAX * headroom / largest
+        g = shares * scale
+        nonzero = shares[:-1] > 0
+        if np.any(g[:-1][nonzero] < THETA_MIN):
+            raise ValueError(
+                f"row {o}: weight dynamic range exceeds the printable window "
+                f"[{THETA_MIN}, {THETA_MAX}] — smallest share would be pruned"
+            )
+        crossbar.theta.data[o] = np.sign(weights[o]) * g[: crossbar.in_features]
+        crossbar.theta_b.data[o] = np.sign(bias[o]) * g[crossbar.in_features] if bias[o] else 0.0
+        crossbar.theta_d.data[o] = max(g[-1], THETA_MIN)

@@ -1,0 +1,259 @@
+"""Learnable printed low-pass filters — the paper's core contribution.
+
+A first-order printed RC stage driven at step size Δt obeys the
+backward-Euler recurrence (paper Eq. 3, with the left-hand index typo
+corrected: the first right-hand term reads ``V_out,K−1``):
+
+    V_out,k = a · V_out,k−1 + b · V_in,k
+    a = R·C / (R·C + μ·Δt),    b = Δt / (R·C + μ·Δt)
+
+where μ ≥ 1 is the coupling factor accounting for current shunted into
+the following stage (Eqs. 6-11; μ = 1 for an unloaded stage).
+
+Note the placement of μ: discretising the *loaded* stage equation
+``C dV/dt = (V_in − V)/R − V/R_load`` gives
+``V_k = (RC·V_{k−1} + Δt·V_in) / (RC + κ·Δt)`` with
+``κ = 1 + R/R_load`` — the coupling factor scales the Δt term, so the
+DC gain is 1/κ ∈ [0.77, 1] for κ ∈ [1, 1.3], *independent of RC*.
+The paper's Eqs. (10)-(11) print μ against RC instead, which would make
+the DC gain collapse as Δt/((μ−1)RC + Δt) for long time constants — an
+artefact of the typo'd equations, not of the circuit (the physical DC
+gain of a resistively loaded RC stage cannot depend on C).  See
+DESIGN.md for the full derivation.
+
+The second-order learnable filter (SO-LF) chains two such stages with
+independently trained R₁, C₁, R₂, C₂ — "despite previous work, in our
+approach the resistors and capacitors are trained separately"
+(Sec. III-1).
+
+R and C are trained in log-space so positivity (printability) is
+guaranteed; during variation-aware training each draw multiplies them
+by sampled ε factors, and μ and the initial voltage V₀ are themselves
+sampled per forward pass (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, stack
+from ..nn.module import Module, Parameter
+from .pdk import DEFAULT_PDK, PrintedPDK
+from .variation import VariationSampler, ideal_sampler
+
+__all__ = ["FirstOrderLearnableFilter", "SecondOrderLearnableFilter"]
+
+#: Default temporal discretisation: 1 kHz sensor sampling.
+DEFAULT_DT = 1e-3
+
+
+def _init_log_rc(
+    num_filters: int, pdk: PrintedPDK, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Log-space initial R (Ω) and C (F) drawn log-uniformly inside the
+    printable window.
+
+    Capacitances start in the upper printable decade — "the
+    capacitances are designed as high as the printing technology
+    allows" (Sec. IV-A1) — giving time constants RC up to ~100 ms so a
+    1 kHz-sampled length-64 sequence fits inside the filter's memory.
+    Gradient descent shortens them per channel where the task wants
+    faster dynamics.
+    """
+    log_r = rng.uniform(np.log(pdk.filter_r_min * 4), np.log(pdk.filter_r_max), num_filters)
+    log_c = rng.uniform(np.log(10e-6), np.log(pdk.capacitance_max), num_filters)
+    return log_r, log_c
+
+
+class _RCStage(Module):
+    """One learnable printed RC stage operating on ``(batch, n)`` steps."""
+
+    def __init__(
+        self,
+        num_filters: int,
+        pdk: PrintedPDK,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        log_r, log_c = _init_log_rc(num_filters, pdk, rng)
+        self.log_r = Parameter(log_r)
+        self.log_c = Parameter(log_c)
+        self.num_filters = num_filters
+        self.pdk = pdk
+
+    def coefficients(
+        self, dt: float, sampler: VariationSampler
+    ) -> Tuple[Tensor, Tensor]:
+        """Sampled recurrence coefficients ``(a, b)`` for one forward pass."""
+        n = self.num_filters
+        eps_r = Tensor(sampler.epsilon((n,)))
+        eps_c = Tensor(sampler.epsilon((n,)))
+        mu = Tensor(sampler.mu((n,)))
+        r = self.log_r.exp() * eps_r
+        c = self.log_c.exp() * eps_c
+        rc = r * c
+        denom = rc + mu * dt
+        return rc / denom, Tensor(np.full(n, dt)) / denom
+
+    def nominal_values(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Nominal (R, C) values in Ω and F, clipped to the printable window."""
+        r = np.exp(self.log_r.data)
+        c = np.exp(self.log_c.data)
+        r = np.clip(r, self.pdk.filter_r_min, self.pdk.filter_r_max)
+        c = np.clip(c, self.pdk.capacitance_min, self.pdk.capacitance_max)
+        return r, c
+
+
+def _run_recurrence(
+    x: Tensor, a: Tensor, b: Tensor, v0: Tensor
+) -> Tensor:
+    """Apply ``v_k = a v_{k-1} + b x_k`` along the time axis.
+
+    ``x`` is ``(batch, time, n)``; ``a``/``b`` are ``(n,)``; ``v0`` is
+    ``(batch, n)`` or ``(n,)``.  Returns ``(batch, time, n)``.
+    """
+    steps = x.shape[1]
+    v = v0
+    outputs: List[Tensor] = []
+    for k in range(steps):
+        v = a * v + b * x[:, k, :]
+        outputs.append(v)
+    return stack(outputs, axis=1)
+
+
+class FirstOrderLearnableFilter(Module):
+    """Bank of first-order learnable printed low-pass filters.
+
+    The baseline pTPNC's temporal element [8].  Each of ``num_filters``
+    channels applies its own RC recurrence along the time axis of a
+    ``(batch, time, num_filters)`` input.
+    """
+
+    def __init__(
+        self,
+        num_filters: int,
+        dt: float = DEFAULT_DT,
+        sampler: Optional[VariationSampler] = None,
+        pdk: PrintedPDK = DEFAULT_PDK,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_filters <= 0:
+            raise ValueError("num_filters must be positive")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_filters = num_filters
+        self.dt = dt
+        self.sampler = sampler if sampler is not None else ideal_sampler()
+        self.pdk = pdk
+        self.stage = _RCStage(num_filters, pdk, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Filter a batch of sequences ``(batch, time, num_filters)``."""
+        if x.ndim != 3 or x.shape[2] != self.num_filters:
+            raise ValueError(f"expected (batch, time, {self.num_filters}), got {x.shape}")
+        a, b = self.stage.coefficients(self.dt, self.sampler)
+        v0 = Tensor(self.sampler.initial_voltage((x.shape[0], self.num_filters)))
+        return _run_recurrence(x, a, b, v0)
+
+    # -- hardware accounting ----------------------------------------------
+
+    def count_resistors(self) -> int:
+        """One printed resistor per channel."""
+        return self.num_filters
+
+    def count_capacitors(self) -> int:
+        """One printed capacitor per channel."""
+        return self.num_filters
+
+    def count_transistors(self) -> int:
+        """Passive stage: no transistors."""
+        return 0
+
+    def component_values(self) -> dict:
+        """Nominal printable component values."""
+        r, c = self.stage.nominal_values()
+        return {"R": r, "C": c}
+
+    def __repr__(self) -> str:
+        return f"FirstOrderLearnableFilter(num_filters={self.num_filters}, dt={self.dt})"
+
+
+class SecondOrderLearnableFilter(Module):
+    """Bank of second-order learnable filters (SO-LF) — Sec. III.
+
+    Two back-to-back RC stages per channel, each with independently
+    trained R and C and its own sampled coupling factor μ.  The sharper
+    roll-off and richer dynamic response are what give ADAPT-pNC its
+    robustness to noisy temporal inputs.
+
+    A decoupling buffer (2 printed transistors per channel) isolates the
+    cascade from the following crossbar — reflected in the transistor
+    count of the proposed design (Table III).
+    """
+
+    #: transistors per channel for the inter-stage decoupling buffer
+    BUFFER_TRANSISTORS = 2
+
+    def __init__(
+        self,
+        num_filters: int,
+        dt: float = DEFAULT_DT,
+        sampler: Optional[VariationSampler] = None,
+        pdk: PrintedPDK = DEFAULT_PDK,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_filters <= 0:
+            raise ValueError("num_filters must be positive")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_filters = num_filters
+        self.dt = dt
+        self.sampler = sampler if sampler is not None else ideal_sampler()
+        self.pdk = pdk
+        self.stage1 = _RCStage(num_filters, pdk, rng)
+        self.stage2 = _RCStage(num_filters, pdk, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Filter a batch of sequences ``(batch, time, num_filters)``.
+
+        Implements Eqs. (10)-(11): the intermediate voltage of stage 1
+        feeds stage 2; both recurrences carry their own μ draw.
+        """
+        if x.ndim != 3 or x.shape[2] != self.num_filters:
+            raise ValueError(f"expected (batch, time, {self.num_filters}), got {x.shape}")
+        a1, b1 = self.stage1.coefficients(self.dt, self.sampler)
+        a2, b2 = self.stage2.coefficients(self.dt, self.sampler)
+        batch = x.shape[0]
+        v0_1 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
+        v0_2 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
+        intermediate = _run_recurrence(x, a1, b1, v0_1)
+        return _run_recurrence(intermediate, a2, b2, v0_2)
+
+    # -- hardware accounting ----------------------------------------------
+
+    def count_resistors(self) -> int:
+        """Two printed resistors per channel."""
+        return 2 * self.num_filters
+
+    def count_capacitors(self) -> int:
+        """Two printed capacitors per channel."""
+        return 2 * self.num_filters
+
+    def count_transistors(self) -> int:
+        """Decoupling buffer transistors per channel."""
+        return self.BUFFER_TRANSISTORS * self.num_filters
+
+    def component_values(self) -> dict:
+        """Nominal printable component values for both stages."""
+        r1, c1 = self.stage1.nominal_values()
+        r2, c2 = self.stage2.nominal_values()
+        return {"R1": r1, "C1": c1, "R2": r2, "C2": c2}
+
+    def __repr__(self) -> str:
+        return f"SecondOrderLearnableFilter(num_filters={self.num_filters}, dt={self.dt})"

@@ -1,0 +1,174 @@
+"""Process-variation models and the reparameterisation sampler.
+
+The paper (Sec. III-A) treats every printed component value as a random
+variable ``v = v₀ ⊙ ε`` with multiplicative variation ε drawn from a
+distribution describing the printing process: a uniform model for
+electrical characteristics [20, 23] and a Gaussian-mixture model at the
+device level [24].  :class:`VariationSampler` draws the ε tensors used
+by the Monte-Carlo training objective (Eq. 13/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "VariationModel",
+    "NoVariation",
+    "UniformVariation",
+    "GaussianVariation",
+    "GMMVariation",
+    "VariationSampler",
+]
+
+
+class VariationModel:
+    """Distribution over multiplicative component-value factors ε."""
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Draw an ε array of the given shape (all entries > 0)."""
+        raise NotImplementedError
+
+    def spread(self) -> float:
+        """A scalar summary of the dispersion (used in reports)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoVariation(VariationModel):
+    """Ideal process: ε ≡ 1 (used by the no-variation-aware baseline)."""
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.ones(shape)
+
+    def spread(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class UniformVariation(VariationModel):
+    """ε ~ U(1 - δ, 1 + δ) — the paper's headline ±10 % printing variation."""
+
+    delta: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.delta < 1:
+            raise ValueError("delta must be in [0, 1)")
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(1.0 - self.delta, 1.0 + self.delta, size=shape)
+
+    def spread(self) -> float:
+        return self.delta
+
+
+@dataclass(frozen=True)
+class GaussianVariation(VariationModel):
+    """ε ~ N(1, σ²), truncated to stay positive."""
+
+    sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        eps = rng.normal(1.0, self.sigma, size=shape)
+        return np.clip(eps, 1e-3, None)
+
+    def spread(self) -> float:
+        return self.sigma
+
+
+@dataclass(frozen=True)
+class GMMVariation(VariationModel):
+    """Gaussian-mixture device-level variation per Rasheed et al. [24].
+
+    Components are ``(weight, mean, sigma)`` triples over the
+    multiplicative factor; weights must sum to 1.
+    """
+
+    weights: Tuple[float, ...] = (0.7, 0.3)
+    means: Tuple[float, ...] = (0.98, 1.05)
+    sigmas: Tuple[float, ...] = (0.04, 0.08)
+
+    def __post_init__(self) -> None:
+        if not (len(self.weights) == len(self.means) == len(self.sigmas)):
+            raise ValueError("mixture component lists must have equal length")
+        if abs(sum(self.weights) - 1.0) > 1e-9:
+            raise ValueError("mixture weights must sum to 1")
+        if any(w < 0 for w in self.weights) or any(s < 0 for s in self.sigmas):
+            raise ValueError("weights and sigmas must be non-negative")
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        flat = int(np.prod(shape)) if shape else 1
+        component = rng.choice(len(self.weights), size=flat, p=np.asarray(self.weights))
+        means = np.asarray(self.means)[component]
+        sigmas = np.asarray(self.sigmas)[component]
+        eps = rng.normal(means, sigmas)
+        return np.clip(eps, 1e-3, None).reshape(shape)
+
+    def spread(self) -> float:
+        means = np.asarray(self.means)
+        weights = np.asarray(self.weights)
+        sigmas = np.asarray(self.sigmas)
+        mean = float(weights @ means)
+        second = float(weights @ (sigmas**2 + means**2))
+        return float(np.sqrt(max(second - mean**2, 0.0)))
+
+
+@dataclass
+class VariationSampler:
+    """Sampler bundling the component-variation model with the
+    non-trainable randomness of Sec. III-A: the coupling factor
+    μ ~ U[mu_low, mu_high] and the filter initial voltage
+    V₀ ~ U[0, v0_max].
+
+    One :class:`VariationSampler` is shared across a model so a single
+    seed controls the whole Monte-Carlo draw.
+    """
+
+    model: VariationModel = field(default_factory=lambda: UniformVariation(0.10))
+    mu_low: float = 1.0
+    mu_high: float = 1.3
+    v0_max: float = 0.1
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mu_low <= self.mu_high:
+            raise ValueError("need 0 < mu_low <= mu_high")
+        if self.v0_max < 0:
+            raise ValueError("v0_max must be non-negative")
+
+    def epsilon(self, shape: Sequence[int]) -> np.ndarray:
+        """Draw component-variation factors ε of the given shape."""
+        return self.model.sample(tuple(shape), self.rng)
+
+    def mu(self, shape: Sequence[int]) -> np.ndarray:
+        """Draw coupling factors μ ∈ [mu_low, mu_high]."""
+        return self.rng.uniform(self.mu_low, self.mu_high, size=tuple(shape))
+
+    def initial_voltage(self, shape: Sequence[int]) -> np.ndarray:
+        """Draw filter initial voltages V₀ ∈ [0, v0_max]."""
+        if self.v0_max == 0:
+            return np.zeros(tuple(shape))
+        return self.rng.uniform(0.0, self.v0_max, size=tuple(shape))
+
+    def reseed(self, seed: int) -> None:
+        """Reset the internal generator (per-experiment reproducibility)."""
+        self.rng = np.random.default_rng(seed)
+
+
+def ideal_sampler() -> VariationSampler:
+    """Sampler with no component variation, μ = 1 and V₀ = 0.
+
+    Used at clean-evaluation time and by the no-variation-aware
+    baseline's training loop.
+    """
+    return VariationSampler(model=NoVariation(), mu_low=1.0, mu_high=1.0, v0_max=0.0)
+
+
+__all__.append("ideal_sampler")

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+* ``table1|table2|table3|fig5|fig6|fig7|mu`` — regenerate one paper
+  artefact at a chosen ``--scale``;
+* ``evaluate`` — run the whole suite and write ``results/<scale>/``;
+* ``report`` — render a saved ``results.json`` as markdown;
+* ``export`` — train a model on a dataset and write its compiled
+  netlist as a SPICE file;
+* ``tune`` — tune augmentation hyper-parameters for one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def _config(scale: str):
+    from .core import ExperimentConfig
+
+    return {
+        "paper": ExperimentConfig.paper,
+        "ci": ExperimentConfig.ci,
+        "smoke": ExperimentConfig.smoke,
+    }[scale]()
+
+
+def _cmd_artifact(args: argparse.Namespace) -> int:
+    from .core import (
+        format_fig7,
+        format_table1,
+        run_fig5,
+        run_fig6,
+        run_fig7_ablation,
+        run_mu_extraction,
+        run_table1,
+        run_table2,
+        run_table3,
+    )
+    from .hw import format_hardware_table
+    from .utils import render_table
+
+    config = _config(args.scale)
+    name = args.command
+    if name == "table1":
+        print(format_table1(run_table1(config, verbose=args.verbose)))
+    elif name == "table2":
+        timings = run_table2(config)
+        print(render_table(["Model", "s/step"], [[k, f"{v:.4f}"] for k, v in timings.items()]))
+    elif name == "table3":
+        print(format_hardware_table(run_table3(config)))
+    elif name == "fig5":
+        result = run_fig5(config)
+        print(render_table(["Condition", "Accuracy"], [[k, f"{v:.3f}"] for k, v in result.items()]))
+    elif name == "fig6":
+        series = run_fig6()
+        print(render_table(["Augmentation", "First 4 samples"],
+                           [[k, ", ".join(f"{v:.2f}" for v in s[:4])] for k, s in series.items()]))
+    elif name == "fig7":
+        print(format_fig7(run_fig7_ablation(config, verbose=args.verbose)))
+    elif name == "mu":
+        result = run_mu_extraction(samples=args.samples)
+        print(render_table(["Statistic", "Value"], [[k, f"{v:.3f}"] for k, v in result.items()]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import render_report_file
+
+    text = render_report_file(args.results, args.output)
+    if args.output is None:
+        print(text)
+    else:
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .augment import default_config
+    from .compile import compile_model
+    from .core import AdaptPNC, Trainer, TrainingConfig
+    from .data import load_dataset
+    from .spice import circuit_to_spice
+
+    dataset = load_dataset(args.dataset, n_samples=args.samples, seed=args.seed)
+    model = AdaptPNC(dataset.info.n_classes, rng=np.random.default_rng(args.seed))
+    trainer = Trainer(
+        model,
+        TrainingConfig.ci(),
+        variation_aware=True,
+        augmentation=default_config(args.dataset),
+        seed=args.seed,
+    )
+    trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+    compiled = compile_model(model, decouple=not args.coupled)
+    text = circuit_to_spice(compiled.circuit, title=f"adapt_pnc_{args.dataset}")
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"trained on {args.dataset} and wrote netlist to {args.output}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tuning import tune_augmentation
+
+    best = tune_augmentation(
+        args.dataset, n_trials=args.trials, seed=args.seed, max_epochs=args.epochs
+    )
+    print(f"best validation accuracy {best.score:.3f} with config:")
+    for key, value in best.config.items():
+        print(f"  {key} = {value:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    # Delegates to the example script's logic without importing it.
+    import subprocess
+
+    cmd = [sys.executable, "examples/run_full_evaluation.py", "--scale", args.scale]
+    return subprocess.call(cmd)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ADAPT-pNC reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "mu"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+        p.add_argument("--verbose", action="store_true")
+        p.add_argument("--samples", type=int, default=10, help="mu-study sample count")
+        p.set_defaults(func=_cmd_artifact)
+
+    p = sub.add_parser("report", help="render results.json as markdown")
+    p.add_argument("results", help="path to results.json")
+    p.add_argument("--output", default=None, help="write markdown here (stdout otherwise)")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("export", help="train + compile a model to a SPICE netlist")
+    p.add_argument("dataset")
+    p.add_argument("--output", default="adapt_pnc.cir")
+    p.add_argument("--samples", type=int, default=90)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--coupled", action="store_true", help="omit inter-stage buffers")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("tune", help="tune augmentation hyper-parameters")
+    p.add_argument("dataset")
+    p.add_argument("--trials", type=int, default=8)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("evaluate", help="run the full evaluation suite")
+    p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")
+    p.set_defaults(func=_cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Model-to-netlist compilation and circuit-level inference."""
+
+from .model_compiler import CompiledModel, compile_model
+from .simulate import classify_series, simulate_series
+
+__all__ = ["CompiledModel", "compile_model", "simulate_series", "classify_series"]

@@ -1,0 +1,235 @@
+"""Compile a trained printed temporal classifier into an analog netlist.
+
+The differentiable model (:class:`repro.core.PrintedTemporalClassifier`)
+is an abstraction of a physical circuit; this module makes the
+correspondence concrete by emitting the full netlist of a trained
+model:
+
+* each learnable filter channel becomes its printed R(s) and C(s),
+  taken from the trained ``log_r`` / ``log_c`` values;
+* each crossbar column becomes a resistor network whose resistances
+  realise the trained surrogate conductances (negative crossings route
+  through a gain −1 inverter element), with the bias rail at
+  V_b = 1 V and the dummy resistor to ground — Eq. (1) then *emerges*
+  from nodal analysis instead of being asserted;
+* each ptanh neuron becomes a behavioural transfer element carrying its
+  trained η (synthesising physical q^A values for given η is the
+  complementary flow in :mod:`repro.circuits.ptanh_physical`);
+* optional unity-gain buffers decouple the stages, matching the
+  μ = 1 idealisation of the differentiable model; omit them to expose
+  physical inter-stage coupling.
+
+The compiled netlist is simulated with
+:func:`repro.spice.transient_nonlinear`, giving an end-to-end
+circuit-level check of a trained classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..circuits.crossbar import THETA_MIN, PrintedCrossbar
+from ..circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from ..circuits.ptanh import PrintedTanh
+from ..core.models import PrintedTemporalClassifier
+from ..spice.nonlinear import NonlinearCircuit
+
+__all__ = ["CompiledModel", "compile_model"]
+
+#: Normalised conductance 1.0 maps to this conductance (S); only the
+#: ratios matter for the crossbar output, but the absolute scale sets
+#: realistic currents.
+G_UNIT = 1e-5
+
+
+@dataclass
+class CompiledModel:
+    """A trained model lowered to a netlist.
+
+    Attributes
+    ----------
+    circuit:
+        The nonlinear netlist (drive ``input_node`` and run
+        :func:`repro.spice.transient_nonlinear`).
+    input_node:
+        Node the sensor series is applied to (has a voltage source
+        named ``vin`` attached).
+    output_nodes:
+        One node per class; their voltages (× ``logit_scale``) are the
+        logits.
+    dt:
+        The temporal discretisation the model was trained at.
+    logit_scale:
+        Scale mapping output voltages to logits.
+    """
+
+    circuit: NonlinearCircuit
+    input_nodes: List[str]
+    output_nodes: List[str]
+    dt: float
+    logit_scale: float
+
+    @property
+    def input_node(self) -> str:
+        """First input node (the only one for univariate models)."""
+        return self.input_nodes[0]
+
+
+def _buffer(circuit: NonlinearCircuit, name: str, src: str) -> str:
+    """Insert a unity-gain buffer; returns the buffered node."""
+    out = f"{name}_buf"
+    circuit.add_vcvs(name, out, "0", src, "0", 1.0)
+    return out
+
+
+def _compile_filters(
+    circuit: NonlinearCircuit,
+    filters,
+    input_nodes: List[str],
+    prefix: str,
+    decouple: bool,
+) -> List[str]:
+    """Emit the filter bank; returns the filtered (pre-crossbar) nodes."""
+    outputs = []
+    if isinstance(filters, FirstOrderLearnableFilter):
+        r_values, c_values = filters.stage.nominal_values()
+        for i, src in enumerate(input_nodes):
+            node = f"{prefix}_f{i}"
+            circuit.add_resistor(f"{prefix}_r{i}", src, node, float(r_values[i]))
+            circuit.add_capacitor(f"{prefix}_c{i}", node, "0", float(c_values[i]))
+            outputs.append(
+                _buffer(circuit, f"{prefix}_fb{i}", node) if decouple else node
+            )
+        return outputs
+    if isinstance(filters, SecondOrderLearnableFilter):
+        r1, c1 = filters.stage1.nominal_values()
+        r2, c2 = filters.stage2.nominal_values()
+        for i, src in enumerate(input_nodes):
+            mid = f"{prefix}_m{i}"
+            circuit.add_resistor(f"{prefix}_r1_{i}", src, mid, float(r1[i]))
+            circuit.add_capacitor(f"{prefix}_c1_{i}", mid, "0", float(c1[i]))
+            stage2_in = _buffer(circuit, f"{prefix}_mb{i}", mid) if decouple else mid
+            node = f"{prefix}_f{i}"
+            circuit.add_resistor(f"{prefix}_r2_{i}", stage2_in, node, float(r2[i]))
+            circuit.add_capacitor(f"{prefix}_c2_{i}", node, "0", float(c2[i]))
+            outputs.append(
+                _buffer(circuit, f"{prefix}_fb{i}", node) if decouple else node
+            )
+        return outputs
+    raise TypeError(f"unsupported filter bank {type(filters).__name__}")
+
+
+def _compile_crossbar(
+    circuit: NonlinearCircuit,
+    crossbar: PrintedCrossbar,
+    input_nodes: List[str],
+    prefix: str,
+    vdd_node: str,
+    vss_node: str,
+) -> List[str]:
+    """Emit one crossbar layer; returns the summing nodes."""
+    theta = crossbar.theta.data
+    theta_b = crossbar.theta_b.data
+    theta_d = crossbar.theta_d.data
+    inverted_nodes: dict = {}
+
+    def inverted(i: int) -> str:
+        if i not in inverted_nodes:
+            node = f"{prefix}_inv{i}"
+            circuit.add_vcvs(f"{prefix}_einv{i}", node, "0", input_nodes[i], "0", -1.0)
+            inverted_nodes[i] = node
+        return inverted_nodes[i]
+
+    outputs = []
+    for o in range(crossbar.out_features):
+        node = f"{prefix}_s{o}"
+        for i in range(crossbar.in_features):
+            magnitude = abs(theta[o, i])
+            if magnitude < THETA_MIN:
+                continue  # pruned: not printed
+            src = input_nodes[i] if theta[o, i] >= 0 else inverted(i)
+            resistance = 1.0 / (min(magnitude, 1.0) * G_UNIT)
+            circuit.add_resistor(f"{prefix}_rw{o}_{i}", src, node, resistance)
+        mag_b = abs(theta_b[o])
+        if mag_b >= THETA_MIN:
+            rail = vdd_node if theta_b[o] >= 0 else vss_node
+            circuit.add_resistor(
+                f"{prefix}_rb{o}", rail, node, 1.0 / (min(mag_b, 1.0) * G_UNIT)
+            )
+        mag_d = float(np.clip(abs(theta_d[o]), THETA_MIN, 1.0))
+        circuit.add_resistor(f"{prefix}_rd{o}", node, "0", 1.0 / (mag_d * G_UNIT))
+        outputs.append(node)
+    return outputs
+
+
+def _compile_activation(
+    circuit: NonlinearCircuit,
+    activation: PrintedTanh,
+    input_nodes: List[str],
+    prefix: str,
+) -> List[str]:
+    """Emit the ptanh stages; returns the activation output nodes."""
+    outputs = []
+    for o, src in enumerate(input_nodes):
+        node = f"{prefix}_a{o}"
+        e1 = float(activation.eta1.data[o])
+        e2 = float(activation.eta2.data[o])
+        e3 = float(activation.eta3.data[o])
+        e4 = float(activation.eta4.data[o])
+
+        def fn(v, e1=e1, e2=e2, e3=e3, e4=e4):
+            return e1 + e2 * np.tanh((v - e3) * e4)
+
+        def dfn(v, e2=e2, e3=e3, e4=e4):
+            return e2 * e4 * (1.0 - np.tanh((v - e3) * e4) ** 2)
+
+        circuit.add_behavioral(f"{prefix}_ptanh{o}", node, src, fn, dfn)
+        outputs.append(node)
+    return outputs
+
+
+def compile_model(
+    model: PrintedTemporalClassifier, decouple: bool = True
+) -> CompiledModel:
+    """Lower a trained printed classifier to a simulatable netlist.
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`PrintedTemporalClassifier` — the baseline
+        PTPNC and the proposed AdaptPNC both qualify.
+    decouple:
+        Insert unity-gain buffers between stages (matches the
+        differentiable model's μ = 1 idealisation exactly).  With
+        ``False`` the netlist is fully passive between stages and
+        exhibits the physical coupling the μ factor approximates.
+    """
+    circuit = NonlinearCircuit(f"compiled_{type(model).__name__}")
+    in_channels = getattr(model, "in_channels", 1)
+    input_nodes = []
+    for ch in range(in_channels):
+        node = "in" if in_channels == 1 else f"in{ch}"
+        circuit.add_voltage_source(f"vin{ch}" if in_channels > 1 else "vin", node, "0", 0.0)
+        input_nodes.append(node)
+    circuit.add_voltage_source("vdd", "vdd", "0", 1.0)
+    circuit.add_vcvs("evss", "vss", "0", "vdd", "0", -1.0)  # -1 V bias rail
+
+    nodes = list(input_nodes)
+    for b, block in enumerate(model.blocks):
+        prefix = f"b{b}"
+        filtered = _compile_filters(circuit, block.filters, nodes, prefix, decouple)
+        summed = _compile_crossbar(
+            circuit, block.crossbar, filtered, prefix, "vdd", "vss"
+        )
+        nodes = _compile_activation(circuit, block.activation, summed, prefix)
+
+    return CompiledModel(
+        circuit=circuit,
+        input_nodes=input_nodes,
+        output_nodes=nodes,
+        dt=model.blocks[0].filters.dt,
+        logit_scale=model.logit_scale,
+    )

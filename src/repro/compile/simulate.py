@@ -1,0 +1,72 @@
+"""Circuit-level inference on a compiled model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..spice.nonlinear_transient import transient_nonlinear
+from ..spice.waveforms import PiecewiseLinear
+from .model_compiler import CompiledModel
+
+__all__ = ["simulate_series", "classify_series"]
+
+
+def simulate_series(
+    compiled: CompiledModel,
+    series: np.ndarray,
+    dt: Optional[float] = None,
+) -> np.ndarray:
+    """Stream one sensor series through the compiled netlist.
+
+    Parameters
+    ----------
+    compiled:
+        Output of :func:`repro.compile.compile_model`.
+    series:
+        1-D voltage series (univariate models) or ``(steps, channels)``
+        for multivariate inputs; values are the dataset's normalised
+        [-1, 1] samples.
+    dt:
+        Override the model's training step if needed.
+
+    Returns
+    -------
+    Output-node voltages over time, shape ``(steps, n_classes)``.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim == 1:
+        series = series[:, None]
+    n_inputs = len(compiled.input_nodes)
+    if series.ndim != 2 or series.shape[0] < 2 or series.shape[1] != n_inputs:
+        raise ValueError(
+            f"series must be (steps>=2,) or (steps>=2, {n_inputs}), got {series.shape}"
+        )
+    dt = dt if dt is not None else compiled.dt
+    steps = series.shape[0]
+
+    expected = {"vin"} if n_inputs == 1 else {f"vin{ch}" for ch in range(n_inputs)}
+    sources = [v for v in compiled.circuit.voltage_sources if v.name in expected]
+    assert len(sources) == n_inputs, "compiled circuit must carry one source per input"
+    sources.sort(key=lambda v: v.name)
+
+    times = np.arange(steps + 1) * dt
+    originals = [v.waveform for v in sources]
+    for ch, source in enumerate(sources):
+        drive = np.concatenate([[series[0, ch]], series[:, ch]])
+        source.waveform = PiecewiseLinear(times, drive)
+    try:
+        result = transient_nonlinear(
+            compiled.circuit, dt=dt, steps=steps, probes=compiled.output_nodes
+        )
+    finally:
+        for source, original in zip(sources, originals):
+            source.waveform = original
+    return np.stack([result[node][1:] for node in compiled.output_nodes], axis=1)
+
+
+def classify_series(compiled: CompiledModel, series: np.ndarray) -> int:
+    """Predicted class of one series: argmax of the final output voltages."""
+    outputs = simulate_series(compiled, series)
+    return int(np.argmax(outputs[-1] * compiled.logit_scale))

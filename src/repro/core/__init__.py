@@ -1,0 +1,71 @@
+"""Core models and experiment harness for the ADAPT-pNC reproduction."""
+
+from .experiment import (
+    ABLATION_CONFIGS,
+    ExperimentConfig,
+    ModelResult,
+    format_fig7,
+    format_table1,
+    run_fig5,
+    run_fig6,
+    run_fig7_ablation,
+    run_mu_extraction,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from .evaluation import (
+    EvaluationResult,
+    accuracy,
+    evaluate_under_model,
+    evaluate_under_variation,
+    select_top_k,
+)
+from .models import (
+    LOGIT_SCALE,
+    AdaptPNC,
+    ElmanClassifier,
+    PrintedTemporalClassifier,
+    PTPNC,
+)
+from .calibration import CalibrationResult, calibrate_instance, calibration_study
+from .search import ArchitectureResult, architecture_space, search_architecture
+from .streaming import StreamingClassifier
+from .tpb import PrintedTemporalProcessingBlock
+from .training import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "PrintedTemporalProcessingBlock",
+    "ElmanClassifier",
+    "PrintedTemporalClassifier",
+    "PTPNC",
+    "AdaptPNC",
+    "LOGIT_SCALE",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "accuracy",
+    "evaluate_under_variation",
+    "evaluate_under_model",
+    "select_top_k",
+    "EvaluationResult",
+    "ExperimentConfig",
+    "ModelResult",
+    "ABLATION_CONFIGS",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7_ablation",
+    "run_mu_extraction",
+    "format_table1",
+    "format_fig7",
+    "ArchitectureResult",
+    "architecture_space",
+    "search_architecture",
+    "StreamingClassifier",
+    "calibrate_instance",
+    "calibration_study",
+    "CalibrationResult",
+]

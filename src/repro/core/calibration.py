@@ -1,0 +1,133 @@
+"""Post-fabrication calibration of individual printed instances.
+
+Variation-aware training makes the *average* fabricated circuit work;
+an orthogonal lever is fixing up each instance after printing.  Printed
+technology supports it: bias conductances can be trimmed post-print
+(laser trimming, additional ink passes), while the crossbar weights and
+filter components stay as fabricated.
+
+:func:`calibrate_instance` freezes everything except the crossbar bias
+surrogates θ_b, replays one *fixed* variation draw (the fabricated
+instance), and fine-tunes the biases on a small calibration set — the
+printed-electronics analogue of chip-in-the-loop trimming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..circuits import UniformVariation, VariationSampler
+from ..nn import cross_entropy
+from ..optim import Adam
+from .models import PrintedTemporalClassifier
+
+__all__ = ["CalibrationResult", "calibrate_instance", "calibration_study"]
+
+
+@dataclass
+class CalibrationResult:
+    """Before/after accuracy of one fabricated instance."""
+
+    instance_seed: int
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def gain(self) -> float:
+        """Accuracy recovered by trimming."""
+        return self.accuracy_after - self.accuracy_before
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibrationResult(instance={self.instance_seed}, "
+            f"{self.accuracy_before:.3f} -> {self.accuracy_after:.3f}, "
+            f"gain {self.gain:+.3f})"
+        )
+
+
+def _instance_accuracy(model, sampler, seed, x, y) -> float:
+    sampler.reseed(seed)
+    with no_grad():
+        logits = model(x)
+    return float((np.argmax(logits.data, axis=1) == np.asarray(y)).mean())
+
+
+def calibrate_instance(
+    model: PrintedTemporalClassifier,
+    x_cal: np.ndarray,
+    y_cal: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    instance_seed: int = 0,
+    delta: float = 0.10,
+    epochs: int = 40,
+    lr: float = 0.02,
+) -> CalibrationResult:
+    """Trim one fabricated instance's bias conductances.
+
+    The variation draw is pinned by re-seeding the sampler before every
+    forward pass — the same ε realisation every time, i.e. one physical
+    chip.  Only the θ_b parameters receive gradient updates; everything
+    else is as-printed.  The trained model's parameters are restored
+    afterwards (the trim would be applied to the physical instance, not
+    to the design).
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    pristine = model.state_dict()
+    original_sampler = model.sampler
+    sampler = VariationSampler(
+        model=UniformVariation(delta), rng=np.random.default_rng(instance_seed)
+    )
+    model.set_sampler(sampler)
+    try:
+        before = _instance_accuracy(model, sampler, instance_seed, x_test, y_test)
+
+        biases = [block.crossbar.theta_b for block in model.blocks]
+        optimizer = Adam(biases, lr=lr)
+        for _ in range(epochs):
+            sampler.reseed(instance_seed)  # the same fabricated chip
+            optimizer.zero_grad()
+            loss = cross_entropy(model(x_cal), y_cal)
+            loss.backward()
+            optimizer.step()
+
+        after = _instance_accuracy(model, sampler, instance_seed, x_test, y_test)
+        return CalibrationResult(
+            instance_seed=instance_seed, accuracy_before=before, accuracy_after=after
+        )
+    finally:
+        model.load_state_dict(pristine)
+        model.set_sampler(original_sampler)
+
+
+def calibration_study(
+    model: PrintedTemporalClassifier,
+    x_cal: np.ndarray,
+    y_cal: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    instances: int = 5,
+    delta: float = 0.10,
+    epochs: int = 40,
+) -> List[CalibrationResult]:
+    """Calibrate several fabricated instances; returns per-instance results."""
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    return [
+        calibrate_instance(
+            model,
+            x_cal,
+            y_cal,
+            x_test,
+            y_test,
+            instance_seed=seed,
+            delta=delta,
+            epochs=epochs,
+        )
+        for seed in range(instances)
+    ]

@@ -1,0 +1,141 @@
+"""Streaming (sample-by-sample) inference.
+
+A deployed printed circuit never sees a batched sequence: the sensor
+voltage arrives one sample per Δt and the filter capacitors carry the
+state.  :class:`StreamingClassifier` mirrors that operating mode in the
+differentiable model — push one sample, read the instantaneous output
+voltages — and is guaranteed (by test) to match the batched forward
+pass exactly.
+
+Useful for latency studies ("how many samples until the decision
+stabilises?") and as the software twin of the compiled netlist.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from .models import PrintedTemporalClassifier
+
+__all__ = ["StreamingClassifier"]
+
+
+class _StreamingStage:
+    """One RC stage's recurrence state for a single stream."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray) -> None:
+        self.a = a
+        self.b = b
+        self.v = np.zeros_like(a)
+
+    def push(self, x: np.ndarray) -> np.ndarray:
+        self.v = self.a * self.v + self.b * x
+        return self.v
+
+
+class _StreamingFilterBank:
+    """Streaming counterpart of a learnable filter bank (nominal values)."""
+
+    def __init__(self, filters) -> None:
+        dt = filters.dt
+        if isinstance(filters, FirstOrderLearnableFilter):
+            stages = [filters.stage]
+        elif isinstance(filters, SecondOrderLearnableFilter):
+            stages = [filters.stage1, filters.stage2]
+        else:
+            raise TypeError(f"unsupported filter bank {type(filters).__name__}")
+        self.stages: List[_StreamingStage] = []
+        for stage in stages:
+            rc = np.exp(stage.log_r.data) * np.exp(stage.log_c.data)
+            a = rc / (rc + dt)
+            b = dt / (rc + dt)
+            self.stages.append(_StreamingStage(a, b))
+
+    def push(self, x: np.ndarray) -> np.ndarray:
+        for stage in self.stages:
+            x = stage.push(x)
+        return x
+
+    def reset(self) -> None:
+        for stage in self.stages:
+            stage.v = np.zeros_like(stage.v)
+
+
+class StreamingClassifier:
+    """Stateful single-stream inference over a trained printed model.
+
+    The model's variation sampler is bypassed: streaming uses the
+    nominal (ideal) component values, i.e. one fixed fabricated
+    instance at its design point.
+
+    Example
+    -------
+    >>> stream = StreamingClassifier(trained_model)
+    >>> for sample in sensor_series:
+    ...     logits = stream.push(sample)
+    >>> prediction = int(np.argmax(logits))
+    """
+
+    def __init__(self, model: PrintedTemporalClassifier) -> None:
+        self.model = model
+        self._banks = [_StreamingFilterBank(block.filters) for block in model.blocks]
+        self._steps = 0
+
+    @property
+    def steps_seen(self) -> int:
+        """Samples consumed since the last reset."""
+        return self._steps
+
+    def reset(self) -> None:
+        """Discharge all filter state (power-cycle the circuit)."""
+        for bank in self._banks:
+            bank.reset()
+        self._steps = 0
+
+    def push(self, sample) -> np.ndarray:
+        """Consume one sensor sample (scalar, or a vector of
+        ``in_channels`` values for multivariate models); returns the
+        current logits."""
+        channels = getattr(self.model, "in_channels", 1)
+        x = np.atleast_1d(np.asarray(sample, dtype=np.float64))
+        if x.shape != (channels,):
+            raise ValueError(f"push() takes {channels} sample value(s), got shape {x.shape}")
+        with no_grad():
+            for bank, block in zip(self._banks, self.model.blocks):
+                filtered = bank.push(x)
+                summed = block.crossbar(Tensor(filtered.reshape(1, -1)))
+                x = block.activation(summed).data[0]
+        self._steps += 1
+        return x * self.model.logit_scale
+
+    def run(self, series: np.ndarray) -> np.ndarray:
+        """Stream a whole series; returns logits at every step."""
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 1:
+            raise ValueError("series must be 1-D")
+        out = np.zeros((series.size, self.model.n_classes))
+        for k, sample in enumerate(series):
+            out[k] = self.push(float(sample))
+        return out
+
+    def decision_latency(self, series: np.ndarray) -> int:
+        """Earliest step from which the predicted class never changes.
+
+        0 means the very first sample already settles the decision;
+        ``len(series) - 1`` means the prediction flipped on the last
+        sample.  Resets the stream state first.
+        """
+        self.reset()
+        logits = self.run(series)
+        predictions = np.argmax(logits, axis=1)
+        final = predictions[-1]
+        stable_from = predictions.size - 1
+        for k in range(predictions.size - 1, -1, -1):
+            if predictions[k] != final:
+                break
+            stable_from = k
+        return int(stable_from)

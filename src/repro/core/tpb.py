@@ -1,0 +1,114 @@
+"""Printed temporal processing block (pTPB) — Fig. 4.
+
+One block chains, per layer of the network:
+
+1. a bank of learnable low-pass filters (one per input rail, N_F equal
+   to the layer's input count, Sec. IV-A3) — first-order for the
+   baseline pTPNC [8], second-order (SO-LF) for ADAPT-pNC;
+2. a printed resistor crossbar computing the weighted sum (Eq. 1);
+3. a printed tanh-like activation circuit per output column.
+
+The crossbar and activation are memoryless, so they are applied to the
+time axis in one flattened batch; the filters carry the temporal state.
+Each forward call draws a single set of variation factors ε / coupling
+factors μ / initial voltages V₀ from the block's sampler — a printed
+circuit instance is one fixed draw, constant over a sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..circuits import (
+    DEFAULT_DT,
+    DEFAULT_PDK,
+    FirstOrderLearnableFilter,
+    PrintedCrossbar,
+    PrintedTanh,
+    SecondOrderLearnableFilter,
+    PrintedPDK,
+    VariationSampler,
+    ideal_sampler,
+)
+from ..nn.module import Module
+
+__all__ = ["PrintedTemporalProcessingBlock"]
+
+
+class PrintedTemporalProcessingBlock(Module):
+    """Filter bank + crossbar + ptanh over a voltage sequence.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input rails and output columns of the block.
+    filter_order:
+        1 for the baseline's first-order filters, 2 for SO-LF.
+    dt:
+        Temporal discretisation step of the sensor signal (seconds).
+    sampler:
+        Variation source shared by the filter bank, crossbar and
+        activation; ideal when omitted.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        filter_order: int = 2,
+        dt: float = DEFAULT_DT,
+        sampler: Optional[VariationSampler] = None,
+        pdk: PrintedPDK = DEFAULT_PDK,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if filter_order not in (1, 2):
+            raise ValueError("filter_order must be 1 or 2")
+        rng = rng if rng is not None else np.random.default_rng()
+        sampler = sampler if sampler is not None else ideal_sampler()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.filter_order = filter_order
+
+        filter_cls = (
+            FirstOrderLearnableFilter if filter_order == 1 else SecondOrderLearnableFilter
+        )
+        self.filters = filter_cls(in_features, dt=dt, sampler=sampler, pdk=pdk, rng=rng)
+        self.crossbar = PrintedCrossbar(
+            in_features, out_features, sampler=sampler, pdk=pdk, rng=rng
+        )
+        self.activation = PrintedTanh(out_features, sampler=sampler, rng=rng)
+
+    @property
+    def sampler(self) -> VariationSampler:
+        """The shared variation sampler."""
+        return self.crossbar.sampler
+
+    def set_sampler(self, sampler: VariationSampler) -> None:
+        """Swap the variation source of every sub-circuit."""
+        self.filters.sampler = sampler
+        self.crossbar.sampler = sampler
+        self.activation.sampler = sampler
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Process a voltage sequence ``(batch, time, in_features)``.
+
+        Returns ``(batch, time, out_features)``.
+        """
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(f"expected (batch, time, {self.in_features}), got {x.shape}")
+        batch, steps, _ = x.shape
+        filtered = self.filters(x)
+        flat = filtered.reshape(batch * steps, self.in_features)
+        summed = self.crossbar(flat)
+        activated = self.activation(summed)
+        return activated.reshape(batch, steps, self.out_features)
+
+    def __repr__(self) -> str:
+        return (
+            f"PrintedTemporalProcessingBlock(in={self.in_features}, "
+            f"out={self.out_features}, filter_order={self.filter_order})"
+        )

@@ -1,0 +1,229 @@
+"""Variation-aware training (Sec. III-A, Eqs. 12-14).
+
+The trainable component values are treated as random variables
+``v = v₀ ⊙ ε``; the objective is the Monte-Carlo estimate of the
+expected loss over ε, μ and V₀ (Eq. 13), minimised with AdamW under the
+paper's protocol: full-batch training, initial LR 0.1, halved after
+every ``patience`` epochs without validation improvement, terminated
+once the LR falls below 1e-5.
+
+The same :class:`Trainer` trains the non-variation-aware baseline
+(ideal sampler, one MC sample) and the hardware-agnostic Elman
+reference (no sampler at all) — one code path for every row of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..augment import AugmentationConfig, augment_dataset
+from ..autograd import Tensor, no_grad
+from ..circuits import UniformVariation, VariationSampler, ideal_sampler
+from ..nn import cross_entropy
+from ..nn.module import Module
+from ..optim import AdamW, ReduceLROnPlateau
+
+__all__ = ["TrainingConfig", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    The defaults are the paper's protocol; :meth:`ci` returns a reduced
+    same-code-path configuration for fast tests and benchmarks.
+    """
+
+    lr: float = 0.1
+    lr_factor: float = 0.5
+    lr_patience: int = 100
+    min_lr: float = 1e-5
+    max_epochs: int = 3000
+    mc_samples: int = 5
+    weight_decay: float = 0.01
+    variation_delta: float = 0.10
+    logit_loss: str = "cross_entropy"
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0 or self.min_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.max_epochs <= 0:
+            raise ValueError("max_epochs must be positive")
+        if self.mc_samples < 1:
+            raise ValueError("mc_samples must be >= 1")
+        if not 0 <= self.variation_delta < 1:
+            raise ValueError("variation_delta must be in [0, 1)")
+
+    @staticmethod
+    def paper() -> "TrainingConfig":
+        """The exact protocol of Sec. IV-A3."""
+        return TrainingConfig()
+
+    @staticmethod
+    def ci() -> "TrainingConfig":
+        """Reduced-size protocol for CI/benchmarks (same code path).
+
+        The paper's lr = 0.1 relies on plateau-halving over thousands
+        of epochs to recover from early instability; at a 150-epoch
+        horizon a 0.03 initial LR reaches the same optima directly.
+        """
+        return TrainingConfig(
+            lr=0.03,
+            lr_patience=15,
+            min_lr=1e-4,
+            max_epochs=150,
+            mc_samples=2,
+        )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of one training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    best_val_loss: float = math.inf
+    best_epoch: int = -1
+    epochs_run: int = 0
+
+
+class Trainer:
+    """Trains one model under one variation policy.
+
+    Parameters
+    ----------
+    model:
+        Any module mapping ``(batch, time)`` series to logits.
+    config:
+        Protocol hyper-parameters.
+    variation_aware:
+        When True (and the model is a printed model exposing
+        ``set_sampler``), training samples component variations per
+        Monte-Carlo draw; otherwise the ideal sampler is installed and a
+        single draw is used.
+    augmentation:
+        Optional augmented-training (AT) config: the training and
+        validation sets are extended with augmented copies, per the
+        paper's policy of combining augmented with original data.
+    seed:
+        Controls the variation sampler and augmentation draws.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainingConfig] = None,
+        variation_aware: bool = False,
+        augmentation: Optional[AugmentationConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else TrainingConfig.paper()
+        self.variation_aware = variation_aware
+        self.augmentation = augmentation
+        self.seed = seed
+
+        self._is_printed = hasattr(model, "set_sampler")
+        if self._is_printed:
+            if variation_aware:
+                sampler = VariationSampler(
+                    model=UniformVariation(self.config.variation_delta),
+                    rng=np.random.default_rng(seed + 104729),
+                )
+            else:
+                sampler = ideal_sampler()
+            model.set_sampler(sampler)
+        elif variation_aware:
+            raise ValueError("variation-aware training requires a printed model")
+
+    # -- loss ------------------------------------------------------------
+
+    def _mc_samples(self) -> int:
+        if self.variation_aware:
+            return self.config.mc_samples
+        return 1
+
+    def _loss(self, x: np.ndarray, y: np.ndarray) -> Tensor:
+        """Monte-Carlo objective (Eq. 13): average loss over fresh draws."""
+        draws = self._mc_samples()
+        total: Optional[Tensor] = None
+        for _ in range(draws):
+            logits = self.model(x)
+            loss = cross_entropy(logits, y)
+            total = loss if total is None else total + loss
+        assert total is not None
+        return total / float(draws)
+
+    def _eval_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        with no_grad():
+            return float(self._loss(x, y).item())
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Run the full protocol; the model ends loaded with its best state."""
+        if self.augmentation is not None:
+            x_train, y_train = augment_dataset(
+                x_train, y_train, self.augmentation, seed=self.seed + 7, copies=1
+            )
+            x_val, y_val = augment_dataset(
+                x_val, y_val, self.augmentation, seed=self.seed + 13, copies=1
+            )
+
+        optimizer = AdamW(
+            self.model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+        scheduler = ReduceLROnPlateau(
+            optimizer,
+            factor=self.config.lr_factor,
+            patience=self.config.lr_patience,
+            min_lr=self.config.min_lr,
+        )
+        history = TrainingHistory()
+        best_state: Optional[Dict[str, np.ndarray]] = None
+
+        for epoch in range(self.config.max_epochs):
+            optimizer.zero_grad()
+            loss = self._loss(x_train, y_train)
+            loss.backward()
+            optimizer.step()
+
+            val_loss = self._eval_loss(x_val, y_val)
+            history.train_loss.append(float(loss.item()))
+            history.val_loss.append(val_loss)
+            history.learning_rate.append(optimizer.lr)
+            history.epochs_run = epoch + 1
+
+            if val_loss < history.best_val_loss:
+                history.best_val_loss = val_loss
+                history.best_epoch = epoch
+                best_state = self.model.state_dict()
+
+            scheduler.step(val_loss)
+            if scheduler.should_stop():
+                break
+            if verbose and epoch % 50 == 0:
+                print(
+                    f"epoch {epoch:4d}  train {history.train_loss[-1]:.4f}  "
+                    f"val {val_loss:.4f}  lr {optimizer.lr:.2e}"
+                )
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        # Leave the model deterministic: evaluation utilities install
+        # their own variation samplers explicitly.
+        if self._is_printed:
+            self.model.set_sampler(ideal_sampler())
+        return history

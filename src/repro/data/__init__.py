@@ -1,0 +1,35 @@
+"""Benchmark datasets (synthetic UCR-like substitutes) and preprocessing."""
+
+from .datasets import (
+    DATASET_INFO,
+    DatasetInfo,
+    DatasetSplits,
+    dataset_names,
+    load_dataset,
+)
+from .generators import GENERATORS, generate
+from .io import load_series_csv, load_splits, save_series_csv, save_splits
+from .preprocessing import (
+    TARGET_LENGTH,
+    normalize_series,
+    resize_series,
+    train_val_test_split,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "DatasetSplits",
+    "DATASET_INFO",
+    "dataset_names",
+    "load_dataset",
+    "GENERATORS",
+    "generate",
+    "resize_series",
+    "normalize_series",
+    "train_val_test_split",
+    "TARGET_LENGTH",
+    "save_series_csv",
+    "load_series_csv",
+    "save_splits",
+    "load_splits",
+]

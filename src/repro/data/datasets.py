@@ -1,0 +1,101 @@
+"""Dataset registry: metadata, loading and split containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .generators import GENERATORS, generate
+from .preprocessing import (
+    TARGET_LENGTH,
+    normalize_series,
+    resize_series,
+    train_val_test_split,
+)
+
+__all__ = ["DatasetInfo", "DatasetSplits", "DATASET_INFO", "dataset_names", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Static metadata for one benchmark dataset."""
+
+    name: str
+    n_classes: int
+    description: str
+
+
+#: Class counts match the corresponding UCR datasets so that model
+#: topologies (and hence the hardware-cost table) are comparable.
+DATASET_INFO: Dict[str, DatasetInfo] = {
+    "CBF": DatasetInfo("CBF", 3, "Cylinder-Bell-Funnel synthetic shapes"),
+    "DPTW": DatasetInfo("DPTW", 6, "DistalPhalanxTW bone-outline age groups"),
+    "FRT": DatasetInfo("FRT", 2, "FreezerRegularTrain power traces"),
+    "FST": DatasetInfo("FST", 2, "FreezerSmallTrain power traces (noisy)"),
+    "GPAS": DatasetInfo("GPAS", 2, "GunPointAgeSpan hand motion"),
+    "GPMVF": DatasetInfo("GPMVF", 2, "GunPointMaleVersusFemale hand motion"),
+    "GPOVY": DatasetInfo("GPOVY", 2, "GunPointOldVersusYoung hand motion"),
+    "MPOAG": DatasetInfo("MPOAG", 3, "MiddlePhalanxOutlineAgeGroup outlines"),
+    "MSRT": DatasetInfo("MSRT", 5, "MixedShapesRegularTrain shape families"),
+    "PowerCons": DatasetInfo("PowerCons", 2, "Household power, warm/cold season"),
+    "PPOC": DatasetInfo("PPOC", 2, "ProximalPhalanxOutlineCorrect outlines"),
+    "SRSCP2": DatasetInfo("SRSCP2", 2, "SelfRegulationSCP2 cortical potentials"),
+    "Slope": DatasetInfo("Slope", 3, "Linear trend direction (down/flat/up)"),
+    "SmoothS": DatasetInfo("SmoothS", 3, "SmoothSubspace smooth basis mixtures"),
+    "Symbols": DatasetInfo("Symbols", 6, "Pseudo-glyph pen trajectories"),
+}
+
+assert set(DATASET_INFO) == set(GENERATORS), "registry out of sync with generators"
+
+
+def dataset_names() -> List[str]:
+    """The 15 benchmark dataset names in the paper's table order."""
+    return list(DATASET_INFO)
+
+
+@dataclass
+class DatasetSplits:
+    """Preprocessed train/val/test arrays for one dataset.
+
+    Series have shape ``(n, TARGET_LENGTH)`` with values in [-1, 1];
+    labels are integer arrays.
+    """
+
+    info: DatasetInfo
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def series_length(self) -> int:
+        return self.x_train.shape[1]
+
+    def sizes(self) -> Tuple[int, int, int]:
+        """(train, val, test) sample counts."""
+        return self.x_train.shape[0], self.x_val.shape[0], self.x_test.shape[0]
+
+
+def load_dataset(
+    name: str,
+    n_samples: int = 150,
+    seed: int = 0,
+    length: int = TARGET_LENGTH,
+) -> DatasetSplits:
+    """Generate, preprocess and split one benchmark dataset.
+
+    Applies the paper's pipeline: resize to ``length`` (default 64),
+    normalise to [-1, 1], shuffle, split 60/20/20.  The same ``seed``
+    always yields the same arrays.
+    """
+    info = DATASET_INFO.get(name)
+    if info is None:
+        raise KeyError(f"unknown dataset {name!r}; choose from {dataset_names()}")
+    x_raw, y = generate(name, n_samples, seed=seed)
+    x = normalize_series(resize_series(x_raw, length))
+    xt, yt, xv, yv, xs, ys = train_val_test_split(x, y, seed=seed + 1)
+    return DatasetSplits(info, xt, yt, xv, yv, xs, ys)

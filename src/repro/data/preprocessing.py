@@ -1,0 +1,89 @@
+"""Dataset preprocessing per Sec. IV-A2 of the paper.
+
+"The datasets were preprocessed by uniformly resizing the series
+lengths to 64, normalizing the signal values to the range of [-1, 1],
+and reshuffling and splitting the datasets into training (60%),
+validation (20%), and test (20%) sets."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["resize_series", "normalize_series", "train_val_test_split", "TARGET_LENGTH"]
+
+TARGET_LENGTH = 64
+
+
+def resize_series(x: np.ndarray, length: int = TARGET_LENGTH) -> np.ndarray:
+    """Uniformly resample every series to ``length`` via linear interpolation.
+
+    ``x`` has shape ``(n, original_length)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, length), got {x.shape}")
+    if length <= 1:
+        raise ValueError("target length must exceed 1")
+    n, original = x.shape
+    if original == length:
+        return x.copy()
+    src = np.linspace(0.0, 1.0, original)
+    dst = np.linspace(0.0, 1.0, length)
+    out = np.empty((n, length))
+    for i in range(n):
+        out[i] = np.interp(dst, src, x[i])
+    return out
+
+
+def normalize_series(x: np.ndarray) -> np.ndarray:
+    """Scale each series into [-1, 1] (per-series min/max normalisation).
+
+    Constant series map to all-zeros.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, length), got {x.shape}")
+    lo = x.min(axis=1, keepdims=True)
+    hi = x.max(axis=1, keepdims=True)
+    span = hi - lo
+    out = np.zeros_like(x)
+    nonconst = span[:, 0] > 1e-12
+    out[nonconst] = 2.0 * (x[nonconst] - lo[nonconst]) / span[nonconst] - 1.0
+    return out
+
+
+def train_val_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    seed: int = 0,
+    fractions: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reshuffle and split into train/val/test with the paper's 60/20/20.
+
+    Returns ``(x_train, y_train, x_val, y_val, x_test, y_test)``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have matching first dimension")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+    n = x.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_train = int(round(fractions[0] * n))
+    n_val = int(round(fractions[1] * n))
+    train_idx = order[:n_train]
+    val_idx = order[n_train : n_train + n_val]
+    test_idx = order[n_train + n_val :]
+    return (
+        x[train_idx],
+        y[train_idx],
+        x[val_idx],
+        y[val_idx],
+        x[test_idx],
+        y[test_idx],
+    )

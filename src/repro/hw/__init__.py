@@ -1,0 +1,16 @@
+"""Hardware accounting: device counts and static power (Table III)."""
+
+from .counting import DeviceCount, count_devices
+from .power import PowerBreakdown, energy_per_inference, estimate_power
+from .report import HardwareRow, format_hardware_table, hardware_report
+
+__all__ = [
+    "DeviceCount",
+    "count_devices",
+    "PowerBreakdown",
+    "estimate_power",
+    "energy_per_inference",
+    "HardwareRow",
+    "hardware_report",
+    "format_hardware_table",
+]

@@ -1,0 +1,102 @@
+"""Structural device counting for printed temporal networks.
+
+Counts follow the pPDK schematics (Fig. 3 and Sec. IV-A1):
+
+* a crossbar column with ``n`` printable input crossings uses ``n``
+  input resistors plus a bias and a dummy resistor;
+* every negative crossing routes through a printed inverter
+  (2 transistors + 1 resistor);
+* every output column ends in a ptanh circuit (2 transistors +
+  2 resistors);
+* a first-order learnable filter is 1 R + 1 C per channel; an SO-LF is
+  2 R + 2 C per channel plus a 2-transistor decoupling buffer.
+
+Pruned crossings (surrogate conductance below the printable minimum)
+are open circuits and are not counted — device counts therefore depend
+on the *trained* parameters, exactly as a bespoke printed layout would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits import PrintedCrossbar, PrintedTanh
+from ..circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from ..nn.module import Module
+
+__all__ = ["DeviceCount", "count_devices"]
+
+INVERTER_TRANSISTORS = 2
+INVERTER_RESISTORS = 1
+PTANH_TRANSISTORS = 2
+PTANH_RESISTORS = 2
+
+
+@dataclass(frozen=True)
+class DeviceCount:
+    """Printed device inventory of one circuit."""
+
+    transistors: int = 0
+    resistors: int = 0
+    capacitors: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total printed devices."""
+        return self.transistors + self.resistors + self.capacitors
+
+    def __add__(self, other: "DeviceCount") -> "DeviceCount":
+        return DeviceCount(
+            self.transistors + other.transistors,
+            self.resistors + other.resistors,
+            self.capacitors + other.capacitors,
+        )
+
+    def as_row(self) -> tuple:
+        """(transistors, resistors, capacitors, total) for table printing."""
+        return (self.transistors, self.resistors, self.capacitors, self.total)
+
+
+def _count_crossbar(xb: PrintedCrossbar) -> DeviceCount:
+    inverters = xb.count_inverters()
+    return DeviceCount(
+        transistors=INVERTER_TRANSISTORS * inverters,
+        resistors=xb.count_input_resistors()
+        + xb.count_bias_resistors()
+        + INVERTER_RESISTORS * inverters,
+        capacitors=0,
+    )
+
+
+def _count_ptanh(act: PrintedTanh) -> DeviceCount:
+    return DeviceCount(
+        transistors=PTANH_TRANSISTORS * act.num_neurons,
+        resistors=PTANH_RESISTORS * act.num_neurons,
+        capacitors=0,
+    )
+
+
+def _count_filter(flt) -> DeviceCount:
+    return DeviceCount(
+        transistors=flt.count_transistors(),
+        resistors=flt.count_resistors(),
+        capacitors=flt.count_capacitors(),
+    )
+
+
+def count_devices(model: Module) -> DeviceCount:
+    """Device inventory of a printed model (crossbars, ptanh, filters).
+
+    Walks the module tree, so it works for any composition of the
+    printed primitives — TPB stacks, bespoke circuits, single layers.
+    Hardware-agnostic modules contribute nothing.
+    """
+    total = DeviceCount()
+    for module in model.modules():
+        if isinstance(module, PrintedCrossbar):
+            total = total + _count_crossbar(module)
+        elif isinstance(module, PrintedTanh):
+            total = total + _count_ptanh(module)
+        elif isinstance(module, (FirstOrderLearnableFilter, SecondOrderLearnableFilter)):
+            total = total + _count_filter(module)
+    return total

@@ -1,0 +1,129 @@
+"""Hardware-cost report: regenerates Table III.
+
+For every benchmark dataset, instantiate the baseline pTPNC and the
+proposed ADAPT-pNC at their respective design points, count printed
+devices and estimate static power, and tabulate baseline vs proposed
+with the dataset-average row, matching the structure of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import DATASET_INFO
+from ..nn.module import Module
+from .counting import DeviceCount, count_devices
+from .power import estimate_power
+
+__all__ = ["HardwareRow", "hardware_report", "format_hardware_table"]
+
+
+@dataclass
+class HardwareRow:
+    """Baseline-vs-proposed hardware costs for one dataset."""
+
+    dataset: str
+    baseline: DeviceCount
+    proposed: DeviceCount
+    baseline_power_mw: float
+    proposed_power_mw: float
+
+    @property
+    def device_ratio(self) -> float:
+        """Proposed / baseline total device count."""
+        return self.proposed.total / max(self.baseline.total, 1)
+
+    @property
+    def power_reduction(self) -> float:
+        """Fractional power reduction of the proposed design."""
+        if self.baseline_power_mw <= 0:
+            return 0.0
+        return 1.0 - self.proposed_power_mw / self.baseline_power_mw
+
+
+def _measure(model: Module) -> tuple:
+    return count_devices(model), estimate_power(model).total_mw
+
+
+def hardware_report(
+    datasets: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    models: Optional[Dict[str, Dict[str, Module]]] = None,
+) -> List[HardwareRow]:
+    """Build Table III rows.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names (all 15 when omitted).
+    seed:
+        Initialisation seed for freshly instantiated models.
+    models:
+        Optional ``{dataset: {"baseline": model, "proposed": model}}`` of
+        *trained* models; when omitted, freshly initialised topologies
+        are measured (device counts then reflect the untrained layout).
+    """
+    from ..core.models import AdaptPNC, PTPNC
+
+    names = list(datasets) if datasets is not None else list(DATASET_INFO)
+    rows: List[HardwareRow] = []
+    for name in names:
+        info = DATASET_INFO[name]
+        if models is not None and name in models:
+            baseline_model = models[name]["baseline"]
+            proposed_model = models[name]["proposed"]
+        else:
+            rng_b = np.random.default_rng(seed)
+            rng_p = np.random.default_rng(seed)
+            baseline_model = PTPNC(info.n_classes, rng=rng_b)
+            proposed_model = AdaptPNC(info.n_classes, rng=rng_p)
+        base_count, base_power = _measure(baseline_model)
+        prop_count, prop_power = _measure(proposed_model)
+        rows.append(
+            HardwareRow(
+                dataset=name,
+                baseline=base_count,
+                proposed=prop_count,
+                baseline_power_mw=base_power,
+                proposed_power_mw=prop_power,
+            )
+        )
+    return rows
+
+
+def format_hardware_table(rows: Sequence[HardwareRow]) -> str:
+    """Render rows (plus the average row) as an ASCII table."""
+    header = (
+        f"{'Dataset':<10} {'#T base':>8} {'#T prop':>8} {'#R base':>8} {'#R prop':>8} "
+        f"{'#C base':>8} {'#C prop':>8} {'Tot base':>9} {'Tot prop':>9} "
+        f"{'P base(mW)':>11} {'P prop(mW)':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:<10} {row.baseline.transistors:>8} {row.proposed.transistors:>8} "
+            f"{row.baseline.resistors:>8} {row.proposed.resistors:>8} "
+            f"{row.baseline.capacitors:>8} {row.proposed.capacitors:>8} "
+            f"{row.baseline.total:>9} {row.proposed.total:>9} "
+            f"{row.baseline_power_mw:>11.3f} {row.proposed_power_mw:>11.3f}"
+        )
+    n = len(rows)
+    if n:
+        avg = lambda f: sum(f(r) for r in rows) / n  # noqa: E731
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<10} {avg(lambda r: r.baseline.transistors):>8.0f} "
+            f"{avg(lambda r: r.proposed.transistors):>8.0f} "
+            f"{avg(lambda r: r.baseline.resistors):>8.0f} "
+            f"{avg(lambda r: r.proposed.resistors):>8.0f} "
+            f"{avg(lambda r: r.baseline.capacitors):>8.0f} "
+            f"{avg(lambda r: r.proposed.capacitors):>8.0f} "
+            f"{avg(lambda r: r.baseline.total):>9.0f} "
+            f"{avg(lambda r: r.proposed.total):>9.0f} "
+            f"{avg(lambda r: r.baseline_power_mw):>11.3f} "
+            f"{avg(lambda r: r.proposed_power_mw):>11.3f}"
+        )
+    return "\n".join(lines)

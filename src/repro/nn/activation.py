@@ -1,0 +1,36 @@
+"""Stateless activation modules for reference (software) models."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["Tanh", "Sigmoid", "ReLU", "Identity"]
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class ReLU(Module):
+    """Elementwise rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Identity(Module):
+    """Pass-through module (useful as a configurable no-op)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,63 @@
+"""Parameter initialisation schemes.
+
+Thin numpy implementations of the initialisers PyTorch would supply:
+Xavier/Glorot (used by the Elman reference model) and uniform/normal
+helpers.  Every function takes an explicit ``numpy.random.Generator`` so
+the 10-seed experiment protocol of the paper is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "uniform",
+    "normal",
+]
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape."""
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = int(shape[0])
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialisation: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=tuple(shape))
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialisation: N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def kaiming_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation: U(-a, a), a = sqrt(6/fan_in)."""
+    fan_in, _ = _fans(shape)
+    a = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-a, a, size=tuple(shape))
+
+
+def uniform(shape: Sequence[int], rng: np.random.Generator, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Uniform initialisation on ``[low, high)``."""
+    return rng.uniform(low, high, size=tuple(shape))
+
+
+def normal(shape: Sequence[int], rng: np.random.Generator, mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    """Gaussian initialisation."""
+    return rng.normal(mean, std, size=tuple(shape))

@@ -1,0 +1,65 @@
+"""Loss functions for classifier training."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..autograd import Tensor, log_softmax
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "NLLLoss", "cross_entropy", "mse_loss"]
+
+Labels = Union[np.ndarray, Sequence[int]]
+
+
+def _check_logits_labels(logits: Tensor, labels: np.ndarray) -> None:
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels must be (batch,) matching logits, got {labels.shape} vs {logits.shape}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ValueError("label index outside the number of classes")
+
+
+def cross_entropy(logits: Tensor, labels: Labels) -> Tensor:
+    """Mean cross-entropy of integer labels against raw logits."""
+    labels = np.asarray(labels, dtype=np.int64)
+    _check_logits_labels(logits, labels)
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper over :func:`cross_entropy` (expects raw logits)."""
+
+    def forward(self, logits: Tensor, labels: Labels) -> Tensor:
+        return cross_entropy(logits, labels)
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood over *log-probabilities*."""
+
+    def forward(self, log_probs: Tensor, labels: Labels) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64)
+        _check_logits_labels(log_probs, labels)
+        picked = log_probs[np.arange(labels.shape[0]), labels]
+        return -picked.mean()
+
+
+class MSELoss(Module):
+    """Module wrapper over :func:`mse_loss`."""
+
+    def forward(self, prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+        return mse_loss(prediction, target)

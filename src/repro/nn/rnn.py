@@ -1,0 +1,118 @@
+"""Elman recurrent networks — the paper's hardware-agnostic reference.
+
+The paper compares against a 2-layer Elman RNN "as implemented in
+PyTorch" (Table I).  :class:`ElmanRNN` follows ``torch.nn.RNN``
+semantics: per layer,
+
+    h_t = tanh(W_ih x_t + b_ih + W_hh h_{t-1} + b_hh)
+
+with the sequence convention ``(batch, time, features)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, stack
+from . import init
+from .containers import ModuleList
+from .module import Module, Parameter
+
+__all__ = ["ElmanCell", "ElmanRNN"]
+
+
+class ElmanCell(Module):
+    """Single Elman recurrence step with tanh nonlinearity."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((hidden_size, input_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, hidden_size), rng))
+        self.bias_ih = Parameter(np.zeros(hidden_size))
+        self.bias_hh = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is ``(batch, input)``, ``h`` is ``(batch, hidden)``."""
+        pre = x @ self.weight_ih.T + self.bias_ih + h @ self.weight_hh.T + self.bias_hh
+        return pre.tanh()
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero initial hidden state for a batch."""
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class ElmanRNN(Module):
+    """Stacked Elman RNN over a ``(batch, time, features)`` sequence.
+
+    Returns the full output sequence of the top layer and the final
+    hidden state of every layer.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(ElmanCell(in_size, hidden_size, rng=rng))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self, x: Tensor, h0: Optional[List[Tensor]] = None
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Run the stack over a sequence.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, time, input_size)``.
+        h0:
+            Optional list of per-layer initial states ``(batch, hidden)``.
+
+        Returns
+        -------
+        outputs:
+            Top-layer hidden states, shape ``(batch, time, hidden_size)``.
+        final_states:
+            Final hidden state per layer.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {x.shape}")
+        batch, steps, _ = x.shape
+        states: List[Tensor] = (
+            list(h0) if h0 is not None else [cell.initial_state(batch) for cell in self.cells]
+        )
+        if len(states) != self.num_layers:
+            raise ValueError("h0 must supply one state per layer")
+
+        top_outputs: List[Tensor] = []
+        for t in range(steps):
+            inp = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                states[layer] = cell(inp, states[layer])
+                inp = states[layer]
+            top_outputs.append(inp)
+        return stack(top_outputs, axis=1), states

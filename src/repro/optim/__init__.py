@@ -1,0 +1,17 @@
+"""Optimisers and schedules (the ``torch.optim`` substitute)."""
+
+from .adam import Adam, AdamW
+from .early_stopping import EarlyStopping
+from .lr_scheduler import ReduceLROnPlateau, StepLR
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "ReduceLROnPlateau",
+    "StepLR",
+    "EarlyStopping",
+]

@@ -1,0 +1,85 @@
+"""Adam and AdamW.
+
+The paper trains every model "with the AdamW optimizer [31] with default
+settings" — :class:`AdamW` implements the decoupled weight-decay update
+of Loshchilov & Hutter with PyTorch's default hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam with (optionally) L2-coupled weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0.0:
+            raise ValueError("eps must be positive")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def _decay_into_grad(self) -> bool:
+        return True
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay and self._decay_into_grad():
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and not self._decay_into_grad():
+                p.data = p.data - self.lr * self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2017).
+
+    Defaults match ``torch.optim.AdamW``: betas=(0.9, 0.999), eps=1e-8,
+    weight_decay=0.01.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+
+    def _decay_into_grad(self) -> bool:
+        return False

@@ -1,0 +1,42 @@
+"""Early-stopping helper tracking the best model seen so far."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Track a validation metric and snapshot the best state dict.
+
+    Complementary to the LR-based termination of the paper: callers may
+    bound the number of non-improving epochs directly.
+    """
+
+    def __init__(self, patience: int = 200, minimize: bool = True) -> None:
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.patience = patience
+        self.minimize = minimize
+        self.best_metric = math.inf if minimize else -math.inf
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.counter = 0
+
+    def update(self, metric: float, state: Dict[str, np.ndarray]) -> bool:
+        """Record an epoch result; returns True if it was an improvement."""
+        improved = metric < self.best_metric if self.minimize else metric > self.best_metric
+        if improved:
+            self.best_metric = metric
+            self.best_state = {k: v.copy() for k, v in state.items()}
+            self.counter = 0
+        else:
+            self.counter += 1
+        return improved
+
+    def should_stop(self) -> bool:
+        """True after ``patience`` consecutive epochs without improvement."""
+        return self.counter >= self.patience

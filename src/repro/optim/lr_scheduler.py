@@ -1,0 +1,86 @@
+"""Learning-rate schedules.
+
+The paper's protocol (Sec. IV-A3): initial LR 0.1, halved after every
+100 epochs without validation-loss improvement, training terminated once
+the LR drops below 1e-5.  :class:`ReduceLROnPlateau` implements exactly
+that policy; :meth:`should_stop` exposes the termination criterion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+__all__ = ["ReduceLROnPlateau", "StepLR"]
+
+
+class ReduceLROnPlateau:
+    """Halve (by ``factor``) the LR after ``patience`` epochs of no improvement.
+
+    Parameters
+    ----------
+    optimizer:
+        Optimizer whose ``lr`` attribute is managed.
+    factor:
+        Multiplicative LR decay applied on plateau (paper: 0.5).
+    patience:
+        Number of consecutive non-improving epochs tolerated (paper: 100).
+    min_lr:
+        Training should terminate below this LR (paper: 1e-5).
+    threshold:
+        Minimum relative improvement that counts as progress.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 100,
+        min_lr: float = 1e-5,
+        threshold: float = 1e-4,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        if patience < 0:
+            raise ValueError("patience must be non-negative")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = math.inf
+        self.num_bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        """Record one epoch's validation metric (lower is better)."""
+        if metric < self.best * (1.0 - self.threshold) or self.best is math.inf:
+            self.best = metric
+            self.num_bad_epochs = 0
+        else:
+            self.num_bad_epochs += 1
+        if self.num_bad_epochs > self.patience:
+            self.optimizer.lr *= self.factor
+            self.num_bad_epochs = 0
+
+    def should_stop(self) -> bool:
+        """True once the LR has decayed below ``min_lr`` (paper's stop rule)."""
+        return self.optimizer.lr < self.min_lr
+
+
+class StepLR:
+    """Decay the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, decaying at each boundary."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

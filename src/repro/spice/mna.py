@@ -1,0 +1,174 @@
+"""Modified Nodal Analysis (MNA) assembly and DC solve.
+
+Unknown vector ``x = [node voltages | source branch currents]``.
+Voltage sources and VCVS elements contribute branch-current unknowns;
+resistors stamp conductances; capacitors are open in DC and become
+backward-Euler companion models in transient analysis (see
+``transient.py``).  A small ``gmin`` from every node to ground keeps
+matrices non-singular for floating capacitive nodes, as in production
+SPICE engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .netlist import GROUND, Circuit
+
+__all__ = ["MNAAssembler", "dc_operating_point"]
+
+GMIN = 1e-12
+
+
+class MNAAssembler:
+    """Precomputes index maps for a circuit and assembles MNA systems."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.num_nodes = len(circuit.nodes)
+        self.branches = list(circuit.voltage_sources) + list(circuit.vcvs)
+        self.num_branches = len(self.branches)
+        self.size = self.num_nodes + self.num_branches
+
+    # -- index helpers -----------------------------------------------------
+
+    def _node(self, label: str) -> int:
+        """MNA row of a node, or -1 for ground."""
+        if label == GROUND:
+            return -1
+        return self.circuit.node_index(label)
+
+    def branch_index(self, name: str) -> int:
+        """Row of a voltage-source/VCVS branch current in the unknown vector."""
+        for k, b in enumerate(self.branches):
+            if b.name == name:
+                return self.num_nodes + k
+        raise KeyError(f"no branch element named {name}")
+
+    # -- stamps -------------------------------------------------------------
+
+    @staticmethod
+    def _stamp_conductance(a: np.ndarray, i: int, j: int, g: complex) -> None:
+        if i >= 0:
+            a[i, i] += g
+        if j >= 0:
+            a[j, j] += g
+        if i >= 0 and j >= 0:
+            a[i, j] -= g
+            a[j, i] -= g
+
+    def assemble(
+        self,
+        t: float = 0.0,
+        *,
+        capacitor_mode: str = "open",
+        dt: float = 0.0,
+        cap_prev_voltages: Dict[str, float] | None = None,
+        cap_prev_currents: Dict[str, float] | None = None,
+        omega: float = 0.0,
+        complex_valued: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the system matrix and RHS.
+
+        Parameters
+        ----------
+        t:
+            Evaluation time for source waveforms.
+        capacitor_mode:
+            ``"open"`` (DC), ``"companion"`` (backward-Euler transient,
+            requires ``dt`` and ``cap_prev_voltages``),
+            ``"companion_trapezoidal"`` (additionally requires
+            ``cap_prev_currents``), or ``"admittance"`` (AC at angular
+            frequency ``omega``; implies complex matrices).
+        """
+        dtype = complex if (complex_valued or capacitor_mode == "admittance") else float
+        a = np.zeros((self.size, self.size), dtype=dtype)
+        z = np.zeros(self.size, dtype=dtype)
+
+        for node in range(self.num_nodes):
+            a[node, node] += GMIN
+
+        for r in self.circuit.resistors:
+            self._stamp_conductance(a, self._node(r.node_pos), self._node(r.node_neg), r.conductance)
+
+        for c in self.circuit.capacitors:
+            i, j = self._node(c.node_pos), self._node(c.node_neg)
+            if capacitor_mode == "open":
+                continue
+            if capacitor_mode in ("companion", "companion_trapezoidal"):
+                if dt <= 0:
+                    raise ValueError("companion mode requires dt > 0")
+                if cap_prev_voltages is None or c.name not in cap_prev_voltages:
+                    raise ValueError(f"missing previous voltage for capacitor {c.name}")
+                if capacitor_mode == "companion":
+                    g_eq = c.capacitance / dt
+                    i_eq = g_eq * cap_prev_voltages[c.name]
+                else:
+                    if cap_prev_currents is None or c.name not in cap_prev_currents:
+                        raise ValueError(
+                            f"missing previous current for capacitor {c.name}"
+                        )
+                    g_eq = 2.0 * c.capacitance / dt
+                    i_eq = g_eq * cap_prev_voltages[c.name] + cap_prev_currents[c.name]
+                self._stamp_conductance(a, i, j, g_eq)
+                if i >= 0:
+                    z[i] += i_eq
+                if j >= 0:
+                    z[j] -= i_eq
+            elif capacitor_mode == "admittance":
+                self._stamp_conductance(a, i, j, 1j * omega * c.capacitance)
+            else:
+                raise ValueError(f"unknown capacitor_mode {capacitor_mode!r}")
+
+        for src in self.circuit.current_sources:
+            i, j = self._node(src.node_pos), self._node(src.node_neg)
+            value = src.value(t)
+            if i >= 0:
+                z[i] -= value
+            if j >= 0:
+                z[j] += value
+
+        for k, branch in enumerate(self.branches):
+            row = self.num_nodes + k
+            i, j = self._node(branch.node_pos), self._node(branch.node_neg)
+            if i >= 0:
+                a[i, row] += 1.0
+                a[row, i] += 1.0
+            if j >= 0:
+                a[j, row] -= 1.0
+                a[row, j] -= 1.0
+            if hasattr(branch, "gain"):  # VCVS: V(pos,neg) - gain * V(cp,cn) = 0
+                cp, cn = self._node(branch.ctrl_pos), self._node(branch.ctrl_neg)
+                if cp >= 0:
+                    a[row, cp] -= branch.gain
+                if cn >= 0:
+                    a[row, cn] += branch.gain
+            else:  # independent voltage source
+                z[row] = branch.value(t)
+
+        return a, z
+
+    def solve(self, a: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Solve the assembled system."""
+        return np.linalg.solve(a, z)
+
+    def voltages_from_solution(self, x: np.ndarray) -> Dict[str, float]:
+        """Map a solution vector to ``{node_label: voltage}`` (ground included)."""
+        out = {GROUND: 0.0}
+        for label in self.circuit.nodes:
+            out[label] = x[self.circuit.node_index(label)]
+        return out
+
+
+def dc_operating_point(circuit: Circuit, t: float = 0.0) -> Dict[str, float]:
+    """Solve the DC operating point (capacitors open) at time ``t``.
+
+    Returns a dict of node voltages (floats), keyed by node label, with
+    ground at 0.
+    """
+    assembler = MNAAssembler(circuit)
+    a, z = assembler.assemble(t=t, capacitor_mode="open")
+    x = assembler.solve(a, z)
+    return {k: float(np.real(v)) for k, v in assembler.voltages_from_solution(x).items()}

@@ -1,0 +1,168 @@
+"""Netlist container with builder methods.
+
+A :class:`Circuit` collects components over named nodes; node ``"0"``
+(or ``0`` or ``"gnd"``) is ground.  The MNA assembler consumes the
+circuit's component lists and node index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    Node,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+from .waveforms import Waveform
+
+__all__ = ["Circuit", "GROUND"]
+
+GROUND = "0"
+
+_GROUND_ALIASES = {"0", 0, "gnd", "GND"}
+
+
+def canonical_node(node: Node) -> str:
+    """Normalise a node label; all ground aliases map to ``"0"``."""
+    if node in _GROUND_ALIASES:
+        return GROUND
+    return str(node)
+
+
+class Circuit:
+    """A flat netlist of linear components.
+
+    Example
+    -------
+    >>> c = Circuit("rc")
+    >>> c.add_voltage_source("vin", "in", "0", 1.0)
+    >>> c.add_resistor("r1", "in", "out", 1e3)
+    >>> c.add_capacitor("c1", "out", "0", 1e-6)
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.voltage_sources: List[VoltageSource] = []
+        self.current_sources: List[CurrentSource] = []
+        self.vcvs: List[VCVS] = []
+        self._names: Dict[str, Component] = {}
+        self._nodes: Dict[str, int] = {}
+
+    # -- node bookkeeping ------------------------------------------------
+
+    def _register_node(self, node: Node) -> str:
+        label = canonical_node(node)
+        if label != GROUND and label not in self._nodes:
+            self._nodes[label] = len(self._nodes)
+        return label
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node labels in registration order."""
+        return list(self._nodes)
+
+    def node_index(self, node: Node) -> int:
+        """Index of a non-ground node in the MNA unknown vector."""
+        label = canonical_node(node)
+        if label == GROUND:
+            raise KeyError("ground has no index; its voltage is 0 by definition")
+        return self._nodes[label]
+
+    def _register(self, component: Component) -> None:
+        if component.name in self._names:
+            raise ValueError(f"duplicate component name: {component.name}")
+        self._names[component.name] = component
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __getitem__(self, name: str) -> Component:
+        return self._names[name]
+
+    def num_components(self) -> int:
+        """Total component count."""
+        return len(self._names)
+
+    # -- builders ----------------------------------------------------------
+
+    def add_resistor(self, name: str, pos: Node, neg: Node, resistance: float) -> Resistor:
+        """Add a resistor between ``pos`` and ``neg``."""
+        r = Resistor(name, self._register_node(pos), self._register_node(neg), resistance)
+        self._register(r)
+        self.resistors.append(r)
+        return r
+
+    def add_capacitor(
+        self,
+        name: str,
+        pos: Node,
+        neg: Node,
+        capacitance: float,
+        initial_voltage: float = 0.0,
+    ) -> Capacitor:
+        """Add a capacitor between ``pos`` and ``neg``."""
+        c = Capacitor(
+            name,
+            self._register_node(pos),
+            self._register_node(neg),
+            capacitance,
+            initial_voltage,
+        )
+        self._register(c)
+        self.capacitors.append(c)
+        return c
+
+    def add_voltage_source(
+        self, name: str, pos: Node, neg: Node, waveform: Union[float, Waveform]
+    ) -> VoltageSource:
+        """Add an independent voltage source."""
+        v = VoltageSource(name, self._register_node(pos), self._register_node(neg), waveform)
+        self._register(v)
+        self.voltage_sources.append(v)
+        return v
+
+    def add_current_source(
+        self, name: str, pos: Node, neg: Node, waveform: Union[float, Waveform]
+    ) -> CurrentSource:
+        """Add an independent current source."""
+        i = CurrentSource(name, self._register_node(pos), self._register_node(neg), waveform)
+        self._register(i)
+        self.current_sources.append(i)
+        return i
+
+    def add_vcvs(
+        self,
+        name: str,
+        pos: Node,
+        neg: Node,
+        ctrl_pos: Node,
+        ctrl_neg: Node,
+        gain: float,
+    ) -> VCVS:
+        """Add a voltage-controlled voltage source."""
+        e = VCVS(
+            name,
+            self._register_node(pos),
+            self._register_node(neg),
+            self._register_node(ctrl_pos),
+            self._register_node(ctrl_neg),
+            gain,
+        )
+        self._register(e)
+        self.vcvs.append(e)
+        return e
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, nodes={len(self._nodes)}, "
+            f"R={len(self.resistors)}, C={len(self.capacitors)}, "
+            f"V={len(self.voltage_sources)}, I={len(self.current_sources)}, "
+            f"E={len(self.vcvs)})"
+        )

@@ -1,0 +1,343 @@
+"""Nonlinear DC analysis with printed EGT transistors.
+
+The printed tanh-like activation circuit (Fig. 3b of the paper) is
+built from two resistors and two n-type electrolyte-gated transistors
+(n-EGTs, Fig. 2c); its η parameters "are determined by the component
+values q^A = [R₁, R₂, T₁, T₂]" (Sec. II-B).  To derive those η from
+physical values — as the authors do with Cadence and the printed PDK
+[27, 28] — this module adds a behavioural EGT model and a
+Newton-Raphson DC solver on top of the linear MNA engine.
+
+The EGT model is a square-law FET with a channel-length-modulation
+term, the standard behavioural abstraction used for printed inorganic
+EGTs in the pPDK literature:
+
+* cutoff      (V_GS ≤ V_T):            I_D = 0
+* triode      (V_DS < V_GS − V_T):     I_D = K (2 (V_GS − V_T) V_DS − V_DS²)
+* saturation  (V_DS ≥ V_GS − V_T):     I_D = K (V_GS − V_T)² (1 + λ V_DS)
+
+n-EGTs print with low threshold voltages (V_T ≈ 0.2-0.4 V) and operate
+from a 1 V supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .mna import GMIN, MNAAssembler
+from .netlist import Circuit, canonical_node
+
+__all__ = [
+    "EGTParameters",
+    "EGT",
+    "BehavioralTransfer",
+    "NonlinearCircuit",
+    "newton_dc",
+    "dc_transfer_sweep",
+]
+
+
+@dataclass(frozen=True)
+class EGTParameters:
+    """Behavioural parameters of one printed n-EGT.
+
+    Attributes
+    ----------
+    k:
+        Transconductance coefficient (A/V²).  Printed EGTs reach
+        1e-5 - 1e-3 A/V² depending on channel geometry.
+    v_t:
+        Threshold voltage (V).
+    lambda_:
+        Channel-length modulation (1/V).
+    """
+
+    k: float = 1e-4
+    v_t: float = 0.3
+    lambda_: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("transconductance coefficient must be positive")
+        if self.lambda_ < 0:
+            raise ValueError("channel-length modulation must be non-negative")
+
+    def current(self, v_gs: float, v_ds: float) -> float:
+        """Drain current for the given terminal voltages (V_DS ≥ 0).
+
+        Both regimes carry the (1 + λ V_DS) factor so the current and
+        its first derivatives are continuous across the
+        triode/saturation boundary — without this, Newton iteration
+        limit-cycles around the corner in high-gain stages.
+        """
+        v_ov = v_gs - self.v_t
+        if v_ov <= 0 or v_ds <= 0:
+            return 0.0
+        clm = 1.0 + self.lambda_ * v_ds
+        if v_ds < v_ov:  # triode
+            return self.k * (2.0 * v_ov * v_ds - v_ds * v_ds) * clm
+        return self.k * v_ov * v_ov * clm
+
+    def derivatives(self, v_gs: float, v_ds: float) -> Tuple[float, float]:
+        """(g_m, g_ds) = (∂I/∂V_GS, ∂I/∂V_DS) at the operating point."""
+        v_ov = v_gs - self.v_t
+        if v_ov <= 0 or v_ds <= 0:
+            return 0.0, 0.0
+        clm = 1.0 + self.lambda_ * v_ds
+        if v_ds < v_ov:  # triode
+            core = 2.0 * v_ov * v_ds - v_ds * v_ds
+            g_m = self.k * 2.0 * v_ds * clm
+            g_ds = self.k * ((2.0 * v_ov - 2.0 * v_ds) * clm + core * self.lambda_)
+            return g_m, g_ds
+        g_m = 2.0 * self.k * v_ov * clm
+        g_ds = self.k * v_ov * v_ov * self.lambda_
+        return g_m, g_ds
+
+
+@dataclass
+class EGT:
+    """An n-EGT instance wired drain/gate/source."""
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    params: EGTParameters
+
+
+@dataclass
+class BehavioralTransfer:
+    """A behavioural voltage transfer element: V(out) = f(V(ctrl)).
+
+    Used by the model compiler to represent a printed ptanh stage whose
+    η have been *trained* (the physical EGT realisation is a separate
+    synthesis step).  ``fn`` and its derivative ``dfn`` take a float and
+    return a float; the element drives ``out`` from an ideal source
+    referenced to ground.
+    """
+
+    name: str
+    out: str
+    ctrl: str
+    fn: "callable"
+    dfn: "callable"
+
+
+class NonlinearCircuit(Circuit):
+    """A netlist that may also contain EGT transistors and behavioural
+    transfer elements."""
+
+    def __init__(self, name: str = "nonlinear") -> None:
+        super().__init__(name)
+        self.egts: List[EGT] = []
+        self.behavioral: List[BehavioralTransfer] = []
+
+    def add_egt(
+        self,
+        name: str,
+        drain,
+        gate,
+        source,
+        params: Optional[EGTParameters] = None,
+    ) -> EGT:
+        """Add a printed n-EGT between drain/gate/source nodes."""
+        egt = EGT(
+            name,
+            self._register_node(drain),
+            self._register_node(gate),
+            self._register_node(source),
+            params if params is not None else EGTParameters(),
+        )
+        if egt.name in self._names:
+            raise ValueError(f"duplicate component name: {name}")
+        self._names[egt.name] = egt  # type: ignore[assignment]
+        self.egts.append(egt)
+        return egt
+
+    def add_behavioral(
+        self, name: str, out, ctrl, fn, dfn
+    ) -> BehavioralTransfer:
+        """Add a behavioural transfer element ``V(out) = fn(V(ctrl))``.
+
+        The element needs a branch-current unknown like a voltage
+        source, which the Newton loop provides by stamping it as a
+        VCVS linearised at the current operating point.
+        """
+        element = BehavioralTransfer(
+            name, self._register_node(out), self._register_node(ctrl), fn, dfn
+        )
+        if name in self._names:
+            raise ValueError(f"duplicate component name: {name}")
+        self._names[name] = element  # type: ignore[assignment]
+        self.behavioral.append(element)
+        # Reserve the branch row via a unit-gain VCVS placeholder whose
+        # gain/RHS the Newton loop overwrites each iteration.
+        self.add_vcvs(f"_{name}_branch", element.out, "0", element.ctrl, "0", 1.0)
+        return element
+
+
+def _node_voltage(x: np.ndarray, assembler: MNAAssembler, label: str) -> float:
+    if label == "0":
+        return 0.0
+    return float(x[assembler.circuit.node_index(label)])
+
+
+def newton_solve(
+    circuit: NonlinearCircuit,
+    assembler: MNAAssembler,
+    assemble_kwargs: Dict,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 300,
+    tolerance: float = 1e-9,
+    damping: float = 0.6,
+) -> np.ndarray:
+    """Newton-Raphson solve of one (possibly transient) time point.
+
+    ``assemble_kwargs`` selects the capacitor treatment (open for DC,
+    companion for a transient step); nonlinear elements are linearised
+    and re-stamped each iteration.  Raises ``RuntimeError`` on
+    non-convergence.
+    """
+    x = np.zeros(assembler.size) if x0 is None else np.array(x0, dtype=float)
+    if x.shape != (assembler.size,):
+        raise ValueError("x0 has the wrong size for this circuit")
+
+    for iteration in range(max_iterations):
+        a, z = assembler.assemble(**assemble_kwargs)
+        a = a.astype(float)
+        z = z.astype(float)
+
+        for egt in circuit.egts:
+            v_g = _node_voltage(x, assembler, egt.gate)
+            v_d = _node_voltage(x, assembler, egt.drain)
+            v_s = _node_voltage(x, assembler, egt.source)
+            v_gs, v_ds = v_g - v_s, v_d - v_s
+            i_d = egt.params.current(v_gs, v_ds)
+            g_m, g_ds = egt.params.derivatives(v_gs, v_ds)
+            g_ds = max(g_ds, GMIN)
+            # companion: I = I_D0 + g_m (v_gs - v_gs0) + g_ds (v_ds - v_ds0)
+            i_eq = i_d - g_m * v_gs - g_ds * v_ds
+
+            d = -1 if egt.drain == "0" else circuit.node_index(egt.drain)
+            g = -1 if egt.gate == "0" else circuit.node_index(egt.gate)
+            s = -1 if egt.source == "0" else circuit.node_index(egt.source)
+
+            def stamp(row: int, col: int, val: float) -> None:
+                if row >= 0 and col >= 0:
+                    a[row, col] += val
+
+            # current flows drain -> source inside the device
+            for row, sign in ((d, +1.0), (s, -1.0)):
+                if row < 0:
+                    continue
+                stamp(row, g, sign * g_m)
+                stamp(row, s, -sign * (g_m + g_ds))
+                stamp(row, d, sign * g_ds)
+                z[row] -= sign * i_eq
+
+        for element in circuit.behavioral:
+            # Overwrite the placeholder VCVS row with the linearisation
+            # V(out) - f'(v_c) V(ctrl) = f(v_c) - f'(v_c) v_c.
+            row = assembler.branch_index(f"_{element.name}_branch")
+            v_c = _node_voltage(x, assembler, element.ctrl)
+            gain = float(element.dfn(v_c))
+            if element.ctrl != "0":
+                col = circuit.node_index(element.ctrl)
+                a[row, col] += 1.0 - gain  # placeholder stamped -1.0
+            z[row] = float(element.fn(v_c)) - gain * v_c
+
+        x_new = np.linalg.solve(a, z)
+        step = x_new - x
+        # SPICE-style voltage limiting: bound the per-node update so the
+        # iterate cannot jump across the triode/saturation corner and
+        # enter a limit cycle.
+        limit = 0.1 if iteration < 50 else 0.05
+        step = np.clip(step, -limit, limit)
+        x = x + damping * step
+        if np.max(np.abs(step)) < tolerance:
+            return x
+
+    raise RuntimeError(
+        f"Newton failed to converge within {max_iterations} iterations "
+        f"(residual step {np.max(np.abs(step)):.3e})"
+    )
+
+
+def newton_dc(
+    circuit: NonlinearCircuit,
+    t: float = 0.0,
+    max_iterations: int = 300,
+    tolerance: float = 1e-9,
+    damping: float = 0.6,
+    x0: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Newton-Raphson DC operating point of a circuit with EGTs.
+
+    Linear elements are stamped once per iteration via the MNA
+    assembler; each EGT contributes its linearised companion model
+    (g_m, g_ds and an equivalent current source).  Damped updates keep
+    the high-gain cascaded stages of the ptanh circuit from
+    oscillating; pass ``x0`` (e.g. the previous sweep point) to
+    warm-start.  Raises ``RuntimeError`` on non-convergence.
+    """
+    assembler = MNAAssembler(circuit)
+    x = newton_solve(
+        circuit,
+        assembler,
+        {"t": t, "capacitor_mode": "open"},
+        x0=x0,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        damping=damping,
+    )
+    voltages = assembler.voltages_from_solution(x)
+    return {k: float(np.real(v)) for k, v in voltages.items()}
+
+
+def _solution_vector(circuit: NonlinearCircuit, op: Dict[str, float]) -> np.ndarray:
+    """Rebuild an initial-guess vector from a node-voltage dict."""
+    assembler = MNAAssembler(circuit)
+    x = np.zeros(assembler.size)
+    for label, value in op.items():
+        if label != "0" and label in circuit.nodes:
+            x[circuit.node_index(label)] = value
+    return x
+
+
+def dc_transfer_sweep(
+    circuit: NonlinearCircuit,
+    source_name: str,
+    output_node: str,
+    values: np.ndarray,
+) -> np.ndarray:
+    """Sweep an input source and record the DC output voltage.
+
+    The circuit-level characterisation used to extract the ptanh
+    transfer curve (and hence η) from component values.
+    """
+    source = None
+    for v in circuit.voltage_sources:
+        if v.name == source_name:
+            source = v
+            break
+    if source is None:
+        raise KeyError(f"no voltage source named {source_name}")
+    output_node = canonical_node(output_node)
+
+    original = source.waveform
+    out = np.zeros(len(values))
+    warm_start: Optional[np.ndarray] = None
+    try:
+        from .waveforms import DC
+
+        for i, value in enumerate(np.asarray(values, dtype=np.float64)):
+            source.waveform = DC(float(value))
+            op = newton_dc(circuit, x0=warm_start)
+            warm_start = _solution_vector(circuit, op)
+            out[i] = op[output_node]
+    finally:
+        source.waveform = original
+    return out

@@ -1,0 +1,24 @@
+"""Hyper-parameter optimisation (the Ray Tune substitute)."""
+
+from .search import TrialResult, random_search, successive_halving, tune_augmentation
+from .search_space import (
+    Dimension,
+    SearchSpace,
+    choice,
+    default_space,
+    loguniform,
+    uniform,
+)
+
+__all__ = [
+    "Dimension",
+    "SearchSpace",
+    "uniform",
+    "loguniform",
+    "choice",
+    "default_space",
+    "TrialResult",
+    "random_search",
+    "successive_halving",
+    "tune_augmentation",
+]

@@ -1,0 +1,75 @@
+"""Hyper-parameter search spaces for augmentation tuning.
+
+The paper tunes "crop size, noise level, and time warping" per dataset
+with Ray Tune (Sec. IV-A3).  A :class:`SearchSpace` maps named
+dimensions to samplers; :meth:`sample` draws one
+:class:`~repro.augment.AugmentationConfig`-shaped dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+__all__ = ["Dimension", "uniform", "loguniform", "choice", "SearchSpace", "default_space"]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One search dimension, wrapping a sampler callable."""
+
+    sampler: Callable[[np.random.Generator], float]
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.sampler(rng)
+
+
+def uniform(low: float, high: float) -> Dimension:
+    """Uniform on [low, high)."""
+    if high <= low:
+        raise ValueError("need high > low")
+    return Dimension(lambda rng: float(rng.uniform(low, high)))
+
+
+def loguniform(low: float, high: float) -> Dimension:
+    """Log-uniform on [low, high)."""
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    return Dimension(lambda rng: float(np.exp(rng.uniform(np.log(low), np.log(high)))))
+
+
+def choice(options) -> Dimension:
+    """Uniform over a finite option set."""
+    options = list(options)
+    if not options:
+        raise ValueError("options must be non-empty")
+    return Dimension(lambda rng: options[int(rng.integers(len(options)))])
+
+
+class SearchSpace:
+    """Named collection of dimensions."""
+
+    def __init__(self, dimensions: Mapping[str, Dimension]) -> None:
+        if not dimensions:
+            raise ValueError("search space must be non-empty")
+        self.dimensions: Dict[str, Dimension] = dict(dimensions)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Draw one configuration dict."""
+        return {name: dim.sample(rng) for name, dim in self.dimensions.items()}
+
+    def names(self):
+        return list(self.dimensions)
+
+
+def default_space() -> SearchSpace:
+    """The paper's three tuned augmentation dimensions."""
+    return SearchSpace(
+        {
+            "jitter_sigma": loguniform(0.01, 0.2),
+            "time_warp_strength": uniform(0.0, 0.35),
+            "crop_fraction": uniform(0.6, 1.0),
+        }
+    )

@@ -1,0 +1,48 @@
+"""Model checkpointing to ``.npz`` files.
+
+State dicts are plain ``{name: ndarray}`` mappings, so numpy's archive
+format is a natural, dependency-free checkpoint: one array per
+parameter, keyed by its dotted module path.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["save_model", "load_model", "save_state_dict", "load_state_dict"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_state_dict(state: dict, path: PathLike) -> None:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez(path, **state)
+
+
+def load_state_dict(path: PathLike) -> dict:
+    """Read a state dict written by :func:`save_state_dict`."""
+    with np.load(pathlib.Path(path)) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_model(model: Module, path: PathLike) -> None:
+    """Snapshot a model's parameters to ``path``."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load parameters into an already-constructed model (in place).
+
+    The model must have the same architecture the checkpoint was saved
+    from; mismatches raise ``KeyError``/``ValueError``.
+    """
+    model.load_state_dict(load_state_dict(path))
+    return model

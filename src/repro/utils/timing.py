@@ -1,0 +1,35 @@
+"""Wall-clock timing helpers for the runtime comparison (Table II)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Stopwatch", "time_callable"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Average wall time of ``fn()`` over ``repeats`` calls (seconds)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    total = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total / repeats

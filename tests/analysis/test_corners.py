@@ -1,0 +1,83 @@
+"""Process-corner analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CORNERS, ConstantVariation, corner_analysis
+from repro.core import AdaptPNC, Trainer, TrainingConfig, accuracy
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = load_dataset("Slope", n_samples=60, seed=0)
+    model = AdaptPNC(3, rng=np.random.default_rng(0))
+    from dataclasses import replace
+
+    Trainer(model, replace(TrainingConfig.ci(), max_epochs=30), variation_aware=True, seed=0).fit(
+        ds.x_train, ds.y_train, ds.x_val, ds.y_val
+    )
+    return model, ds
+
+
+class TestConstantVariation:
+    def test_deterministic(self, rng):
+        eps = ConstantVariation(0.9).sample((5, 5), rng)
+        assert np.all(eps == 0.9)
+
+    def test_spread(self):
+        assert np.isclose(ConstantVariation(1.1).spread(), 0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantVariation(0.0)
+
+
+class TestCornerAnalysis:
+    def test_all_five_corners_reported(self, trained):
+        model, ds = trained
+        report = corner_analysis(model, ds.x_test, ds.y_test)
+        assert set(report.accuracy) == set(CORNERS)
+
+    def test_tt_matches_nominal_accuracy(self, trained):
+        model, ds = trained
+        report = corner_analysis(model, ds.x_test, ds.y_test)
+        assert np.isclose(report.accuracy["TT"], accuracy(model, ds.x_test, ds.y_test))
+
+    def test_deterministic_repeatable(self, trained):
+        model, ds = trained
+        a = corner_analysis(model, ds.x_test, ds.y_test)
+        b = corner_analysis(model, ds.x_test, ds.y_test)
+        assert a.accuracy == b.accuracy
+
+    def test_worst_corner_and_spread(self, trained):
+        model, ds = trained
+        report = corner_analysis(model, ds.x_test, ds.y_test)
+        worst = report.worst_corner()
+        assert report.accuracy[worst] == min(report.accuracy.values())
+        assert report.spread() >= 0.0
+
+    def test_samplers_restored(self, trained):
+        model, ds = trained
+        before = [
+            (b.filters.sampler, b.crossbar.sampler, b.activation.sampler)
+            for b in model.blocks
+        ]
+        corner_analysis(model, ds.x_test, ds.y_test)
+        after = [
+            (b.filters.sampler, b.crossbar.sampler, b.activation.sampler)
+            for b in model.blocks
+        ]
+        assert before == after
+
+    def test_rejects_bad_delta(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            corner_analysis(model, ds.x_test, ds.y_test, delta=0.0)
+
+    def test_va_trained_model_survives_corners(self, trained):
+        """The robustness claim at the corners: a VA-trained model keeps
+        most of its nominal accuracy even at SS/FF extremes."""
+        model, ds = trained
+        report = corner_analysis(model, ds.x_test, ds.y_test, delta=0.10)
+        assert min(report.accuracy.values()) > report.accuracy["TT"] - 0.35

@@ -1,0 +1,78 @@
+"""Fabrication-fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FAULT_KINDS, fault_sweep, inject_faults
+from repro.core import AdaptPNC, Trainer, TrainingConfig
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = load_dataset("Slope", n_samples=60, seed=0)
+    model = AdaptPNC(3, rng=np.random.default_rng(0))
+    from dataclasses import replace
+
+    Trainer(model, replace(TrainingConfig.ci(), max_epochs=30), variation_aware=True, seed=0).fit(
+        ds.x_train, ds.y_train, ds.x_val, ds.y_val
+    )
+    return model, ds
+
+
+class TestInjectFaults:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_accuracy_in_range(self, trained, kind):
+        model, ds = trained
+        result = inject_faults(model, ds.x_test, ds.y_test, kind, n_faults=1, trials=4)
+        assert 0.0 <= result.mean_accuracy <= 1.0
+        assert result.kind == kind
+
+    def test_model_restored_afterwards(self, trained):
+        model, ds = trained
+        before = model.state_dict()
+        inject_faults(model, ds.x_test, ds.y_test, "open_crossing", trials=3)
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_more_faults_no_better(self, trained):
+        """Monotone-ish degradation: many defects can't beat few."""
+        model, ds = trained
+        few = inject_faults(
+            model, ds.x_test, ds.y_test, "stuck_activation", n_faults=1, trials=8, seed=1
+        )
+        many = inject_faults(
+            model, ds.x_test, ds.y_test, "stuck_activation", n_faults=6, trials=8, seed=1
+        )
+        assert many.mean_accuracy <= few.mean_accuracy + 0.1
+
+    def test_deterministic_per_seed(self, trained):
+        model, ds = trained
+        a = inject_faults(model, ds.x_test, ds.y_test, "open_filter", trials=3, seed=5)
+        b = inject_faults(model, ds.x_test, ds.y_test, "open_filter", trials=3, seed=5)
+        assert a.mean_accuracy == b.mean_accuracy
+
+    def test_unknown_kind_rejected(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            inject_faults(model, ds.x_test, ds.y_test, "meteor_strike")
+
+    def test_bad_counts_rejected(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            inject_faults(model, ds.x_test, ds.y_test, "open_filter", n_faults=0)
+
+
+class TestFaultSweep:
+    def test_sweep_structure(self, trained):
+        model, ds = trained
+        sweep = fault_sweep(model, ds.x_test, ds.y_test, max_faults=2, trials=3)
+        assert set(sweep) == set(FAULT_KINDS)
+        for results in sweep.values():
+            assert [r.n_faults for r in results] == [1, 2]
+
+    def test_rejects_bad_max(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            fault_sweep(model, ds.x_test, ds.y_test, max_faults=0)

@@ -1,0 +1,110 @@
+"""Learned-filter frequency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    filter_cutoff_frequencies,
+    filter_frequency_response,
+    stage_response,
+)
+from repro.circuits import (
+    FirstOrderLearnableFilter,
+    SecondOrderLearnableFilter,
+    ideal_sampler,
+)
+
+
+def make_first(r, c, dt=1e-3):
+    flt = FirstOrderLearnableFilter(1, dt=dt, sampler=ideal_sampler(), rng=np.random.default_rng(0))
+    flt.stage.log_r.data = np.log([r])
+    flt.stage.log_c.data = np.log([c])
+    return flt
+
+
+def make_second(r1, c1, r2, c2, dt=1e-3):
+    flt = SecondOrderLearnableFilter(1, dt=dt, sampler=ideal_sampler(), rng=np.random.default_rng(0))
+    flt.stage1.log_r.data = np.log([r1])
+    flt.stage1.log_c.data = np.log([c1])
+    flt.stage2.log_r.data = np.log([r2])
+    flt.stage2.log_c.data = np.log([c2])
+    return flt
+
+
+class TestClosedForm:
+    def test_dc_limit_unity(self):
+        flt = make_first(500.0, 10e-6)
+        h = filter_frequency_response(flt, np.array([1e-3 / (2 * np.pi)]))
+        assert np.isclose(np.abs(h[0, 0]), 1.0, atol=1e-3)
+
+    def test_matches_empirical_sine_gain(self):
+        """Closed-form |H(f)| equals the gain measured by actually
+        filtering a sine through the recurrence."""
+        flt = make_first(800.0, 20e-6)
+        f = 30.0
+        h = filter_frequency_response(flt, np.array([f]))
+        from repro.autograd import Tensor
+
+        steps = 4000
+        t = np.arange(steps) * flt.dt
+        x = np.sin(2 * np.pi * f * t)
+        out = flt(Tensor(x.reshape(1, steps, 1))).data[0, :, 0]
+        settled = out[steps // 2 :]
+        empirical = (settled.max() - settled.min()) / 2.0
+        assert np.isclose(empirical, np.abs(h[0, 0]), rtol=0.02)
+
+    def test_so_is_product_of_stages(self):
+        flt = make_second(400, 2e-5, 800, 1e-5)
+        freqs = np.logspace(0, 2, 10)
+        combined = filter_frequency_response(flt, freqs)
+        s1 = stage_response(flt.stage1, freqs, flt.dt)
+        s2 = stage_response(flt.stage2, freqs, flt.dt)
+        assert np.allclose(combined, s1 * s2)
+
+    def test_so_rolls_off_faster(self):
+        first = make_first(500, 2e-5)
+        second = make_second(500, 2e-5, 500, 2e-5)
+        f_hi = np.array([200.0])
+        h1 = np.abs(filter_frequency_response(first, f_hi))[0, 0]
+        h2 = np.abs(filter_frequency_response(second, f_hi))[0, 0]
+        assert h2 < h1**1.5  # much steeper than a single pole
+
+    def test_matches_continuous_rc_below_nyquist(self):
+        """Backward-Euler response tracks the analog RC at low freq."""
+        r, c = 500.0, 2e-5
+        flt = make_first(r, c, dt=1e-4)  # oversampled
+        freqs = np.array([1.0, 5.0, 10.0])
+        digital = np.abs(filter_frequency_response(flt, freqs))[:, 0]
+        analog = 1.0 / np.sqrt(1.0 + (2 * np.pi * freqs * r * c) ** 2)
+        assert np.allclose(digital, analog, rtol=0.02)
+
+    def test_rejects_out_of_band_frequencies(self):
+        flt = make_first(500, 1e-5)
+        with pytest.raises(ValueError):
+            filter_frequency_response(flt, np.array([0.0]))
+        with pytest.raises(ValueError):
+            filter_frequency_response(flt, np.array([1e9]))
+
+    def test_rejects_unknown_filter_type(self):
+        with pytest.raises(TypeError):
+            filter_frequency_response(object(), np.array([1.0]))
+
+
+class TestCutoffs:
+    def test_cutoff_matches_analog_pole(self):
+        r, c = 500.0, 2e-5  # f_c = 15.9 Hz, well below 500 Hz Nyquist
+        flt = make_first(r, c)
+        fc = filter_cutoff_frequencies(flt)[0]
+        assert np.isclose(fc, 1.0 / (2 * np.pi * r * c), rtol=0.1)
+
+    def test_per_channel_cutoffs(self):
+        flt = FirstOrderLearnableFilter(2, dt=1e-3, sampler=ideal_sampler(), rng=np.random.default_rng(0))
+        flt.stage.log_r.data = np.log([200.0, 1000.0])
+        flt.stage.log_c.data = np.log([1e-5, 5e-5])
+        fcs = filter_cutoff_frequencies(flt)
+        assert fcs[0] > fcs[1]  # smaller tau -> higher cutoff
+
+    def test_wideband_channel_reports_nyquist(self):
+        flt = make_first(60.0, 1e-7)  # tau = 6 us: flat within band
+        fc = filter_cutoff_frequencies(flt)[0]
+        assert np.isclose(fc, 0.5 / flt.dt, rtol=0.01)

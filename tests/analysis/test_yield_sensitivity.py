@@ -1,0 +1,111 @@
+"""Yield analysis and component-group sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SensitivityReport,
+    YieldResult,
+    component_sensitivity,
+    estimate_yield,
+    yield_curve,
+)
+from repro.core import AdaptPNC, ElmanClassifier, Trainer, TrainingConfig
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = load_dataset("Slope", n_samples=60, seed=0)
+    model = AdaptPNC(3, rng=np.random.default_rng(0))
+    from dataclasses import replace
+
+    cfg = replace(TrainingConfig.ci(), max_epochs=25)
+    Trainer(model, cfg, variation_aware=True, seed=0).fit(
+        ds.x_train, ds.y_train, ds.x_val, ds.y_val
+    )
+    return model, ds
+
+
+class TestYield:
+    def test_yield_in_unit_interval(self, trained):
+        model, ds = trained
+        result = estimate_yield(model, ds.x_test, ds.y_test, threshold=0.5, instances=10)
+        assert 0.0 <= result.yield_fraction <= 1.0
+        assert len(result.accuracies) == 10
+
+    def test_yield_monotone_in_threshold(self, trained):
+        model, ds = trained
+        curve = yield_curve(
+            model, ds.x_test, ds.y_test, thresholds=(0.3, 0.6, 0.9), instances=10
+        )
+        values = [curve[t] for t in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_threshold_full_yield(self, trained):
+        model, ds = trained
+        result = estimate_yield(model, ds.x_test, ds.y_test, threshold=0.0, instances=5)
+        assert result.yield_fraction == 1.0
+
+    def test_worst_case_below_mean(self, trained):
+        model, ds = trained
+        result = estimate_yield(model, ds.x_test, ds.y_test, instances=10)
+        assert result.worst_case <= result.mean_accuracy
+
+    def test_seed_reproducibility(self, trained):
+        model, ds = trained
+        a = estimate_yield(model, ds.x_test, ds.y_test, instances=5, seed=3)
+        b = estimate_yield(model, ds.x_test, ds.y_test, instances=5, seed=3)
+        assert np.array_equal(a.accuracies, b.accuracies)
+
+    def test_sampler_restored(self, trained):
+        model, ds = trained
+        before = model.sampler
+        estimate_yield(model, ds.x_test, ds.y_test, instances=3)
+        assert model.sampler is before
+
+    def test_rejects_hardware_agnostic(self, trained):
+        _, ds = trained
+        with pytest.raises(TypeError):
+            estimate_yield(ElmanClassifier(3), ds.x_test, ds.y_test)
+
+    @pytest.mark.parametrize("kwargs", [{"threshold": 1.5}, {"instances": 0}])
+    def test_rejects_bad_arguments(self, trained, kwargs):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            estimate_yield(model, ds.x_test, ds.y_test, **kwargs)
+
+
+class TestSensitivity:
+    def test_report_structure(self, trained):
+        model, ds = trained
+        report = component_sensitivity(model, ds.x_test, ds.y_test, mc_samples=3)
+        assert set(report.group_accuracy) == {"filters", "crossbar", "activation"}
+        assert 0.0 <= report.nominal_accuracy <= 1.0
+        assert report.most_sensitive() in report.group_accuracy
+
+    def test_drops_relative_to_nominal(self, trained):
+        model, ds = trained
+        report = component_sensitivity(model, ds.x_test, ds.y_test, mc_samples=3)
+        for group, drop in report.drops().items():
+            assert np.isclose(
+                drop, report.nominal_accuracy - report.group_accuracy[group]
+            )
+
+    def test_samplers_restored(self, trained):
+        model, ds = trained
+        before = [
+            (b.filters.sampler, b.crossbar.sampler, b.activation.sampler)
+            for b in model.blocks
+        ]
+        component_sensitivity(model, ds.x_test, ds.y_test, mc_samples=2)
+        after = [
+            (b.filters.sampler, b.crossbar.sampler, b.activation.sampler)
+            for b in model.blocks
+        ]
+        assert before == after
+
+    def test_rejects_zero_samples(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            component_sensitivity(model, ds.x_test, ds.y_test, mc_samples=0)

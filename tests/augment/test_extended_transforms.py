@@ -1,0 +1,112 @@
+"""Drift / Pool / Dropout augmenters (the extended tsaug set)."""
+
+import numpy as np
+import pytest
+
+from repro.augment import Drift, Dropout, Pool
+
+EXTENDED = [Drift(0.2), Pool(3), Dropout(0.1)]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("aug", EXTENDED, ids=lambda a: type(a).__name__)
+    def test_shape_preserved(self, aug, rng):
+        x = rng.normal(size=(5, 40))
+        assert aug(x, rng).shape == (5, 40)
+
+    @pytest.mark.parametrize("aug", EXTENDED, ids=lambda a: type(a).__name__)
+    def test_deterministic_per_rng_state(self, aug):
+        x = np.random.default_rng(0).normal(size=(3, 40))
+        a = aug(x, np.random.default_rng(7))
+        b = aug(x, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("aug", EXTENDED, ids=lambda a: type(a).__name__)
+    def test_finite(self, aug, rng):
+        assert np.all(np.isfinite(aug(rng.normal(size=(4, 40)), rng)))
+
+
+class TestDrift:
+    def test_bounded_excursion(self, rng):
+        x = np.zeros((20, 64))
+        out = Drift(max_drift=0.3)(x, rng)
+        assert np.max(np.abs(out)) <= 0.3 + 1e-12
+
+    def test_drift_is_smooth(self, rng):
+        x = np.zeros((5, 64))
+        out = Drift(max_drift=0.5, n_knots=3)(x, rng)
+        # piecewise-linear through 3 knots: bounded slope between samples
+        assert np.max(np.abs(np.diff(out, axis=1))) < 0.5
+
+    def test_zero_drift_is_identity(self, rng):
+        x = rng.normal(size=(3, 20))
+        assert np.allclose(Drift(max_drift=0.0)(x, rng), x)
+
+    @pytest.mark.parametrize("bad", [{"max_drift": -0.1}, {"n_knots": 1}])
+    def test_rejects_bad_config(self, bad):
+        with pytest.raises(ValueError):
+            Drift(**bad)
+
+
+class TestPool:
+    def test_windows_are_constant(self, rng):
+        x = rng.normal(size=(3, 12))
+        out = Pool(4)(x, rng)
+        for start in (0, 4, 8):
+            window = out[:, start : start + 4]
+            assert np.allclose(window, window[:, :1])
+
+    def test_window_value_is_mean(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = Pool(4)(x, rng)
+        assert np.allclose(out[:, 0], x[:, :4].mean(axis=1))
+
+    def test_size_one_identity(self, rng):
+        x = rng.normal(size=(2, 10))
+        assert np.array_equal(Pool(1)(x, rng), x)
+
+    def test_ragged_tail_handled(self, rng):
+        x = rng.normal(size=(2, 10))
+        out = Pool(4)(x, rng)  # tail window of 2
+        assert np.allclose(out[:, 8], x[:, 8:].mean(axis=1))
+
+    def test_preserves_global_mean(self, rng):
+        x = rng.normal(size=(4, 12))
+        out = Pool(4)(x, rng)
+        assert np.allclose(out.mean(axis=1), x.mean(axis=1))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Pool(0)
+
+
+class TestDropout:
+    def test_zero_p_identity(self, rng):
+        x = rng.normal(size=(3, 20))
+        assert np.array_equal(Dropout(0.0)(x, rng), x)
+
+    def test_dropped_samples_hold_previous_value(self, rng):
+        x = np.tile(np.arange(50, dtype=float), (4, 1))
+        out = Dropout(0.3)(x, rng)
+        changed = out != x
+        # every changed sample equals its left neighbour in the output
+        rows, cols = np.nonzero(changed)
+        assert np.all(cols > 0)
+        assert np.allclose(out[rows, cols], out[rows, cols - 1])
+
+    def test_first_sample_never_dropped(self, rng):
+        x = rng.normal(size=(10, 30))
+        out = Dropout(0.9)(x, rng)
+        assert np.array_equal(out[:, 0], x[:, 0])
+
+    def test_drop_rate_statistics(self, rng):
+        x = np.tile(np.arange(200, dtype=float), (20, 1))
+        out = Dropout(0.2)(x, rng)
+        rate = (out != x).mean()
+        assert 0.1 < rate < 0.3
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,174 @@
+"""Compose, per-dataset configs and the combine-with-original policy."""
+
+import numpy as np
+import pytest
+
+from repro.augment import (
+    RECOMMENDED_CONFIGS,
+    AugmentationConfig,
+    Compose,
+    Jitter,
+    MagnitudeScale,
+    augment_dataset,
+    build_pipeline,
+    default_config,
+    perturb,
+)
+from repro.data import dataset_names
+
+
+class TestCompose:
+    def test_applies_in_sequence(self, rng):
+        x = np.zeros((2, 20))
+        out = Compose([Jitter(0.1), MagnitudeScale(0.1)])(x, rng)
+        assert out.shape == (2, 20)
+        assert not np.array_equal(out, x)
+
+    def test_probability_zero_is_identity(self, rng):
+        x = np.ones((2, 20))
+        assert np.array_equal(Compose([Jitter(1.0)], p=0.0)(x, rng), x)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Compose([])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Compose([Jitter(0.1)], p=1.5)
+
+
+class TestAugmentationConfig:
+    def test_defaults_valid(self):
+        AugmentationConfig()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"jitter_sigma": -0.1},
+            {"time_warp_strength": 1.0},
+            {"crop_fraction": 0.05},
+            {"frequency_sigma": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            AugmentationConfig(**bad)
+
+    def test_build_pipeline_skips_disabled(self):
+        cfg = AugmentationConfig(
+            jitter_sigma=0.1,
+            time_warp_strength=0.0,
+            magnitude_sigma=0.0,
+            crop_fraction=1.0,
+            frequency_sigma=0.0,
+        )
+        pipeline = build_pipeline(cfg)
+        assert len(pipeline.augmenters) == 1
+
+    def test_build_pipeline_rejects_all_disabled(self):
+        cfg = AugmentationConfig(
+            jitter_sigma=0.0,
+            time_warp_strength=0.0,
+            magnitude_sigma=0.0,
+            crop_fraction=1.0,
+            frequency_sigma=0.0,
+        )
+        with pytest.raises(ValueError):
+            build_pipeline(cfg)
+
+
+class TestAugmentDataset:
+    def test_combines_original_and_copies(self, rng):
+        x = rng.normal(size=(10, 32))
+        y = rng.integers(0, 2, 10)
+        xa, ya = augment_dataset(x, y, AugmentationConfig(), seed=0, copies=2)
+        assert xa.shape == (30, 32)
+        assert np.array_equal(xa[:10], x)  # originals kept verbatim
+        assert np.array_equal(ya, np.tile(y, 3))
+
+    def test_deterministic_per_seed(self, rng):
+        x = rng.normal(size=(5, 32))
+        y = np.zeros(5, dtype=int)
+        a, _ = augment_dataset(x, y, AugmentationConfig(), seed=4)
+        b, _ = augment_dataset(x, y, AugmentationConfig(), seed=4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_copies(self, rng):
+        with pytest.raises(ValueError):
+            augment_dataset(rng.normal(size=(5, 32)), np.zeros(5), AugmentationConfig(), copies=0)
+
+
+class TestPerturb:
+    def test_never_crops(self, rng):
+        """Perturbed test sets stay aligned — crop must be disabled."""
+        x = np.tile(np.linspace(0, 1, 64), (5, 1))
+        cfg = AugmentationConfig(crop_fraction=0.5, jitter_sigma=0.0,
+                                 time_warp_strength=0.0, magnitude_sigma=0.05,
+                                 frequency_sigma=0.0)
+        out = perturb(x, cfg, seed=0)
+        # magnitude scaling only: still a scaled ramp, monotone
+        assert np.all(np.diff(out, axis=1) >= -1e-9)
+
+    def test_changes_data(self, rng):
+        x = rng.normal(size=(5, 64))
+        assert not np.allclose(perturb(x, seed=0), x)
+
+    def test_default_config_used_when_none(self, rng):
+        x = rng.normal(size=(3, 64))
+        assert perturb(x).shape == x.shape
+
+
+class TestRecommendedConfigs:
+    def test_covers_all_datasets(self):
+        assert set(RECOMMENDED_CONFIGS) == set(dataset_names())
+
+    def test_paper_notes_respected(self):
+        """Frequency noise for PowerCons/SmoothS; cropping for MSRT/Symbols."""
+        assert RECOMMENDED_CONFIGS["PowerCons"].frequency_sigma > 0
+        assert RECOMMENDED_CONFIGS["SmoothS"].frequency_sigma > 0
+        assert RECOMMENDED_CONFIGS["MSRT"].crop_fraction < 1.0
+        assert RECOMMENDED_CONFIGS["Symbols"].crop_fraction < 1.0
+
+    def test_default_config_fallback(self):
+        assert default_config("UnknownDataset") == AugmentationConfig()
+        assert default_config("CBF") is RECOMMENDED_CONFIGS["CBF"]
+
+
+class TestExtendedConfig:
+    def test_extended_operators_in_pipeline(self, rng):
+        from repro.augment import Drift, Dropout, Pool
+
+        cfg = AugmentationConfig(
+            jitter_sigma=0.0,
+            time_warp_strength=0.0,
+            magnitude_sigma=0.0,
+            crop_fraction=1.0,
+            frequency_sigma=0.0,
+            drift_max=0.2,
+            pool_size=2,
+            dropout_p=0.05,
+        )
+        pipeline = build_pipeline(cfg)
+        kinds = {type(a) for a in pipeline.augmenters}
+        assert kinds == {Drift, Pool, Dropout}
+
+    def test_extended_operators_off_by_default(self):
+        pipeline = build_pipeline(AugmentationConfig())
+        from repro.augment import Drift, Dropout, Pool
+
+        kinds = {type(a) for a in pipeline.augmenters}
+        assert not kinds & {Drift, Pool, Dropout}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [{"drift_max": -0.1}, {"pool_size": 0}, {"dropout_p": 1.0}],
+    )
+    def test_rejects_bad_extended_values(self, bad):
+        with pytest.raises(ValueError):
+            AugmentationConfig(**bad)
+
+    def test_full_pipeline_executes(self, rng):
+        cfg = AugmentationConfig(drift_max=0.1, pool_size=2, dropout_p=0.05)
+        x = rng.normal(size=(4, 64))
+        xa, ya = augment_dataset(x, np.zeros(4, dtype=int), cfg, seed=0)
+        assert xa.shape == (8, 64)

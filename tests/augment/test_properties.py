@@ -1,0 +1,87 @@
+"""Property-based invariants of the augmentation library."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.augment import (
+    FrequencyNoise,
+    Jitter,
+    MagnitudeScale,
+    RandomCrop,
+    TimeWarp,
+)
+
+series_batches = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6), st.integers(min_value=8, max_value=80)
+    ),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False),
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(series_batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_every_augmenter_preserves_shape(x, seed):
+    rng = np.random.default_rng(seed)
+    for aug in (Jitter(0.1), TimeWarp(0.2), MagnitudeScale(0.1), RandomCrop(0.8), FrequencyNoise(0.1)):
+        assert aug(x, rng).shape == x.shape
+
+
+@given(series_batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_time_warp_values_within_input_hull(x, seed):
+    """Warping resamples the series: no new values can be created."""
+    rng = np.random.default_rng(seed)
+    out = TimeWarp(0.3)(x, rng)
+    lo = x.min(axis=1) - 1e-9
+    hi = x.max(axis=1) + 1e-9
+    assert np.all(out >= lo[:, None])
+    assert np.all(out <= hi[:, None])
+
+
+@given(series_batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_crop_values_within_input_hull(x, seed):
+    rng = np.random.default_rng(seed)
+    out = RandomCrop(0.6)(x, rng)
+    lo = x.min(axis=1) - 1e-9
+    hi = x.max(axis=1) + 1e-9
+    assert np.all(out >= lo[:, None])
+    assert np.all(out <= hi[:, None])
+
+
+@given(series_batches, seeds, st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=30, deadline=None)
+def test_jitter_perturbation_statistics(x, seed, sigma):
+    rng = np.random.default_rng(seed)
+    diff = Jitter(sigma)(x, rng) - x
+    # Perturbation is bounded in probability: 6-sigma guard.
+    assert np.all(np.abs(diff) < 6.5 * sigma + 1e-9)
+
+
+@given(series_batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_magnitude_scale_preserves_zero_crossings(x, seed):
+    """Scaling by a per-series constant preserves signs when positive."""
+    rng = np.random.default_rng(seed)
+    out = MagnitudeScale(0.05)(x, rng)
+    mask = np.abs(x) > 1e-9
+    if mask.any():
+        # with sigma = 0.05 the scale factor is positive in practice,
+        # so signs are preserved elementwise
+        assert np.all(np.sign(out[mask]) == np.sign(x[mask]))
+
+
+@given(series_batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_frequency_noise_preserves_mean_roughly(x, seed):
+    """Perturbing non-DC bins only mildly shifts the series mean."""
+    rng = np.random.default_rng(seed)
+    out = FrequencyNoise(0.1)(x, rng)
+    scale = max(np.abs(x).max(), 1.0)
+    assert np.all(np.abs(out.mean(axis=1) - x.mean(axis=1)) < 0.5 * scale)

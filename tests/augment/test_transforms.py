@@ -1,0 +1,134 @@
+"""The five augmentation techniques."""
+
+import numpy as np
+import pytest
+
+from repro.augment import FrequencyNoise, Jitter, MagnitudeScale, RandomCrop, TimeWarp
+
+ALL = [Jitter(0.1), TimeWarp(0.2), MagnitudeScale(0.1), RandomCrop(0.8), FrequencyNoise(0.1)]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("aug", ALL, ids=lambda a: type(a).__name__)
+    def test_shape_preserved(self, aug, rng):
+        x = rng.normal(size=(7, 64))
+        assert aug(x, rng).shape == (7, 64)
+
+    @pytest.mark.parametrize("aug", ALL, ids=lambda a: type(a).__name__)
+    def test_output_is_copy(self, aug, rng):
+        x = rng.normal(size=(3, 64))
+        out = aug(x, rng)
+        assert out is not x
+
+    @pytest.mark.parametrize("aug", ALL, ids=lambda a: type(a).__name__)
+    def test_deterministic_given_rng_state(self, aug):
+        x = np.random.default_rng(0).normal(size=(3, 64))
+        a = aug(x, np.random.default_rng(5))
+        b = aug(x, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("aug", ALL, ids=lambda a: type(a).__name__)
+    def test_rejects_1d_input(self, aug, rng):
+        with pytest.raises(ValueError):
+            aug(rng.normal(size=64), rng)
+
+    @pytest.mark.parametrize("aug", ALL, ids=lambda a: type(a).__name__)
+    def test_finite_output(self, aug, rng):
+        out = aug(rng.normal(size=(5, 64)), rng)
+        assert np.all(np.isfinite(out))
+
+
+class TestJitter:
+    def test_zero_sigma_is_identity(self, rng):
+        x = rng.normal(size=(3, 20))
+        assert np.array_equal(Jitter(0.0)(x, rng), x)
+
+    def test_noise_scale(self, rng):
+        x = np.zeros((100, 64))
+        out = Jitter(0.5)(x, rng)
+        assert abs(out.std() - 0.5) < 0.02
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            Jitter(-0.1)
+
+
+class TestTimeWarp:
+    def test_preserves_endpoints_approximately(self, rng):
+        x = np.tile(np.linspace(0, 1, 64), (4, 1))
+        out = TimeWarp(0.3)(x, rng)
+        assert np.allclose(out[:, 0], 0.0, atol=0.02)
+        assert np.allclose(out[:, -1], 1.0, atol=0.02)
+
+    def test_preserves_value_range_of_monotone_signal(self, rng):
+        x = np.tile(np.linspace(-1, 1, 64), (4, 1))
+        out = TimeWarp(0.3)(x, rng)
+        assert out.min() >= -1.0 - 1e-9 and out.max() <= 1.0 + 1e-9
+
+    def test_warped_monotone_stays_monotone(self, rng):
+        """A monotone warp of a monotone signal must stay monotone."""
+        x = np.tile(np.linspace(0, 1, 64), (8, 1))
+        out = TimeWarp(0.3)(x, rng)
+        assert np.all(np.diff(out, axis=1) >= -1e-9)
+
+    @pytest.mark.parametrize("bad", [{"strength": 1.0}, {"strength": -0.1}, {"n_knots": 1}])
+    def test_rejects_bad_config(self, bad):
+        with pytest.raises(ValueError):
+            TimeWarp(**bad)
+
+
+class TestMagnitudeScale:
+    def test_scales_each_series_by_constant(self, rng):
+        x = rng.normal(size=(5, 30)) + 2.0
+        out = MagnitudeScale(0.2)(x, rng)
+        ratio = out / x
+        assert np.allclose(ratio.std(axis=1), 0.0, atol=1e-12)
+
+    def test_zero_sigma_identity(self, rng):
+        x = rng.normal(size=(3, 30))
+        assert np.allclose(MagnitudeScale(0.0)(x, rng), x)
+
+
+class TestRandomCrop:
+    def test_full_fraction_is_identity(self, rng):
+        x = rng.normal(size=(3, 40))
+        assert np.array_equal(RandomCrop(1.0)(x, rng), x)
+
+    def test_cropped_values_come_from_original_range(self, rng):
+        x = np.tile(np.linspace(0, 1, 64), (5, 1))
+        out = RandomCrop(0.5)(x, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_crop_window_span(self, rng):
+        # A 50% crop of a ramp spans at most half the value range.
+        x = np.tile(np.linspace(0, 1, 64), (20, 1))
+        out = RandomCrop(0.5)(x, rng)
+        spans = out.max(axis=1) - out.min(axis=1)
+        assert np.all(spans <= 0.55)
+
+    @pytest.mark.parametrize("bad", [0.05, 1.5])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(ValueError):
+            RandomCrop(bad)
+
+
+class TestFrequencyNoise:
+    def test_output_is_real(self, rng):
+        out = FrequencyNoise(0.3)(rng.normal(size=(4, 64)), rng)
+        assert out.dtype == np.float64
+
+    def test_zero_sigma_identity(self, rng):
+        x = rng.normal(size=(3, 64))
+        assert np.allclose(FrequencyNoise(0.0)(x, rng), x, atol=1e-12)
+
+    def test_high_bins_untouched(self, rng):
+        x = rng.normal(size=(3, 64))
+        out = FrequencyNoise(0.5, max_bin_fraction=0.25)(x, rng)
+        spec_in = np.fft.rfft(x, axis=1)
+        spec_out = np.fft.rfft(out, axis=1)
+        cutoff = int(round(0.25 * spec_in.shape[1]))
+        assert np.allclose(spec_in[:, cutoff:], spec_out[:, cutoff:], atol=1e-9)
+
+    def test_rejects_bad_bin_fraction(self):
+        with pytest.raises(ValueError):
+            FrequencyNoise(0.1, max_bin_fraction=0.0)

@@ -1,0 +1,96 @@
+"""Property-based tests of autograd invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, logsumexp, softmax
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def batches(max_rows: int = 5, max_cols: int = 6):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=max(max_rows, max_cols)),
+        elements=finite_floats,
+    )
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_sum_to_one(x):
+    out = softmax(Tensor(x), axis=-1).data
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+    assert np.all(out >= 0)
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_logsumexp_dominates_max(x):
+    lse = logsumexp(Tensor(x), axis=-1).data
+    assert np.all(lse >= x.max(axis=-1) - 1e-12)
+    assert np.all(lse <= x.max(axis=-1) + np.log(x.shape[-1]) + 1e-12)
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert np.array_equal(t.grad, np.ones_like(x))
+
+
+@given(batches(), batches())
+@settings(max_examples=40, deadline=None)
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.array_equal(left, right)
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_tanh_bounded_and_odd(x):
+    out = Tensor(x).tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+    assert np.allclose(Tensor(-x).tanh().data, -out)
+
+
+@given(batches())
+@settings(max_examples=40, deadline=None)
+def test_reshape_roundtrip_preserves_gradient(x):
+    t = Tensor(x, requires_grad=True)
+    t.reshape(-1).reshape(*x.shape).sum().backward()
+    assert np.array_equal(t.grad, np.ones_like(x))
+
+
+@given(
+    arrays(dtype=np.float64, shape=(4, 3), elements=finite_floats),
+    arrays(dtype=np.float64, shape=(3,), elements=finite_floats),
+)
+@settings(max_examples=40, deadline=None)
+def test_broadcast_gradient_shape_invariant(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta * tb).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+    # The broadcast operand's gradient is the column sum.
+    assert np.allclose(tb.grad, a.sum(axis=0))
+
+
+@given(st.integers(min_value=1, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_linear_chain_gradient_is_product(depth):
+    x = Tensor([1.0], requires_grad=True)
+    v = x
+    for _ in range(depth):
+        v = v * 0.5
+    v.backward()
+    assert np.allclose(x.grad, [0.5**depth])

@@ -1,0 +1,89 @@
+"""Coupling-factor extraction via the MNA engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_so_filter_circuit, extract_mu_range, fit_mu
+from repro.circuits.coupling import _model_step_response
+from repro.spice import dc_operating_point
+
+
+class TestNetlist:
+    def test_circuit_topology(self):
+        c = build_so_filter_circuit(500, 1e-5, 800, 1e-5, 1e5)
+        assert len(c.resistors) == 3
+        assert len(c.capacitors) == 2
+        assert len(c.voltage_sources) == 1
+
+    def test_dc_divider_through_load(self):
+        r1, r2, rl = 400.0, 600.0, 9e3
+        c = build_so_filter_circuit(r1, 1e-5, r2, 1e-5, rl)
+        op = dc_operating_point(c, t=1.0)  # step already high at t=1
+        assert np.isclose(op["out"], rl / (rl + r1 + r2), rtol=1e-6)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            build_so_filter_circuit(0.0, 1e-5, 800, 1e-5, 1e5)
+
+
+class TestModelResponse:
+    def test_mu_one_matches_decoupled_cascade(self):
+        out = _model_step_response(500, 2e-5, 800, 1e-5, np.array([1.0, 1.0]), 1e-3, 50)
+        # DC limit with mu=1 is unity.
+        assert out[-1] > 0.95
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_larger_mu_lowers_response(self):
+        low = _model_step_response(500, 2e-5, 800, 1e-5, np.array([1.0, 1.0]), 1e-3, 50)
+        high = _model_step_response(500, 2e-5, 800, 1e-5, np.array([1.3, 1.3]), 1e-3, 50)
+        assert np.all(high[1:] <= low[1:])
+
+
+class TestFitting:
+    def test_fit_recovers_response_from_model_generated_data(self):
+        """Self-consistency: fitting model output reproduces the response.
+
+        The two stages nearly commute, so (mu1, mu2) is only weakly
+        identifiable as a pair — what must be recovered is the response.
+        """
+        from scipy.optimize import minimize
+
+        r1, c1, r2, c2, dt, steps = 600.0, 2e-5, 900.0, 1e-5, 1e-3, 80
+        true_mu = np.array([1.15, 1.05])
+        target = _model_step_response(r1, c1, r2, c2, true_mu, dt, steps)
+
+        def objective(mu):
+            model = _model_step_response(r1, c1, r2, c2, np.clip(mu, 1.0, None), dt, steps)
+            return float(np.mean((model - target) ** 2))
+
+        best = minimize(objective, x0=np.array([1.01, 1.01]), method="Nelder-Mead",
+                        options={"xatol": 1e-6, "fatol": 1e-14, "maxiter": 4000})
+        fitted = _model_step_response(
+            r1, c1, r2, c2, np.clip(best.x, 1.0, None), dt, steps
+        )
+        assert np.max(np.abs(fitted - target)) < 1e-4
+        assert np.all(np.clip(best.x, 1.0, None) >= 1.0)
+
+    def test_fit_mu_returns_sane_values(self):
+        fit = fit_mu(900, 8e-5, 100, 1e-6, 5e5, dt=1e-3, steps=60)
+        assert 1.0 <= fit.mu1 <= 1.5
+        assert 1.0 <= fit.mu2 <= 1.5
+        assert fit.residual < 0.1
+        assert 0 < fit.dc_gain <= 1.0
+
+    def test_unloaded_filter_fits_mu_one(self):
+        # Enormous load: essentially no coupling; mu should stay ~1.
+        fit = fit_mu(200, 1e-5, 900, 1e-5, 1e9, dt=1e-3, steps=60)
+        assert fit.mu1 < 1.05 and fit.mu2 < 1.05
+
+    def test_fit_rejects_bad_components(self):
+        with pytest.raises(ValueError):
+            fit_mu(-1.0, 1e-5, 800, 1e-5, 1e5)
+
+
+class TestRangeStudy:
+    def test_extracted_mu_within_paper_band(self):
+        mu1, mu2 = extract_mu_range(samples=8, steps=50, rng=np.random.default_rng(0))
+        both = np.concatenate([mu1, mu2])
+        assert both.min() >= 1.0
+        assert both.max() <= 1.3  # the paper's empirical band

@@ -1,0 +1,193 @@
+"""Learnable printed filters — recurrence correctness and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import (
+    FirstOrderLearnableFilter,
+    NoVariation,
+    SecondOrderLearnableFilter,
+    UniformVariation,
+    VariationSampler,
+    ideal_sampler,
+)
+
+
+def manual_first_order(x, r, c, dt, mu=1.0, v0=0.0):
+    """Reference recurrence: V_k = (RC V_{k-1} + dt x_k) / (mu RC + dt)."""
+    a = r * c / (mu * r * c + dt)
+    b = dt / (mu * r * c + dt)
+    v = v0
+    out = []
+    for xk in x:
+        v = a * v + b * xk
+        out.append(v)
+    return np.array(out)
+
+
+class TestFirstOrder:
+    def test_matches_manual_recurrence(self, rng):
+        flt = FirstOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        r = float(np.exp(flt.stage.log_r.data[0]))
+        c = float(np.exp(flt.stage.log_c.data[0]))
+        x = rng.uniform(-1, 1, 20)
+        out = flt(Tensor(x.reshape(1, 20, 1))).data[0, :, 0]
+        assert np.allclose(out, manual_first_order(x, r, c, 1e-3))
+
+    def test_matches_spice_transient(self, rng):
+        """The differentiable layer equals the MNA backward-Euler netlist."""
+        from repro.spice import Circuit, PiecewiseLinear, transient
+
+        flt = FirstOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        flt.stage.log_r.data = np.log([500.0])
+        flt.stage.log_c.data = np.log([10e-6])
+        steps = 30
+        x = rng.uniform(-1, 1, steps)
+        layer = flt(Tensor(x.reshape(1, steps, 1))).data[0, :, 0]
+
+        circ = Circuit()
+        times = np.arange(steps + 1) * 1e-3
+        circ.add_voltage_source("vin", "in", 0, PiecewiseLinear(times, np.concatenate([[x[0]], x])))
+        circ.add_resistor("r", "in", "out", 500.0)
+        circ.add_capacitor("c", "out", 0, 10e-6)
+        sim = transient(circ, dt=1e-3, steps=steps, probes=["out"])["out"][1:]
+        assert np.allclose(layer, sim, atol=1e-6)
+
+    def test_constant_input_converges_to_dc_gain(self, rng):
+        flt = FirstOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        flt.stage.log_r.data = np.log([200.0])
+        flt.stage.log_c.data = np.log([5e-6])  # tau = 1 ms
+        x = np.full((1, 300, 1), 0.7)
+        out = flt(Tensor(x)).data
+        assert np.isclose(out[0, -1, 0], 0.7, atol=1e-3)  # mu=1: unity DC gain
+
+    def test_smooths_high_frequency(self, rng):
+        flt = FirstOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        flt.stage.log_r.data = np.log([1000.0])
+        flt.stage.log_c.data = np.log([50e-6])
+        noise = rng.normal(0, 1, (1, 100, 1))
+        out = flt(Tensor(noise)).data
+        assert out.std() < noise.std() * 0.5
+
+    def test_rejects_wrong_channel_count(self, rng):
+        flt = FirstOrderLearnableFilter(2, rng=rng)
+        with pytest.raises(ValueError):
+            flt(Tensor(np.ones((1, 5, 3))))
+
+    @pytest.mark.parametrize("kwargs", [{"num_filters": 0}, {"num_filters": 2, "dt": 0.0}])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            FirstOrderLearnableFilter(**kwargs)
+
+    def test_counts(self, rng):
+        flt = FirstOrderLearnableFilter(5, rng=rng)
+        assert flt.count_resistors() == 5
+        assert flt.count_capacitors() == 5
+        assert flt.count_transistors() == 0
+
+    def test_component_values_printable(self, rng):
+        flt = FirstOrderLearnableFilter(4, rng=rng)
+        vals = flt.component_values()
+        assert np.all(vals["R"] >= flt.pdk.filter_r_min)
+        assert np.all(vals["R"] <= flt.pdk.filter_r_max)
+        assert np.all(vals["C"] >= flt.pdk.capacitance_min)
+        assert np.all(vals["C"] <= flt.pdk.capacitance_max)
+
+
+class TestSecondOrder:
+    def test_equals_two_cascaded_first_order(self, rng):
+        so = SecondOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        x = rng.uniform(-1, 1, 25)
+        out = so(Tensor(x.reshape(1, 25, 1))).data[0, :, 0]
+        r1 = float(np.exp(so.stage1.log_r.data[0]))
+        c1 = float(np.exp(so.stage1.log_c.data[0]))
+        r2 = float(np.exp(so.stage2.log_r.data[0]))
+        c2 = float(np.exp(so.stage2.log_c.data[0]))
+        inter = manual_first_order(x, r1, c1, 1e-3)
+        expected = manual_first_order(inter, r2, c2, 1e-3)
+        assert np.allclose(out, expected)
+
+    def test_mu_above_one_attenuates(self, rng):
+        """Coupling (mu > 1) lowers the DC gain: b/(1-a) = dt/(mu RC + dt - RC)."""
+        so_ideal = SecondOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=np.random.default_rng(3))
+        coupled_sampler = VariationSampler(model=NoVariation(), mu_low=1.3, mu_high=1.3, v0_max=0.0)
+        so_coupled = SecondOrderLearnableFilter(1, dt=1e-3, sampler=coupled_sampler, rng=np.random.default_rng(3))
+        x = Tensor(np.full((1, 400, 1), 1.0))
+        ideal_out = so_ideal(x).data[0, -1, 0]
+        coupled_out = so_coupled(x).data[0, -1, 0]
+        assert coupled_out < ideal_out
+
+    def test_initial_voltage_sampled_when_enabled(self, rng):
+        sampler = VariationSampler(model=NoVariation(), v0_max=0.1, rng=np.random.default_rng(0))
+        so = SecondOrderLearnableFilter(1, dt=1e-3, sampler=sampler, rng=rng)
+        x = Tensor(np.zeros((1, 3, 1)))
+        out = so(x).data
+        assert np.any(out != 0.0)  # leaked initial state
+
+    def test_counts_include_buffer(self, rng):
+        so = SecondOrderLearnableFilter(3, rng=rng)
+        assert so.count_resistors() == 6
+        assert so.count_capacitors() == 6
+        assert so.count_transistors() == 6  # 2 buffer transistors per channel
+
+    def test_gradients_reach_all_stages(self, rng):
+        so = SecondOrderLearnableFilter(2, rng=rng)
+        so(Tensor(rng.uniform(-1, 1, (2, 10, 2)))).sum().backward()
+        for p in (so.stage1.log_r, so.stage1.log_c, so.stage2.log_r, so.stage2.log_c):
+            assert p.grad is not None and np.any(p.grad != 0)
+
+    def test_filter_gradcheck(self, rng):
+        """log_r gradient matches finite differences through the recurrence."""
+        so = SecondOrderLearnableFilter(1, dt=1e-3, sampler=ideal_sampler(), rng=rng)
+        x = rng.uniform(-1, 1, (1, 8, 1))
+        eps = 1e-6
+        so.zero_grad()
+        so(Tensor(x)).sum().backward()
+        analytic = so.stage1.log_r.grad[0]
+        base = so.stage1.log_r.data.copy()
+        so.stage1.log_r.data = base + eps
+        plus = so(Tensor(x)).data.sum()
+        so.stage1.log_r.data = base - eps
+        minus = so(Tensor(x)).data.sum()
+        so.stage1.log_r.data = base
+        assert np.isclose(analytic, (plus - minus) / (2 * eps), atol=1e-5)
+
+    def test_component_values_both_stages(self, rng):
+        so = SecondOrderLearnableFilter(2, rng=rng)
+        vals = so.component_values()
+        assert set(vals) == {"R1", "C1", "R2", "C2"}
+
+
+class TestStabilityProperties:
+    def test_bounded_input_bounded_output(self, rng):
+        """BIBO stability: |a| < 1 always, so output stays within input range."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from hypothesis.extra.numpy import arrays
+
+        @given(
+            arrays(
+                np.float64,
+                (1, 30, 1),
+                elements=st.floats(min_value=-1, max_value=1, allow_nan=False),
+            ),
+            st.integers(min_value=0, max_value=100),
+        )
+        @settings(max_examples=25, deadline=None)
+        def check(x, seed):
+            flt = SecondOrderLearnableFilter(
+                1, dt=1e-3, sampler=ideal_sampler(), rng=np.random.default_rng(seed)
+            )
+            out = flt(Tensor(x)).data
+            assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+        check()
+
+    def test_variation_preserves_stability(self, rng):
+        sampler = VariationSampler(model=UniformVariation(0.3), rng=np.random.default_rng(1))
+        flt = SecondOrderLearnableFilter(3, dt=1e-3, sampler=sampler, rng=rng)
+        x = Tensor(rng.uniform(-1, 1, (2, 200, 3)))
+        for _ in range(5):
+            out = flt(x).data
+            assert np.all(np.abs(out) <= 1.2)  # v0 leak bounded by v0_max

@@ -1,0 +1,76 @@
+"""Printed PDK constants and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import BASELINE_PDK, DEFAULT_PDK, PrintedPDK
+
+
+class TestShippedPDKs:
+    def test_default_crossbar_window_matches_paper(self):
+        """Sec. IV-A1: crossbar resistors in 100 kOhm - 10 MOhm."""
+        assert DEFAULT_PDK.crossbar_r_min == 100e3
+        assert DEFAULT_PDK.crossbar_r_max == 10e6
+
+    def test_default_filter_resistors_below_1k(self):
+        assert DEFAULT_PDK.filter_r_max <= 1e3
+
+    def test_default_capacitance_window_matches_paper(self):
+        """Sec. IV-A1: 100 nF - 100 uF."""
+        assert DEFAULT_PDK.capacitance_min == 100e-9
+        assert DEFAULT_PDK.capacitance_max == 100e-6
+
+    def test_baseline_draws_more_transistor_power(self):
+        """The Table III technology gap: baseline stages are far hungrier."""
+        ratio = BASELINE_PDK.transistor_bias_power / DEFAULT_PDK.transistor_bias_power
+        assert ratio > 10
+
+    def test_nominal_variation_is_ten_percent(self):
+        assert DEFAULT_PDK.nominal_variation == 0.10
+
+    def test_supply_is_one_volt(self):
+        assert DEFAULT_PDK.supply_voltage == 1.0
+
+
+class TestDerived:
+    def test_resistor_static_power(self):
+        p = DEFAULT_PDK.resistor_static_power(1e6)
+        assert np.isclose(p, 0.5 * 1.0 / 1e6)
+
+    def test_resistor_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PDK.resistor_static_power(0.0)
+
+    def test_clipping_helpers(self):
+        assert DEFAULT_PDK.clip_crossbar_resistance(1.0) == DEFAULT_PDK.crossbar_r_min
+        assert DEFAULT_PDK.clip_crossbar_resistance(1e12) == DEFAULT_PDK.crossbar_r_max
+        assert DEFAULT_PDK.clip_filter_resistance(1e9) == DEFAULT_PDK.filter_r_max
+        assert DEFAULT_PDK.clip_capacitance(1.0) == DEFAULT_PDK.capacitance_max
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            name="t",
+            crossbar_r_min=1e5,
+            crossbar_r_max=1e7,
+            filter_r_min=50.0,
+            filter_r_max=1e3,
+            capacitance_min=1e-7,
+            capacitance_max=1e-4,
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"crossbar_r_min": 0.0},
+            {"crossbar_r_min": 1e8},  # min > max
+            {"filter_r_min": -1.0},
+            {"capacitance_min": 1e-3},  # min > max
+            {"supply_voltage": 0.0},
+            {"nominal_variation": 1.5},
+        ],
+    )
+    def test_rejects_inconsistent_windows(self, override):
+        with pytest.raises(ValueError):
+            PrintedPDK(**{**self.base_kwargs(), **override})

@@ -1,0 +1,92 @@
+"""Crossbar programming: importing software weights (inverse of Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import PrintedCrossbar, program_crossbar
+
+
+@pytest.fixture
+def xb(rng):
+    return PrintedCrossbar(3, 2, rng=rng)
+
+
+class TestProgramming:
+    def test_realises_requested_weights(self, xb, rng):
+        weights = np.array([[0.3, -0.2, 0.1], [-0.25, 0.15, 0.2]])
+        bias = np.array([0.1, -0.05])
+        program_crossbar(xb, weights, bias)
+        assert np.allclose(xb.weight_matrix(), weights, atol=1e-12)
+
+    def test_forward_matches_affine_map(self, xb, rng):
+        weights = np.array([[0.3, -0.2, 0.1], [-0.25, 0.15, 0.2]])
+        bias = np.array([0.1, -0.05])
+        program_crossbar(xb, weights, bias)
+        x = rng.uniform(-1, 1, (4, 3))
+        out = xb(Tensor(x)).data
+        assert np.allclose(out, x @ weights.T + bias, atol=1e-12)
+
+    def test_zero_bias_default(self, xb):
+        weights = np.full((2, 3), 0.2)
+        program_crossbar(xb, weights)
+        x = np.zeros((1, 3))
+        assert np.allclose(xb(Tensor(x)).data, 0.0, atol=1e-12)
+
+    def test_zero_weight_prunes_crossing(self, xb):
+        weights = np.array([[0.4, 0.0, 0.3], [0.2, 0.2, 0.2]])
+        program_crossbar(xb, weights)
+        assert xb.theta.data[0, 1] == 0.0
+        assert xb.count_input_resistors() == 5
+
+    def test_headroom_controls_conductance_ceiling(self, xb):
+        weights = np.full((2, 3), 0.2)
+        program_crossbar(xb, weights, headroom=0.5)
+        from repro.circuits import THETA_MAX
+
+        all_g = np.concatenate(
+            [np.abs(xb.theta.data).reshape(-1), np.abs(xb.theta_d.data)]
+        )
+        assert np.isclose(all_g.max(), 0.5 * THETA_MAX)
+
+    def test_rejects_row_sum_above_one(self, xb):
+        weights = np.array([[0.5, 0.4, 0.3], [0.1, 0.1, 0.1]])
+        with pytest.raises(ValueError):
+            program_crossbar(xb, weights)
+
+    def test_rejects_excessive_dynamic_range(self, xb):
+        # 1e-4 relative to 0.5: the tiny weight would fall below THETA_MIN.
+        weights = np.array([[0.5, 5e-5, 0.1], [0.1, 0.1, 0.1]])
+        with pytest.raises(ValueError):
+            program_crossbar(xb, weights)
+
+    def test_rejects_shape_mismatch(self, xb):
+        with pytest.raises(ValueError):
+            program_crossbar(xb, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            program_crossbar(xb, np.full((2, 3), 0.1), np.zeros(3))
+
+    def test_rejects_bad_headroom(self, xb):
+        with pytest.raises(ValueError):
+            program_crossbar(xb, np.full((2, 3), 0.1), headroom=0.0)
+
+    def test_roundtrip_with_compiled_netlist(self, rng):
+        """Programmed weights survive compilation to a physical netlist."""
+        from repro.compile.model_compiler import _compile_crossbar
+        from repro.spice import NonlinearCircuit, newton_dc
+
+        xb = PrintedCrossbar(2, 1, rng=rng)
+        weights = np.array([[0.35, -0.25]])
+        bias = np.array([0.1])
+        program_crossbar(xb, weights, bias)
+
+        circuit = NonlinearCircuit()
+        circuit.add_voltage_source("vdd", "vdd", 0, 1.0)
+        circuit.add_vcvs("evss", "vss", 0, "vdd", 0, -1.0)
+        v_in = [0.6, -0.4]
+        for i, v in enumerate(v_in):
+            circuit.add_voltage_source(f"vin{i}", f"in{i}", 0, v)
+        nodes = _compile_crossbar(circuit, xb, ["in0", "in1"], "b0", "vdd", "vss")
+        op = newton_dc(circuit)
+        expected = float(np.array(v_in) @ weights[0] + bias[0])
+        assert np.isclose(op[nodes[0]], expected, atol=1e-9)

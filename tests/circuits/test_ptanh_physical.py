@@ -1,0 +1,98 @@
+"""Physical η derivation from component values q^A."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import (
+    PrintedTanh,
+    build_ptanh_circuit,
+    derive_eta,
+    make_printed_tanh,
+)
+from repro.spice import EGTParameters
+
+
+@pytest.fixture(scope="module")
+def fit():
+    return derive_eta(r1=20e3, r2=20e3)
+
+
+class TestCircuit:
+    def test_netlist_topology(self):
+        c = build_ptanh_circuit(20e3, 20e3)
+        assert len(c.resistors) == 2
+        assert len(c.egts) == 2
+        assert len(c.voltage_sources) == 2  # vdd + vin
+
+    def test_rejects_nonpositive_loads(self):
+        with pytest.raises(ValueError):
+            build_ptanh_circuit(0.0, 20e3)
+
+
+class TestTransferShape:
+    def test_cascade_is_monotone_rising(self, fit):
+        """Two inverting stages: overall non-inverting tanh shape."""
+        assert np.all(np.diff(fit.v_out) >= -1e-9)
+
+    def test_saturates_at_both_ends(self, fit):
+        low_slope = (fit.v_out[2] - fit.v_out[0]) / (fit.v_in[2] - fit.v_in[0])
+        mid = len(fit.v_in) // 2
+        mid_slope = (fit.v_out[mid + 1] - fit.v_out[mid - 1]) / (
+            fit.v_in[mid + 1] - fit.v_in[mid - 1]
+        )
+        high_slope = (fit.v_out[-1] - fit.v_out[-3]) / (fit.v_in[-1] - fit.v_in[-3])
+        assert mid_slope > 5 * max(abs(low_slope), 1e-6)
+        assert mid_slope > 5 * max(abs(high_slope), 1e-6)
+
+    def test_output_within_supply(self, fit):
+        assert fit.v_out.min() >= 0.0
+        assert fit.v_out.max() <= 1.0 + 1e-9
+
+
+class TestEtaFit:
+    def test_fit_quality(self, fit):
+        """Sec. II-B: the circuit's transfer is tanh-like — the fit must
+        capture it within a few mV RMS."""
+        assert fit.rms_error < 0.02
+
+    def test_eta_are_physical(self, fit):
+        assert 0.0 < fit.eta1 < 1.0  # mid-level inside the supply
+        assert fit.eta2 > 0.0  # positive swing (non-inverting)
+        assert 0.0 < fit.eta3 < 1.0  # threshold inside the sweep
+        assert fit.eta4 > 1.0  # sharper than unit gain
+
+    def test_evaluate_matches_simulation(self, fit):
+        predicted = fit.evaluate(fit.v_in)
+        assert np.sqrt(np.mean((predicted - fit.v_out) ** 2)) < 0.02
+
+    def test_eta4_grows_with_load_resistance(self):
+        """Larger loads -> higher stage gain -> steeper transfer."""
+        soft = derive_eta(r1=5e3, r2=5e3, points=40)
+        sharp = derive_eta(r1=100e3, r2=100e3, points=40)
+        assert sharp.eta4 > soft.eta4
+
+    def test_threshold_tracks_transistor_vt(self):
+        lo = derive_eta(t1=EGTParameters(v_t=0.2), t2=EGTParameters(v_t=0.2), points=40)
+        hi = derive_eta(t1=EGTParameters(v_t=0.45), t2=EGTParameters(v_t=0.45), points=40)
+        assert hi.eta3 > lo.eta3
+
+
+class TestMakePrintedTanh:
+    def test_recentered_module(self, fit):
+        act = make_printed_tanh(3, fit, rng=np.random.default_rng(0))
+        assert isinstance(act, PrintedTanh)
+        assert np.allclose(act.eta1.data, 0.0)
+        assert np.allclose(act.eta2.data, fit.eta2)
+        assert np.allclose(act.eta4.data, fit.eta4)
+
+    def test_raw_module_keeps_offsets(self, fit):
+        act = make_printed_tanh(2, fit, rng=np.random.default_rng(0), recenter=False)
+        assert np.allclose(act.eta1.data, fit.eta1)
+        assert np.allclose(act.eta3.data, fit.eta3)
+
+    def test_module_forward_works(self, fit):
+        act = make_printed_tanh(2, fit, rng=np.random.default_rng(0))
+        out = act(Tensor(np.linspace(-1, 1, 10).reshape(5, 2)))
+        assert out.shape == (5, 2)
+        assert np.all(np.isfinite(out.data))

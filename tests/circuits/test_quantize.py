@@ -1,0 +1,83 @@
+"""Printable-grid quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import quantize_model, snap_to_grid
+from repro.core import AdaptPNC, ElmanClassifier
+
+
+class TestSnapToGrid:
+    def test_grid_points_are_fixed(self):
+        snapped = snap_to_grid(np.array([1.0, 10.0, 100.0]), 12)
+        assert np.allclose(snapped, [1.0, 10.0, 100.0])
+
+    def test_max_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        values = np.exp(rng.uniform(np.log(1e-7), np.log(1e7), 500))
+        for n in (3, 6, 12, 24):
+            snapped = snap_to_grid(values, n)
+            half_step = 10 ** (0.5 / n)
+            ratio = np.maximum(snapped / values, values / snapped)
+            assert np.all(ratio <= half_step * (1 + 1e-12))
+
+    def test_finer_grid_smaller_error(self):
+        rng = np.random.default_rng(1)
+        values = np.exp(rng.uniform(0, 3, 200))
+        coarse = np.abs(snap_to_grid(values, 3) - values) / values
+        fine = np.abs(snap_to_grid(values, 24) - values) / values
+        assert fine.mean() < coarse.mean()
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        values = np.exp(rng.uniform(0, 2, 50))
+        once = snap_to_grid(values, 12)
+        assert np.allclose(snap_to_grid(once, 12), once)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            snap_to_grid(np.array([0.0, 1.0]), 12)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            snap_to_grid(np.array([1.0]), 0)
+
+
+class TestQuantizeModel:
+    def test_report_statistics(self, rng):
+        model = AdaptPNC(3, rng=rng)
+        report = quantize_model(model, values_per_decade=12)
+        assert report.n_quantized > 0
+        assert 0 <= report.mean_relative_error <= report.max_relative_error
+        # E12-style grid: at most ~10% half-step error
+        assert report.max_relative_error < 0.11
+
+    def test_filter_values_on_grid_after(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        quantize_model(model, values_per_decade=6)
+        for block in model.blocks:
+            r = np.exp(block.filters.stage1.log_r.data)
+            assert np.allclose(snap_to_grid(r, 6), r, rtol=1e-9)
+
+    def test_preserves_theta_signs(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        signs_before = [np.sign(b.crossbar.theta.data.copy()) for b in model.blocks]
+        quantize_model(model)
+        for block, before in zip(model.blocks, signs_before):
+            assert np.array_equal(np.sign(block.crossbar.theta.data), before)
+
+    def test_forward_changes_only_slightly(self, rng):
+        from repro.autograd import no_grad
+
+        model = AdaptPNC(2, rng=np.random.default_rng(0))
+        x = rng.uniform(-1, 1, (4, 16))
+        with no_grad():
+            before = model(x).data
+        quantize_model(model, values_per_decade=24)
+        with no_grad():
+            after = model(x).data
+        assert np.max(np.abs(after - before)) < 0.5
+
+    def test_rejects_hardware_agnostic_model(self, rng):
+        with pytest.raises(TypeError):
+            quantize_model(ElmanClassifier(2, rng=rng))

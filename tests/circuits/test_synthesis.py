@@ -1,0 +1,47 @@
+"""Bespoke ptanh synthesis (inverse design)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import derive_eta, synthesize_ptanh
+from repro.circuits.synthesis import _target_transfer
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def roundtrip(self):
+        """Characterise a known design, then synthesise its eta back."""
+        known = derive_eta(r1=30e3, r2=30e3, points=20)
+        result = synthesize_ptanh(known.eta, points=15, max_iterations=50, seed=0)
+        return known, result
+
+    def test_roundtrip_realises_target(self, roundtrip):
+        _, result = roundtrip
+        assert result.rms_error < 0.03  # within 30 mV of the target curve
+
+    def test_roundtrip_recovers_design_neighbourhood(self, roundtrip):
+        """The recovered loads should be the same order of magnitude as
+        the design that produced the target (the mapping is not unique,
+        but wildly different loads would give wrong gain)."""
+        _, result = roundtrip
+        assert 3e3 < result.r1 < 3e5
+        assert 3e3 < result.r2 < 3e5
+
+    def test_components_within_search_bounds(self, roundtrip):
+        _, result = roundtrip
+        assert 0.15 <= result.t1.v_t <= 0.50
+        assert 2e-5 <= result.t1.k <= 5e-4
+
+    def test_target_transfer_helper(self):
+        eta = np.array([0.5, 0.3, 0.5, 8.0])
+        v = np.linspace(0, 1, 5)
+        expected = 0.5 + 0.3 * np.tanh((v - 0.5) * 8.0)
+        assert np.allclose(_target_transfer(eta, v), expected)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            synthesize_ptanh([0.5, 0.3, 0.5])  # wrong length
+        with pytest.raises(ValueError):
+            synthesize_ptanh([0.5, -0.3, 0.5, 8.0])  # negative swing
+        with pytest.raises(ValueError):
+            synthesize_ptanh([0.5, 0.3, 0.5, 0.0])  # zero gain

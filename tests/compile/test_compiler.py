@@ -1,0 +1,108 @@
+"""Model-to-netlist compilation and circuit-level inference."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.compile import classify_series, compile_model, simulate_series
+from repro.core import AdaptPNC, PTPNC
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(0)
+    return np.clip(np.cumsum(rng.normal(0, 0.2, 24)), -1, 1)
+
+
+class TestTopology:
+    def test_baseline_component_budget(self, rng):
+        model = PTPNC(2, rng=rng)
+        compiled = compile_model(model)
+        circuit = compiled.circuit
+        # filters: 1 R + 1 C per channel over (1 + hidden) channels
+        n_channels = 1 + model.hidden_size
+        assert len(circuit.capacitors) == n_channels
+        assert len(compiled.output_nodes) == 2
+
+    def test_so_lf_doubles_capacitors(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        compiled = compile_model(model)
+        n_channels = 1 + model.hidden_size
+        assert len(compiled.circuit.capacitors) == 2 * n_channels
+
+    def test_pruned_crossings_not_printed(self, rng):
+        model = PTPNC(2, rng=np.random.default_rng(3))
+        n_before = len(compile_model(model).circuit.resistors)
+        model.blocks[1].crossbar.theta.data[0, 0] = 1e-6  # prune one crossing
+        n_after = len(compile_model(model).circuit.resistors)
+        assert n_after == n_before - 1
+
+    def test_negative_crossings_get_inverters(self, rng):
+        model = PTPNC(2, rng=np.random.default_rng(0))
+        model.blocks[0].crossbar.theta.data[:] = 0.5  # all positive
+        model.blocks[1].crossbar.theta.data[:] = 0.5
+        model.blocks[0].crossbar.theta_b.data[:] = 0.2
+        model.blocks[1].crossbar.theta_b.data[:] = 0.2
+        compiled = compile_model(model, decouple=False)
+        inverters = [e for e in compiled.circuit.vcvs if "_einv" in e.name]
+        assert not inverters
+        model.blocks[0].crossbar.theta.data[0, 0] = -0.5
+        compiled = compile_model(model, decouple=False)
+        inverters = [e for e in compiled.circuit.vcvs if "_einv" in e.name]
+        assert len(inverters) == 1
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("cls", [PTPNC, AdaptPNC])
+    def test_circuit_matches_differentiable_model(self, cls, series):
+        """The flagship check: netlist transient == model forward."""
+        model = cls(2, rng=np.random.default_rng(0))
+        compiled = compile_model(model)
+        with no_grad():
+            expected = model(series.reshape(1, -1)).data[0] / model.logit_scale
+        outputs = simulate_series(compiled, series)
+        assert np.allclose(outputs[-1], expected, atol=1e-6)
+
+    def test_full_output_trajectory_matches(self, series):
+        from repro.autograd import Tensor
+
+        model = PTPNC(2, rng=np.random.default_rng(1))
+        compiled = compile_model(model)
+        with no_grad():
+            seq = model.blocks[0](Tensor(series.reshape(1, -1, 1)))
+            seq = model.blocks[1](seq).data[0]
+        outputs = simulate_series(compiled, series)
+        assert np.allclose(outputs, seq, atol=1e-6)
+
+    def test_classification_agrees(self, series):
+        model = AdaptPNC(3, rng=np.random.default_rng(2))
+        compiled = compile_model(model)
+        with no_grad():
+            expected = int(np.argmax(model(series.reshape(1, -1)).data[0]))
+        assert classify_series(compiled, series) == expected
+
+    def test_coupled_netlist_deviates_boundedly(self, series):
+        """Without buffers the physical coupling shows up — the effect
+        the paper's μ factor approximates — but stays bounded."""
+        model = AdaptPNC(2, rng=np.random.default_rng(0))
+        with no_grad():
+            expected = model(series.reshape(1, -1)).data[0] / model.logit_scale
+        coupled = compile_model(model, decouple=False)
+        outputs = simulate_series(coupled, series)
+        deviation = np.max(np.abs(outputs[-1] - expected))
+        assert 0.0 < deviation < 0.3
+
+
+class TestValidation:
+    def test_rejects_scalar_series(self, rng):
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError):
+            simulate_series(compiled, np.array([1.0]))
+
+    def test_dt_carried_from_model(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        assert compile_model(model).dt == model.blocks[0].filters.dt
+
+    def test_logit_scale_carried(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        assert compile_model(model).logit_scale == model.logit_scale

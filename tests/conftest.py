@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for generators with explicit seeds."""
+
+    def make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

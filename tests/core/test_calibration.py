@@ -1,0 +1,84 @@
+"""Post-fabrication bias trimming."""
+
+import numpy as np
+import pytest
+
+from repro.core import PTPNC, Trainer, TrainingConfig, calibrate_instance, calibration_study
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def trained():
+    ds = load_dataset("CBF", n_samples=90, seed=0)
+    model = PTPNC(3, rng=np.random.default_rng(0))
+    from dataclasses import replace
+
+    Trainer(model, replace(TrainingConfig.ci(), max_epochs=40), seed=0).fit(
+        ds.x_train, ds.y_train, ds.x_val, ds.y_val
+    )
+    return model, ds
+
+
+class TestCalibrateInstance:
+    def test_returns_before_after(self, trained):
+        model, ds = trained
+        result = calibrate_instance(
+            model, ds.x_val, ds.y_val, ds.x_test, ds.y_test,
+            instance_seed=3, delta=0.15, epochs=10,
+        )
+        assert 0.0 <= result.accuracy_before <= 1.0
+        assert 0.0 <= result.accuracy_after <= 1.0
+        assert np.isclose(result.gain, result.accuracy_after - result.accuracy_before)
+
+    def test_design_parameters_restored(self, trained):
+        model, ds = trained
+        before = model.state_dict()
+        calibrate_instance(
+            model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, epochs=5
+        )
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_sampler_restored(self, trained):
+        model, ds = trained
+        sampler_before = model.sampler
+        calibrate_instance(model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, epochs=3)
+        assert model.sampler is sampler_before
+
+    def test_deterministic_per_instance(self, trained):
+        model, ds = trained
+        a = calibrate_instance(
+            model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, instance_seed=7, epochs=8
+        )
+        b = calibrate_instance(
+            model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, instance_seed=7, epochs=8
+        )
+        assert a.accuracy_before == b.accuracy_before
+        assert a.accuracy_after == b.accuracy_after
+
+    def test_rejects_bad_epochs(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            calibrate_instance(model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, epochs=0)
+
+
+class TestCalibrationStudy:
+    def test_mean_gain_nonnegative_on_degraded_instances(self, trained):
+        """Trimming should help (or at least not hurt) on average when
+        variation has degraded the instances."""
+        model, ds = trained
+        results = calibration_study(
+            model, ds.x_val, ds.y_val, ds.x_test, ds.y_test,
+            instances=3, delta=0.15, epochs=25,
+        )
+        assert len(results) == 3
+        mean_gain = float(np.mean([r.gain for r in results]))
+        assert mean_gain > -0.05
+
+    def test_rejects_zero_instances(self, trained):
+        model, ds = trained
+        with pytest.raises(ValueError):
+            calibration_study(
+                model, ds.x_val, ds.y_val, ds.x_test, ds.y_test, instances=0
+            )

@@ -1,0 +1,80 @@
+"""Stacked (deeper than 2-layer) printed temporal networks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import PrintedTemporalClassifier
+
+
+class TestDeepStacks:
+    def test_default_is_two_layers(self, rng):
+        model = PrintedTemporalClassifier(3, hidden_size=4, rng=rng)
+        assert model.num_layers == 2
+        assert len(list(model.blocks)) == 2
+
+    def test_three_layer_stack(self, rng):
+        model = PrintedTemporalClassifier(2, hidden_sizes=(5, 3), rng=rng)
+        assert model.num_layers == 3
+        widths = [(b.in_features, b.out_features) for b in model.blocks]
+        assert widths == [(1, 5), (5, 3), (3, 2)]
+
+    def test_forward_shape(self, rng):
+        model = PrintedTemporalClassifier(4, hidden_sizes=(6, 5, 4), rng=rng)
+        out = model(rng.uniform(-1, 1, (3, 20)))
+        assert out.shape == (3, 4)
+
+    def test_deep_model_trains(self, rng):
+        from repro.nn import cross_entropy
+        from repro.optim import AdamW
+
+        model = PrintedTemporalClassifier(2, hidden_sizes=(4, 3), rng=np.random.default_rng(0))
+        x = rng.uniform(-1, 1, (8, 16))
+        y = np.array([0, 1] * 4)
+        opt = AdamW(model.parameters(), lr=0.05)
+        first = None
+        for _ in range(10):
+            opt.zero_grad()
+            loss = cross_entropy(model(x), y)
+            first = first if first is not None else loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+
+    def test_sampler_reaches_all_blocks(self, rng):
+        from repro.circuits import VariationSampler
+
+        model = PrintedTemporalClassifier(2, hidden_sizes=(4, 3), rng=rng)
+        s = VariationSampler()
+        model.set_sampler(s)
+        assert all(b.sampler is s for b in model.blocks)
+
+    def test_device_count_grows_with_depth(self):
+        from repro.hw import count_devices
+
+        shallow = PrintedTemporalClassifier(2, hidden_size=4, rng=np.random.default_rng(0))
+        deep = PrintedTemporalClassifier(
+            2, hidden_sizes=(4, 4), rng=np.random.default_rng(0)
+        )
+        assert count_devices(deep).total > count_devices(shallow).total
+
+    def test_rejects_conflicting_width_args(self, rng):
+        with pytest.raises(ValueError):
+            PrintedTemporalClassifier(2, hidden_size=4, hidden_sizes=(4, 3), rng=rng)
+
+    def test_rejects_empty_or_bad_widths(self, rng):
+        with pytest.raises(ValueError):
+            PrintedTemporalClassifier(2, hidden_sizes=(), rng=rng)
+        with pytest.raises(ValueError):
+            PrintedTemporalClassifier(2, hidden_sizes=(4, 0), rng=rng)
+
+    def test_streaming_matches_deep_forward(self, rng):
+        from repro.core import StreamingClassifier
+
+        model = PrintedTemporalClassifier(2, hidden_sizes=(4, 3), rng=np.random.default_rng(1))
+        series = rng.uniform(-1, 1, 24)
+        stream = StreamingClassifier(model)
+        streamed = stream.run(series)
+        with no_grad():
+            batched = model(series.reshape(1, -1)).data[0] * 1.0
+        assert np.allclose(streamed[-1] / model.logit_scale, batched / model.logit_scale)

@@ -1,0 +1,53 @@
+"""Evaluation under arbitrary variation distributions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import GMMVariation, NoVariation, UniformVariation
+from repro.core import AdaptPNC, ElmanClassifier, evaluate_under_model
+
+
+@pytest.fixture
+def model(rng):
+    return AdaptPNC(2, rng=rng)
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(-1, 1, (10, 16)), rng.integers(0, 2, 10)
+
+
+class TestEvaluateUnderModel:
+    def test_no_variation_matches_clean_accuracy(self, model, data):
+        from repro.core import accuracy
+
+        res = evaluate_under_model(model, *data, NoVariation(), mc_samples=3)
+        assert np.isclose(res.mean, accuracy(model, *data))
+        assert res.std == 0.0
+
+    def test_gmm_model_accepted(self, model, data):
+        res = evaluate_under_model(model, *data, GMMVariation(), mc_samples=4, seed=0)
+        assert len(res.samples) == 4
+        assert 0.0 <= res.mean <= 1.0
+
+    def test_restores_sampler(self, model, data):
+        before = model.sampler
+        evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=2)
+        assert model.sampler is before
+
+    def test_matches_evaluate_under_variation(self, model, data):
+        from repro.core import evaluate_under_variation
+
+        a = evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=4, seed=7)
+        b = evaluate_under_variation(model, *data, delta=0.1, mc_samples=4, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_hardware_agnostic_single_shot(self, rng, data):
+        res = evaluate_under_model(
+            ElmanClassifier(2, rng=rng), *data, UniformVariation(0.1), mc_samples=5
+        )
+        assert len(res.samples) == 1
+
+    def test_rejects_zero_samples(self, model, data):
+        with pytest.raises(ValueError):
+            evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=0)

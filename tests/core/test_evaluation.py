@@ -1,0 +1,90 @@
+"""Evaluation under variation and top-k selection."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import NoVariation
+from repro.core import (
+    AdaptPNC,
+    ElmanClassifier,
+    accuracy,
+    evaluate_under_variation,
+    select_top_k,
+)
+
+
+@pytest.fixture
+def model(rng):
+    return AdaptPNC(2, rng=rng)
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(-1, 1, (12, 16)), rng.integers(0, 2, 12)
+
+
+class TestAccuracy:
+    def test_range(self, model, data):
+        acc = accuracy(model, *data)
+        assert 0.0 <= acc <= 1.0
+
+    def test_perfect_on_constant_labels(self, model, data):
+        x, _ = data
+        logits = model(x).data
+        y = np.argmax(logits, axis=1)
+        assert accuracy(model, x, y) == 1.0
+
+
+class TestEvaluateUnderVariation:
+    def test_restores_original_sampler(self, model, data):
+        before = model.sampler
+        evaluate_under_variation(model, *data, delta=0.1, mc_samples=3, seed=0)
+        assert model.sampler is before
+
+    def test_zero_delta_is_deterministic(self, model, data):
+        res = evaluate_under_variation(model, *data, delta=0.0)
+        assert res.std == 0.0
+        assert len(res.samples) == 1
+
+    def test_mc_samples_recorded(self, model, data):
+        res = evaluate_under_variation(model, *data, delta=0.1, mc_samples=5, seed=0)
+        assert len(res.samples) == 5
+        assert np.isclose(res.mean, res.samples.mean())
+        assert np.isclose(res.std, res.samples.std())
+
+    def test_seed_reproducibility(self, model, data):
+        a = evaluate_under_variation(model, *data, delta=0.1, mc_samples=4, seed=9)
+        b = evaluate_under_variation(model, *data, delta=0.1, mc_samples=4, seed=9)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_hardware_agnostic_model_evaluated_once(self, rng, data):
+        elman = ElmanClassifier(2, rng=rng)
+        res = evaluate_under_variation(elman, *data, delta=0.1, mc_samples=10)
+        assert len(res.samples) == 1
+        assert res.std == 0.0
+
+    def test_rejects_zero_mc(self, model, data):
+        with pytest.raises(ValueError):
+            evaluate_under_variation(model, *data, delta=0.1, mc_samples=0)
+
+    def test_restores_sampler_even_on_error(self, model):
+        before = model.sampler
+        with pytest.raises(Exception):
+            evaluate_under_variation(model, np.ones((2, 3, 4, 5)), np.zeros(2), delta=0.1)
+        assert model.sampler is before
+
+
+class TestSelectTopK:
+    def test_returns_best_indices_descending(self):
+        assert select_top_k([0.1, 0.9, 0.5], k=2) == [1, 2]
+
+    def test_k_larger_than_population(self):
+        assert select_top_k([0.3, 0.1], k=5) == [0, 1]
+
+    def test_paper_default_top3(self):
+        scores = [0.2, 0.8, 0.5, 0.9, 0.1]
+        assert select_top_k(scores) == [3, 1, 2]
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            select_top_k([0.5], k=0)

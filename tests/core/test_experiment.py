@@ -1,0 +1,141 @@
+"""Experiment harness: every table/figure entry point at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ABLATION_CONFIGS,
+    ExperimentConfig,
+    format_fig7,
+    format_table1,
+    run_fig5,
+    run_fig6,
+    run_fig7_ablation,
+    run_mu_extraction,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    from dataclasses import replace
+
+    cfg = ExperimentConfig.smoke(datasets=("Slope",))
+    return replace(
+        cfg,
+        n_samples=50,
+        training=replace(cfg.training, max_epochs=10, lr_patience=3),
+        eval_mc=2,
+    )
+
+
+class TestConfig:
+    def test_paper_covers_everything(self):
+        cfg = ExperimentConfig.paper()
+        assert len(cfg.datasets) == 15
+        assert len(cfg.seeds) == 10
+        assert cfg.top_k == 3
+        assert cfg.eval_delta == 0.10
+
+    def test_ci_same_datasets_smaller_everything(self):
+        cfg = ExperimentConfig.ci()
+        assert len(cfg.datasets) == 15
+        assert len(cfg.seeds) < 10
+        assert cfg.training.max_epochs < ExperimentConfig.paper().training.max_epochs
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(datasets=("Nope",))
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(seeds=())
+
+
+class TestTable1(object):
+    def test_structure_and_ranges(self, smoke):
+        table = run_table1(smoke)
+        assert set(table) == {"Slope", "Average"}
+        for entry in table.values():
+            assert set(entry) == {"elman", "ptpnc", "adapt"}
+            for result in entry.values():
+                assert 0.0 <= result.mean <= 1.0
+                assert result.std >= 0.0
+
+    def test_format_renders(self, smoke):
+        text = format_table1(run_table1(smoke))
+        assert "Slope" in text and "Average" in text and "±" in text
+
+
+class TestTable2:
+    def test_timings_positive_and_ordered(self, smoke):
+        timings = run_table2(smoke, dataset_name="Slope", repeats=1)
+        assert set(timings) == {"elman", "ptpnc", "adapt"}
+        assert all(t > 0 for t in timings.values())
+        # ADAPT pays for MC sampling + augmentation: slowest printed model.
+        assert timings["adapt"] > timings["ptpnc"]
+
+
+class TestTable3:
+    def test_rows_for_each_dataset(self, smoke):
+        rows = run_table3(smoke)
+        assert [r.dataset for r in rows] == list(smoke.datasets)
+        for row in rows:
+            assert row.proposed.total > 0 and row.baseline.total > 0
+
+
+class TestFig5:
+    def test_four_conditions(self, smoke):
+        result = run_fig5(smoke, dataset_name="Slope")
+        assert set(result) == {
+            "clean_ideal",
+            "clean_varied",
+            "perturbed_ideal",
+            "perturbed_varied",
+        }
+        assert all(0.0 <= v <= 1.0 for v in result.values())
+
+
+class TestFig6:
+    def test_five_series(self):
+        series = run_fig6()
+        assert set(series) == {
+            "original",
+            "jittering",
+            "time_warping",
+            "magnitude_scaling",
+            "frequency_domain",
+        }
+        lengths = {len(v) for v in series.values()}
+        assert lengths == {64}
+
+    def test_augmentations_differ_from_original(self):
+        series = run_fig6()
+        for key, values in series.items():
+            if key != "original":
+                assert not np.allclose(values, series["original"])
+
+
+class TestFig7:
+    def test_all_five_configs(self, smoke):
+        results = run_fig7_ablation(smoke)
+        assert set(results) == set(ABLATION_CONFIGS)
+        for modes in results.values():
+            assert set(modes) == {"clean", "perturbed"}
+
+    def test_format_renders(self, smoke):
+        text = format_fig7(run_fig7_ablation(smoke))
+        assert "va_so_at" in text
+
+    def test_ablation_flags(self):
+        assert ABLATION_CONFIGS["baseline"] == {"va": False, "at": False, "so": False}
+        assert ABLATION_CONFIGS["va_so_at"] == {"va": True, "at": True, "so": True}
+
+
+class TestMuExtraction:
+    def test_band_and_stats(self):
+        result = run_mu_extraction(samples=4)
+        assert 1.0 <= result["mu_min"] <= result["mu_mean"] <= result["mu_max"]
+        assert result["within_paper_band"] == 1.0

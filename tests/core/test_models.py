@@ -1,0 +1,103 @@
+"""The three evaluated model classes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import BASELINE_PDK, DEFAULT_PDK
+from repro.core import AdaptPNC, ElmanClassifier, PTPNC
+
+
+class TestElmanClassifier:
+    def test_logits_shape(self, rng):
+        model = ElmanClassifier(4, rng=rng)
+        assert model(rng.uniform(-1, 1, (5, 20))).shape == (5, 4)
+
+    def test_accepts_tensor_or_array(self, rng):
+        model = ElmanClassifier(2, rng=rng)
+        x = rng.uniform(-1, 1, (3, 10))
+        a = model(x).data
+        b = model(Tensor(x)).data
+        assert np.array_equal(a, b)
+
+    def test_two_layers_by_default(self, rng):
+        assert ElmanClassifier(2, rng=rng).rnn.num_layers == 2
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            ElmanClassifier(1)
+
+
+class TestPrintedModels:
+    @pytest.mark.parametrize("cls", [PTPNC, AdaptPNC])
+    def test_logits_shape(self, cls, rng):
+        model = cls(3, rng=rng)
+        assert model(rng.uniform(-1, 1, (4, 16))).shape == (4, 3)
+
+    def test_baseline_uses_first_order(self, rng):
+        assert PTPNC(2, rng=rng).filter_order == 1
+
+    def test_proposed_uses_second_order(self, rng):
+        assert AdaptPNC(2, rng=rng).filter_order == 2
+
+    def test_default_design_points(self, rng):
+        assert PTPNC(2, rng=rng).pdk is BASELINE_PDK
+        assert AdaptPNC(2, rng=rng).pdk is DEFAULT_PDK
+
+    def test_proposed_wider_hidden(self, rng):
+        assert AdaptPNC(2, rng=np.random.default_rng(0)).hidden_size > PTPNC(
+            2, rng=np.random.default_rng(0)
+        ).hidden_size
+
+    def test_hidden_scales_with_classes(self, rng):
+        assert PTPNC(6, rng=rng).hidden_size == 6
+        assert PTPNC(2, rng=rng).hidden_size == 3
+
+    def test_explicit_hidden_respected(self, rng):
+        assert PTPNC(2, hidden_size=7, rng=rng).hidden_size == 7
+
+    def test_logit_scale_applied(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        x = rng.uniform(-1, 1, (2, 10))
+        logits = model(x).data
+        model.logit_scale = 8.0
+        doubled = model(x).data
+        assert np.allclose(doubled, logits * 2.0)
+
+    def test_3d_input_accepted(self, rng):
+        model = PTPNC(2, rng=rng)
+        x = rng.uniform(-1, 1, (2, 10, 1))
+        assert model(x).shape == (2, 2)
+
+    def test_rejects_4d_input(self, rng):
+        model = PTPNC(2, rng=rng)
+        with pytest.raises(ValueError):
+            model(np.ones((2, 3, 4, 5)))
+
+    @pytest.mark.parametrize("cls", [PTPNC, AdaptPNC])
+    def test_trainable_end_to_end(self, cls, rng):
+        """One optimizer step must reduce the loss on a toy problem."""
+        from repro.nn import cross_entropy
+        from repro.optim import AdamW
+
+        model = cls(2, rng=rng)
+        x = rng.uniform(-1, 1, (8, 16))
+        y = np.array([0, 1] * 4)
+        opt = AdamW(model.parameters(), lr=0.05)
+        first = None
+        for _ in range(10):
+            opt.zero_grad()
+            loss = cross_entropy(model(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+
+    def test_set_sampler_reaches_both_blocks(self, rng):
+        from repro.circuits import VariationSampler
+
+        model = AdaptPNC(2, rng=rng)
+        s = VariationSampler()
+        model.set_sampler(s)
+        assert all(block.sampler is s for block in model.blocks)

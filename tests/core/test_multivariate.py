@@ -1,0 +1,112 @@
+"""Multivariate (multi-sensor) inputs — the Fig. 4 multi-input pTPB."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import PrintedTemporalClassifier, StreamingClassifier
+
+
+@pytest.fixture
+def model(rng):
+    return PrintedTemporalClassifier(2, hidden_size=4, in_channels=3, rng=rng)
+
+
+class TestMultivariateForward:
+    def test_forward_shape(self, model, rng):
+        out = model(rng.uniform(-1, 1, (5, 16, 3)))
+        assert out.shape == (5, 2)
+
+    def test_first_block_width(self, model):
+        assert model.blocks[0].in_features == 3
+
+    def test_rejects_wrong_channel_count(self, model, rng):
+        with pytest.raises(ValueError):
+            model(rng.uniform(-1, 1, (5, 16, 2)))
+
+    def test_rejects_2d_for_multichannel(self, model, rng):
+        with pytest.raises(ValueError):
+            model(rng.uniform(-1, 1, (5, 16)))
+
+    def test_univariate_still_accepts_2d(self, rng):
+        uni = PrintedTemporalClassifier(2, hidden_size=3, rng=rng)
+        assert uni(rng.uniform(-1, 1, (4, 10))).shape == (4, 2)
+
+    def test_rejects_zero_channels(self, rng):
+        with pytest.raises(ValueError):
+            PrintedTemporalClassifier(2, hidden_size=3, in_channels=0, rng=rng)
+
+    def test_channels_matter(self, model, rng):
+        """Swapping channels must change the output (channels are not
+        interchangeable once weights differ)."""
+        x = rng.uniform(-1, 1, (1, 16, 3))
+        with no_grad():
+            a = model(x).data
+            b = model(x[:, :, ::-1].copy()).data
+        assert not np.allclose(a, b)
+
+    def test_trains(self, rng):
+        from repro.nn import cross_entropy
+        from repro.optim import AdamW
+
+        model = PrintedTemporalClassifier(
+            2, hidden_size=4, in_channels=2, rng=np.random.default_rng(0)
+        )
+        x = rng.uniform(-1, 1, (8, 12, 2))
+        y = np.array([0, 1] * 4)
+        opt = AdamW(model.parameters(), lr=0.05)
+        first = None
+        for _ in range(8):
+            opt.zero_grad()
+            loss = cross_entropy(model(x), y)
+            first = first if first is not None else loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+
+
+class TestMultivariateStreaming:
+    def test_push_vector_sample(self, model, rng):
+        stream = StreamingClassifier(model)
+        logits = stream.push(rng.uniform(-1, 1, 3))
+        assert logits.shape == (2,)
+
+    def test_push_rejects_wrong_width(self, model, rng):
+        stream = StreamingClassifier(model)
+        with pytest.raises(ValueError):
+            stream.push(rng.uniform(-1, 1, 2))
+
+    def test_stream_matches_batch(self, model, rng):
+        series = rng.uniform(-1, 1, (14, 3))
+        stream = StreamingClassifier(model)
+        for row in series:
+            logits = stream.push(row)
+        with no_grad():
+            expected = model(series.reshape(1, 14, 3)).data[0]
+        assert np.allclose(logits, expected, atol=1e-12)
+
+
+class TestMultivariateCompile:
+    def test_compiled_netlist_matches(self, rng):
+        from repro.compile import compile_model, simulate_series
+
+        model = PrintedTemporalClassifier(
+            2, hidden_size=3, in_channels=2, rng=np.random.default_rng(1)
+        )
+        series = rng.uniform(-1, 1, (12, 2))
+        with no_grad():
+            expected = model(series.reshape(1, 12, 2)).data[0] / model.logit_scale
+        compiled = compile_model(model)
+        assert len(compiled.input_nodes) == 2
+        out = simulate_series(compiled, series)
+        assert np.allclose(out[-1], expected, atol=1e-6)
+
+    def test_simulate_rejects_wrong_width(self, rng):
+        from repro.compile import compile_model, simulate_series
+
+        model = PrintedTemporalClassifier(
+            2, hidden_size=3, in_channels=2, rng=np.random.default_rng(1)
+        )
+        compiled = compile_model(model)
+        with pytest.raises(ValueError):
+            simulate_series(compiled, rng.uniform(-1, 1, (12, 3)))

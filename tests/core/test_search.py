@@ -1,0 +1,59 @@
+"""Architecture search (the paper's future-work direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import architecture_space, search_architecture
+from repro.data import load_dataset
+
+
+class TestSpace:
+    def test_dimensions(self):
+        space = architecture_space()
+        assert set(space.names()) == {"hidden_size", "filter_order", "logit_scale"}
+
+    def test_samples_valid(self, rng):
+        space = architecture_space(hidden_sizes=(3, 5), filter_orders=(1, 2))
+        for _ in range(20):
+            cfg = space.sample(rng)
+            assert cfg["hidden_size"] in (3, 5)
+            assert cfg["filter_order"] in (1, 2)
+            assert 2.0 <= cfg["logit_scale"] <= 8.0
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return search_architecture(
+            "Slope",
+            n_trials=3,
+            budgets=(1,),
+            base_epochs=6,
+            eval_mc=2,
+            seed=0,
+        )
+
+    def test_returns_ranked_candidates(self, results):
+        scores = [r.robust_accuracy for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_candidate_fields_valid(self, results):
+        for r in results:
+            assert r.hidden_size >= 3
+            assert r.filter_order in (1, 2)
+            assert r.budget == 1
+
+    def test_accepts_preloaded_dataset(self):
+        ds = load_dataset("Slope", n_samples=50, seed=0)
+        results = search_architecture(
+            ds, n_trials=2, budgets=(1,), base_epochs=4, eval_mc=2, seed=1
+        )
+        assert len(results) == 2
+
+    def test_halving_prunes(self):
+        results = search_architecture(
+            "Slope", n_trials=4, budgets=(1, 2), base_epochs=4, eval_mc=2, seed=2
+        )
+        assert len(results) == 2  # 4 -> 2 survivors
+        assert all(r.budget == 2 for r in results)

@@ -1,0 +1,81 @@
+"""Streaming inference equivalence and state management."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import AdaptPNC, PTPNC, StreamingClassifier
+
+
+@pytest.fixture
+def series(rng):
+    return np.clip(np.cumsum(rng.normal(0, 0.2, 32)), -1, 1)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("cls", [PTPNC, AdaptPNC])
+    def test_streaming_matches_batched_forward(self, cls, series):
+        """The stateful stream must equal the batched sequence forward."""
+        model = cls(3, rng=np.random.default_rng(0))
+        stream = StreamingClassifier(model)
+        streamed = stream.run(series)
+        with no_grad():
+            batched = model(series.reshape(1, -1)).data[0]
+        assert np.allclose(streamed[-1], batched, atol=1e-12)
+
+    def test_full_trajectory_matches(self, series):
+        from repro.autograd import Tensor
+
+        model = PTPNC(2, rng=np.random.default_rng(1))
+        stream = StreamingClassifier(model)
+        streamed = stream.run(series)
+        with no_grad():
+            seq = model.blocks[0](Tensor(series.reshape(1, -1, 1)))
+            seq = model.blocks[1](seq).data[0] * model.logit_scale
+        assert np.allclose(streamed, seq, atol=1e-12)
+
+
+class TestState:
+    def test_push_counts_steps(self, series, rng):
+        stream = StreamingClassifier(AdaptPNC(2, rng=rng))
+        for sample in series[:5]:
+            stream.push(float(sample))
+        assert stream.steps_seen == 5
+
+    def test_reset_restores_initial_behaviour(self, series, rng):
+        stream = StreamingClassifier(AdaptPNC(2, rng=rng))
+        first = stream.run(series)
+        stream.reset()
+        assert stream.steps_seen == 0
+        second = stream.run(series)
+        assert np.array_equal(first, second)
+
+    def test_state_carries_between_pushes(self, rng):
+        stream = StreamingClassifier(PTPNC(2, rng=rng))
+        a = stream.push(0.5)
+        b = stream.push(0.5)  # same input, different state
+        assert not np.allclose(a, b)
+
+    def test_push_rejects_arrays(self, rng):
+        stream = StreamingClassifier(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError):
+            stream.push(np.array([0.1, 0.2]))
+
+    def test_run_rejects_2d(self, rng):
+        stream = StreamingClassifier(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError):
+            stream.run(np.zeros((2, 5)))
+
+
+class TestLatency:
+    def test_latency_within_bounds(self, series, rng):
+        stream = StreamingClassifier(AdaptPNC(2, rng=rng))
+        latency = stream.decision_latency(series)
+        assert 0 <= latency < series.size
+
+    def test_constant_strong_input_settles_quickly(self, rng):
+        model = PTPNC(2, rng=np.random.default_rng(0))
+        stream = StreamingClassifier(model)
+        series = np.full(64, 0.9)
+        latency = stream.decision_latency(series)
+        assert latency < 32  # settles within the first half

@@ -1,0 +1,76 @@
+"""Printed temporal processing block."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.circuits import UniformVariation, VariationSampler, ideal_sampler
+from repro.core import PrintedTemporalProcessingBlock
+
+
+class TestForward:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_output_shape(self, order, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 5, filter_order=order, rng=rng)
+        out = tpb(Tensor(rng.uniform(-1, 1, (3, 12, 2))))
+        assert out.shape == (3, 12, 5)
+
+    def test_rejects_wrong_channels(self, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 5, rng=rng)
+        with pytest.raises(ValueError):
+            tpb(Tensor(np.ones((3, 12, 4))))
+
+    def test_rejects_2d(self, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 5, rng=rng)
+        with pytest.raises(ValueError):
+            tpb(Tensor(np.ones((3, 12))))
+
+    def test_rejects_bad_order(self, rng):
+        with pytest.raises(ValueError):
+            PrintedTemporalProcessingBlock(2, 5, filter_order=3, rng=rng)
+
+    def test_output_bounded_by_ptanh(self, rng):
+        tpb = PrintedTemporalProcessingBlock(1, 3, rng=rng)
+        out = tpb(Tensor(rng.uniform(-1, 1, (2, 30, 1)))).data
+        bound = np.abs(tpb.activation.eta1.data) + np.abs(tpb.activation.eta2.data)
+        assert np.all(np.abs(out) <= bound + 1e-9)
+
+    def test_deterministic_with_ideal_sampler(self, rng):
+        tpb = PrintedTemporalProcessingBlock(1, 3, sampler=ideal_sampler(), rng=rng)
+        x = Tensor(rng.uniform(-1, 1, (2, 10, 1)))
+        assert np.array_equal(tpb(x).data, tpb(x).data)
+
+
+class TestSamplerPlumbing:
+    def test_set_sampler_reaches_every_subcircuit(self, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 3, rng=rng)
+        s = VariationSampler(model=UniformVariation(0.1))
+        tpb.set_sampler(s)
+        assert tpb.filters.sampler is s
+        assert tpb.crossbar.sampler is s
+        assert tpb.activation.sampler is s
+        assert tpb.sampler is s
+
+    def test_variation_changes_forward(self, rng):
+        tpb = PrintedTemporalProcessingBlock(1, 3, rng=rng)
+        tpb.set_sampler(
+            VariationSampler(model=UniformVariation(0.1), rng=np.random.default_rng(0))
+        )
+        x = Tensor(rng.uniform(-1, 1, (2, 10, 1)))
+        assert not np.allclose(tpb(x).data, tpb(x).data)
+
+
+class TestTraining:
+    def test_gradients_reach_filters_crossbar_and_activation(self, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 3, filter_order=2, rng=rng)
+        tpb(Tensor(rng.uniform(-1, 1, (2, 8, 2)))).sum().backward()
+        grads = {name: p.grad for name, p in tpb.named_parameters()}
+        assert all(g is not None for g in grads.values())
+        assert any("log_r" in name for name in grads)
+        assert any("theta" in name for name in grads)
+        assert any("eta" in name for name in grads)
+
+    def test_parameter_count_second_order_exceeds_first(self, rng):
+        first = PrintedTemporalProcessingBlock(2, 3, filter_order=1, rng=np.random.default_rng(0))
+        second = PrintedTemporalProcessingBlock(2, 3, filter_order=2, rng=np.random.default_rng(0))
+        assert second.num_parameters() > first.num_parameters()

@@ -1,0 +1,143 @@
+"""Variation-aware Trainer: protocol, MC objective, model management."""
+
+import numpy as np
+import pytest
+
+from repro.augment import AugmentationConfig
+from repro.circuits import NoVariation, UniformVariation
+from repro.core import AdaptPNC, ElmanClassifier, PTPNC, Trainer, TrainingConfig
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("Slope", n_samples=60, seed=0)
+
+
+def tiny_config(**overrides):
+    from dataclasses import replace
+
+    merged = {"max_epochs": 12, "lr_patience": 4, **overrides}
+    return replace(TrainingConfig.ci(), **merged)
+
+
+class TestTrainingConfig:
+    def test_paper_protocol_values(self):
+        cfg = TrainingConfig.paper()
+        assert cfg.lr == 0.1
+        assert cfg.lr_factor == 0.5
+        assert cfg.lr_patience == 100
+        assert cfg.min_lr == 1e-5
+        assert cfg.variation_delta == 0.10
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"lr": 0.0},
+            {"max_epochs": 0},
+            {"mc_samples": 0},
+            {"variation_delta": 1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            TrainingConfig(**bad)
+
+
+class TestFitting:
+    def test_loss_decreases(self, dataset):
+        model = PTPNC(3, rng=np.random.default_rng(0))
+        hist = Trainer(model, tiny_config(), seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_history_records_every_epoch(self, dataset):
+        model = PTPNC(3, rng=np.random.default_rng(0))
+        hist = Trainer(model, tiny_config(), seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        assert hist.epochs_run == len(hist.train_loss) == len(hist.val_loss)
+        assert len(hist.learning_rate) == hist.epochs_run
+        assert hist.best_epoch >= 0
+
+    def test_best_state_restored(self, dataset):
+        from repro.core import accuracy
+        from repro.nn import cross_entropy
+        from repro.autograd import no_grad
+
+        model = PTPNC(3, rng=np.random.default_rng(0))
+        trainer = Trainer(model, tiny_config(), seed=0)
+        hist = trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+        with no_grad():
+            val_loss = cross_entropy(model(dataset.x_val), dataset.y_val).item()
+        assert np.isclose(val_loss, hist.best_val_loss, atol=1e-9)
+
+    def test_lr_termination_rule(self, dataset):
+        cfg = tiny_config(max_epochs=500, lr_patience=0, min_lr=0.02, lr=0.04)
+        model = PTPNC(3, rng=np.random.default_rng(0))
+        hist = Trainer(model, cfg, seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        assert hist.epochs_run < 500  # stopped by min_lr, not the epoch cap
+
+    def test_ideal_sampler_installed_after_fit(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        Trainer(model, tiny_config(), variation_aware=True, seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        assert isinstance(model.sampler.model, NoVariation)
+
+    def test_elman_trains_through_same_path(self, dataset):
+        model = ElmanClassifier(3, rng=np.random.default_rng(0))
+        hist = Trainer(model, tiny_config(), seed=0).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        assert hist.epochs_run > 0
+
+
+class TestVariationAwareness:
+    def test_va_installs_uniform_sampler(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        Trainer(model, tiny_config(), variation_aware=True, seed=0)
+        assert isinstance(model.sampler.model, UniformVariation)
+        assert model.sampler.model.delta == tiny_config().variation_delta
+
+    def test_non_va_installs_ideal_sampler(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        Trainer(model, tiny_config(), variation_aware=False, seed=0)
+        assert isinstance(model.sampler.model, NoVariation)
+
+    def test_va_rejected_for_hardware_agnostic_model(self):
+        with pytest.raises(ValueError):
+            Trainer(ElmanClassifier(2), tiny_config(), variation_aware=True)
+
+    def test_mc_sampling_only_when_variation_aware(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        va = Trainer(model, tiny_config(mc_samples=4), variation_aware=True)
+        assert va._mc_samples() == 4
+        model2 = AdaptPNC(3, rng=np.random.default_rng(0))
+        plain = Trainer(model2, tiny_config(mc_samples=4), variation_aware=False)
+        assert plain._mc_samples() == 1
+
+
+class TestAugmentedTraining:
+    def test_augmentation_expands_training_data(self, dataset):
+        model = PTPNC(3, rng=np.random.default_rng(0))
+        aug = AugmentationConfig(jitter_sigma=0.05)
+        trainer = Trainer(model, tiny_config(max_epochs=2), augmentation=aug, seed=0)
+        hist = trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+        assert hist.epochs_run == 2  # ran without shape errors on 2x data
+
+    def test_seed_reproducibility(self, dataset):
+        results = []
+        for _ in range(2):
+            model = PTPNC(3, rng=np.random.default_rng(7))
+            hist = Trainer(
+                model,
+                tiny_config(max_epochs=5),
+                variation_aware=True,
+                seed=11,
+            ).fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+            results.append(hist.train_loss)
+        assert np.allclose(results[0], results[1])

@@ -1,0 +1,63 @@
+"""Dataset registry and end-to-end loading."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_INFO, TARGET_LENGTH, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_fifteen_datasets_in_table_order(self):
+        names = dataset_names()
+        assert len(names) == 15
+        assert names[0] == "CBF"
+        assert names[-1] == "Symbols"
+
+    def test_class_counts_match_ucr(self):
+        """Class counts pin the topology used by the hardware table."""
+        expected = {
+            "CBF": 3, "DPTW": 6, "FRT": 2, "FST": 2, "GPAS": 2, "GPMVF": 2,
+            "GPOVY": 2, "MPOAG": 3, "MSRT": 5, "PowerCons": 2, "PPOC": 2,
+            "SRSCP2": 2, "Slope": 3, "SmoothS": 3, "Symbols": 6,
+        }
+        assert {k: v.n_classes for k, v in DATASET_INFO.items()} == expected
+
+
+class TestLoadDataset:
+    def test_default_pipeline(self):
+        ds = load_dataset("CBF", n_samples=100, seed=0)
+        assert ds.x_train.shape == (60, TARGET_LENGTH)
+        assert ds.x_val.shape == (20, TARGET_LENGTH)
+        assert ds.x_test.shape == (20, TARGET_LENGTH)
+        assert ds.series_length == TARGET_LENGTH
+
+    def test_values_normalised(self):
+        ds = load_dataset("PowerCons", n_samples=80, seed=0)
+        for split in (ds.x_train, ds.x_val, ds.x_test):
+            assert split.min() >= -1.0 - 1e-12
+            assert split.max() <= 1.0 + 1e-12
+
+    def test_deterministic(self):
+        a = load_dataset("Slope", n_samples=50, seed=3)
+        b = load_dataset("Slope", n_samples=50, seed=3)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_custom_length(self):
+        ds = load_dataset("CBF", n_samples=50, length=32)
+        assert ds.x_train.shape[1] == 32
+
+    def test_sizes_helper(self):
+        ds = load_dataset("CBF", n_samples=100)
+        assert ds.sizes() == (60, 20, 20)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("Nope")
+
+    @pytest.mark.parametrize("name", ["CBF", "DPTW", "MSRT", "Symbols"])
+    def test_labels_in_range_all_splits(self, name):
+        ds = load_dataset(name, n_samples=120, seed=0)
+        k = ds.info.n_classes
+        for labels in (ds.y_train, ds.y_val, ds.y_test):
+            assert labels.min() >= 0 and labels.max() < k

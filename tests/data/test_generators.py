@@ -1,0 +1,86 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_INFO, GENERATORS, generate
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_shapes_and_labels(self, name):
+        x, y = generate(name, 40, seed=0)
+        assert x.shape[0] == 40 and y.shape == (40,)
+        assert x.shape[1] >= 32
+        info = DATASET_INFO[name]
+        assert y.min() >= 0 and y.max() < info.n_classes
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        x1, y1 = generate(name, 20, seed=7)
+        x2, y2 = generate(name, 20, seed=7)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_different_seeds_differ(self, name):
+        x1, _ = generate(name, 20, seed=0)
+        x2, _ = generate(name, 20, seed=1)
+        assert not np.array_equal(x1, x2)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_all_classes_represented(self, name):
+        _, y = generate(name, 200, seed=0)
+        assert len(np.unique(y)) == DATASET_INFO[name].n_classes
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_finite_values(self, name):
+        x, _ = generate(name, 30, seed=3)
+        assert np.all(np.isfinite(x))
+
+
+class TestClassSeparability:
+    """Class-conditional means must differ — the generators encode real
+    class structure, not label noise."""
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_class_means_differ(self, name):
+        x, y = generate(name, 300, seed=0)
+        means = [x[y == k].mean(axis=0) for k in np.unique(y)]
+        gaps = [
+            np.abs(means[i] - means[j]).max()
+            for i in range(len(means))
+            for j in range(i + 1, len(means))
+        ]
+        assert max(gaps) > 0.05
+
+
+class TestValidation:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate("NotADataset", 10)
+
+    def test_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            generate("CBF", 0)
+
+    def test_registry_has_15_datasets(self):
+        assert len(GENERATORS) == 15
+        assert len(DATASET_INFO) == 15
+
+
+class TestCBFStructure:
+    """CBF is the canonical construction — verify its class shapes."""
+
+    def test_cylinder_has_plateau(self):
+        x, y = generate("CBF", 300, seed=0)
+        cylinders = x[y == 0]
+        # plateau: interior of support flat at high amplitude -> high mean
+        assert cylinders.mean() > x[y == 1].mean() * 0.5
+
+    def test_bell_rises_funnel_falls(self):
+        x, y = generate("CBF", 500, seed=1)
+        bells, funnels = x[y == 1], x[y == 2]
+        # within the support, bells weight late samples, funnels early ones
+        half = x.shape[1] // 2
+        assert bells[:, half:].mean() > bells[:, :half].mean()
+        assert funnels[:, :half].mean() > funnels[:, half:].mean()

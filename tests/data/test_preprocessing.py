@@ -1,0 +1,107 @@
+"""Preprocessing pipeline: resize, normalise, split (Sec. IV-A2)."""
+
+import numpy as np
+import pytest
+
+from repro.data import normalize_series, resize_series, train_val_test_split
+
+
+class TestResize:
+    def test_target_length(self, rng):
+        out = resize_series(rng.normal(size=(5, 100)), 64)
+        assert out.shape == (5, 64)
+
+    def test_preserves_endpoints(self, rng):
+        x = rng.normal(size=(3, 100))
+        out = resize_series(x, 64)
+        assert np.allclose(out[:, 0], x[:, 0])
+        assert np.allclose(out[:, -1], x[:, -1])
+
+    def test_identity_when_length_matches(self, rng):
+        x = rng.normal(size=(3, 64))
+        out = resize_series(x, 64)
+        assert np.array_equal(out, x)
+        assert out is not x  # still a copy
+
+    def test_linear_signal_resizes_exactly(self):
+        x = np.linspace(0, 1, 100).reshape(1, -1)
+        out = resize_series(x, 64)
+        assert np.allclose(out[0], np.linspace(0, 1, 64), atol=1e-12)
+
+    def test_upsampling(self, rng):
+        out = resize_series(rng.normal(size=(2, 30)), 64)
+        assert out.shape == (2, 64)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            resize_series(rng.normal(size=100), 64)
+
+    def test_rejects_bad_length(self, rng):
+        with pytest.raises(ValueError):
+            resize_series(rng.normal(size=(2, 30)), 1)
+
+
+class TestNormalize:
+    def test_range_is_minus_one_one(self, rng):
+        out = normalize_series(rng.normal(size=(10, 64)) * 37 + 5)
+        assert np.allclose(out.min(axis=1), -1.0)
+        assert np.allclose(out.max(axis=1), 1.0)
+
+    def test_constant_series_maps_to_zero(self):
+        out = normalize_series(np.full((2, 10), 3.0))
+        assert np.all(out == 0.0)
+
+    def test_per_series_independence(self):
+        x = np.stack([np.linspace(0, 1, 10), np.linspace(0, 100, 10)])
+        out = normalize_series(x)
+        assert np.allclose(out[0], out[1])
+
+    def test_shape_preserved(self, rng):
+        x = rng.normal(size=(7, 33))
+        assert normalize_series(x).shape == (7, 33)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            normalize_series(rng.normal(size=10))
+
+
+class TestSplit:
+    def test_60_20_20(self, rng):
+        x, y = rng.normal(size=(100, 8)), rng.integers(0, 3, 100)
+        xt, yt, xv, yv, xs, ys = train_val_test_split(x, y, seed=0)
+        assert xt.shape[0] == 60 and xv.shape[0] == 20 and xs.shape[0] == 20
+
+    def test_partitions_are_disjoint_and_complete(self, rng):
+        x = np.arange(50, dtype=float).reshape(50, 1)
+        y = np.zeros(50, dtype=int)
+        xt, _, xv, _, xs, _ = train_val_test_split(x, y, seed=1)
+        seen = np.concatenate([xt, xv, xs])[:, 0]
+        assert sorted(seen.tolist()) == list(range(50))
+
+    def test_labels_follow_samples(self, rng):
+        x = np.arange(30, dtype=float).reshape(30, 1)
+        y = np.arange(30)
+        xt, yt, xv, yv, xs, ys = train_val_test_split(x, y, seed=2)
+        assert np.array_equal(xt[:, 0].astype(int), yt)
+        assert np.array_equal(xs[:, 0].astype(int), ys)
+
+    def test_seed_controls_shuffle(self, rng):
+        x, y = rng.normal(size=(40, 4)), rng.integers(0, 2, 40)
+        a = train_val_test_split(x, y, seed=0)[0]
+        b = train_val_test_split(x, y, seed=0)[0]
+        c = train_val_test_split(x, y, seed=1)[0]
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_custom_fractions(self, rng):
+        x, y = rng.normal(size=(10, 2)), np.zeros(10, dtype=int)
+        xt, _, xv, _, xs, _ = train_val_test_split(x, y, fractions=(0.8, 0.1, 0.1))
+        assert xt.shape[0] == 8
+
+    def test_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            train_val_test_split(np.zeros((10, 2)), np.zeros(10), fractions=(0.5, 0.2, 0.2))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(np.zeros((10, 2)), np.zeros(9))

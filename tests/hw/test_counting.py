@@ -1,0 +1,101 @@
+"""Device counting rules."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import PrintedCrossbar, PrintedTanh
+from repro.circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from repro.core import AdaptPNC, PTPNC, PrintedTemporalProcessingBlock
+from repro.hw import DeviceCount, count_devices
+
+
+class TestDeviceCount:
+    def test_total(self):
+        assert DeviceCount(2, 3, 4).total == 9
+
+    def test_addition(self):
+        a, b = DeviceCount(1, 2, 3), DeviceCount(10, 20, 30)
+        assert (a + b).as_row() == (11, 22, 33, 66)
+
+
+class TestPrimitiveCounts:
+    def test_crossbar_all_positive_thetas(self, rng):
+        xb = PrintedCrossbar(3, 2, rng=rng)
+        xb.theta.data[:] = 0.5
+        xb.theta_b.data[:] = 0.3
+        count = count_devices(xb)
+        # 6 input + 2 bias + 2 dummy resistors; no inverters
+        assert count.resistors == 10
+        assert count.transistors == 0
+        assert count.capacitors == 0
+
+    def test_crossbar_negative_thetas_add_inverters(self, rng):
+        xb = PrintedCrossbar(3, 2, rng=rng)
+        xb.theta.data[:] = 0.5
+        xb.theta.data[0, 0] = -0.5
+        xb.theta_b.data[:] = 0.3
+        count = count_devices(xb)
+        assert count.transistors == 2  # one inverter
+        assert count.resistors == 11  # +1 inverter resistor
+
+    def test_ptanh_counts(self, rng):
+        act = PrintedTanh(4, rng=rng)
+        count = count_devices(act)
+        assert count.transistors == 8
+        assert count.resistors == 8
+
+    def test_first_order_filter_counts(self, rng):
+        flt = FirstOrderLearnableFilter(3, rng=rng)
+        count = count_devices(flt)
+        assert count.as_row() == (0, 3, 3, 6)
+
+    def test_second_order_filter_counts(self, rng):
+        flt = SecondOrderLearnableFilter(3, rng=rng)
+        count = count_devices(flt)
+        assert count.as_row() == (6, 6, 6, 18)
+
+
+class TestCompositeCounts:
+    def test_tpb_is_sum_of_parts(self, rng):
+        tpb = PrintedTemporalProcessingBlock(2, 3, rng=rng)
+        total = count_devices(tpb)
+        parts = (
+            count_devices(tpb.filters)
+            + count_devices(tpb.crossbar)
+            + count_devices(tpb.activation)
+        )
+        assert total.as_row() == parts.as_row()
+
+    def test_model_is_sum_of_blocks(self, rng):
+        model = AdaptPNC(2, rng=rng)
+        total = count_devices(model)
+        parts = DeviceCount()
+        for block in model.blocks:
+            parts = parts + count_devices(block)
+        assert total.as_row() == parts.as_row()
+
+    def test_proposed_has_more_capacitors(self):
+        base = PTPNC(3, rng=np.random.default_rng(0))
+        prop = AdaptPNC(3, rng=np.random.default_rng(0))
+        assert count_devices(prop).capacitors > count_devices(base).capacitors
+
+    def test_capacitor_count_formula(self, rng):
+        """Baseline: N_F per layer; proposed: 2 N_F per layer (SO-LF)."""
+        base = PTPNC(2, hidden_size=3, rng=rng)
+        assert count_devices(base).capacitors == 1 + 3  # layer inputs: 1, then 3
+        prop = AdaptPNC(2, hidden_size=3, rng=rng)
+        assert count_devices(prop).capacitors == 2 * (1 + 3)
+
+    def test_device_ratio_matches_paper_band(self):
+        """Table III: proposed uses ~1.9x the baseline's devices."""
+        ratios = []
+        for seed in range(5):
+            base = count_devices(PTPNC(3, rng=np.random.default_rng(seed))).total
+            prop = count_devices(AdaptPNC(3, rng=np.random.default_rng(seed))).total
+            ratios.append(prop / base)
+        assert 1.4 < np.mean(ratios) < 2.5
+
+    def test_hardware_agnostic_model_counts_zero(self, rng):
+        from repro.core import ElmanClassifier
+
+        assert count_devices(ElmanClassifier(2, rng=rng)).total == 0

@@ -1,0 +1,89 @@
+"""Static power estimation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import BASELINE_PDK, DEFAULT_PDK, PrintedCrossbar
+from repro.core import AdaptPNC, PTPNC
+from repro.hw import estimate_power
+
+
+class TestBreakdown:
+    def test_positive_components(self, rng):
+        power = estimate_power(AdaptPNC(2, rng=rng))
+        assert power.crossbar_resistors > 0
+        assert power.transistor_stages > 0
+        assert np.isclose(power.total, power.crossbar_resistors + power.transistor_stages)
+
+    def test_total_mw_conversion(self, rng):
+        power = estimate_power(PTPNC(2, rng=rng))
+        assert np.isclose(power.total_mw, power.total * 1e3)
+
+
+class TestDesignPointGap:
+    def test_proposed_much_lower_power(self):
+        """Table III: ~91% reduction despite ~1.9x devices."""
+        reductions = []
+        for seed in range(5):
+            base = estimate_power(PTPNC(3, rng=np.random.default_rng(seed))).total
+            prop = estimate_power(AdaptPNC(3, rng=np.random.default_rng(seed))).total
+            reductions.append(1.0 - prop / base)
+        assert np.mean(reductions) > 0.75
+
+    def test_power_in_paper_magnitude(self, rng):
+        """Baseline sub-mW to few-mW; proposed tens of µW (Table III)."""
+        base = estimate_power(PTPNC(3, rng=rng)).total_mw
+        assert 0.05 < base < 10.0
+        prop = estimate_power(AdaptPNC(3, rng=rng)).total_mw
+        assert 0.005 < prop < 1.0
+
+    def test_crossbar_power_scales_with_conductance(self, rng):
+        xb = PrintedCrossbar(3, 2, pdk=DEFAULT_PDK, rng=rng)
+        xb.theta.data[:] = 0.2
+        xb.theta_b.data[:] = 0.2
+        xb.theta_d.data[:] = 0.2
+        low = estimate_power(xb).crossbar_resistors
+        xb.theta.data[:] = 0.8
+        high = estimate_power(xb).crossbar_resistors
+        assert high > low
+
+    def test_same_topology_baseline_pdk_hungrier(self, rng):
+        a = PrintedCrossbar(3, 2, pdk=DEFAULT_PDK, rng=np.random.default_rng(0))
+        b = PrintedCrossbar(3, 2, pdk=BASELINE_PDK, rng=np.random.default_rng(0))
+        assert estimate_power(b).total > estimate_power(a).total
+
+    def test_hardware_agnostic_model_zero_power(self, rng):
+        from repro.core import ElmanClassifier
+
+        assert estimate_power(ElmanClassifier(2, rng=rng)).total == 0.0
+
+
+class TestEnergyPerInference:
+    def test_energy_formula(self, rng):
+        from repro.hw import energy_per_inference
+
+        model = AdaptPNC(2, rng=rng)
+        power = estimate_power(model).total
+        assert np.isclose(energy_per_inference(model, 64, 1e-3), power * 0.064)
+
+    def test_proposed_cheaper_per_inference(self):
+        from repro.hw import energy_per_inference
+
+        base = PTPNC(3, rng=np.random.default_rng(0))
+        prop = AdaptPNC(3, rng=np.random.default_rng(0))
+        assert energy_per_inference(prop) < energy_per_inference(base)
+
+    def test_microjoule_range(self, rng):
+        from repro.hw import energy_per_inference
+
+        energy = energy_per_inference(AdaptPNC(2, rng=rng))
+        assert 1e-7 < energy < 1e-4  # single-digit microjoules
+
+    def test_rejects_bad_arguments(self, rng):
+        from repro.hw import energy_per_inference
+
+        model = AdaptPNC(2, rng=rng)
+        with pytest.raises(ValueError):
+            energy_per_inference(model, 0)
+        with pytest.raises(ValueError):
+            energy_per_inference(model, 64, 0.0)

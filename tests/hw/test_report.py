@@ -1,0 +1,53 @@
+"""Table III report generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptPNC, PTPNC
+from repro.hw import format_hardware_table, hardware_report
+
+
+class TestHardwareReport:
+    def test_defaults_to_all_datasets(self):
+        rows = hardware_report()
+        assert len(rows) == 15
+
+    def test_row_metrics(self):
+        rows = hardware_report(datasets=["CBF", "Symbols"])
+        for row in rows:
+            assert row.device_ratio > 1.0
+            assert 0.0 < row.power_reduction < 1.0
+
+    def test_more_classes_more_devices(self):
+        rows = {r.dataset: r for r in hardware_report(datasets=["FRT", "Symbols"])}
+        assert rows["Symbols"].baseline.total > rows["FRT"].baseline.total
+        assert rows["Symbols"].proposed.total > rows["FRT"].proposed.total
+
+    def test_average_shape_matches_paper(self):
+        """Device ratio ~1.9x, power reduction ~91% across the suite."""
+        rows = hardware_report()
+        ratio = np.mean([r.device_ratio for r in rows])
+        reduction = np.mean([r.power_reduction for r in rows])
+        assert 1.4 < ratio < 2.5
+        assert reduction > 0.75
+
+    def test_accepts_trained_models(self, rng):
+        models = {
+            "CBF": {
+                "baseline": PTPNC(3, rng=rng),
+                "proposed": AdaptPNC(3, rng=rng),
+            }
+        }
+        rows = hardware_report(datasets=["CBF"], models=models)
+        assert rows[0].dataset == "CBF"
+
+
+class TestFormatting:
+    def test_table_renders_all_rows_and_average(self):
+        rows = hardware_report(datasets=["CBF", "Slope"])
+        text = format_hardware_table(rows)
+        assert "CBF" in text and "Slope" in text and "Average" in text
+        assert "P base(mW)" in text
+
+    def test_empty_rows_no_average(self):
+        assert "Average" not in format_hardware_table([])

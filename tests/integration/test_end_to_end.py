@@ -1,0 +1,136 @@
+"""Cross-module integration: the paper's claims at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.augment import default_config
+from repro.circuits import ideal_sampler
+from repro.core import (
+    AdaptPNC,
+    PTPNC,
+    Trainer,
+    TrainingConfig,
+    accuracy,
+    evaluate_under_variation,
+)
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def slope():
+    return load_dataset("Slope", n_samples=90, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_pair(slope):
+    """Baseline (clean-trained) and proposed (VA+AT) models on Slope."""
+    from dataclasses import replace
+
+    cfg = replace(TrainingConfig.ci(), max_epochs=60)
+    baseline = PTPNC(3, rng=np.random.default_rng(0))
+    Trainer(baseline, cfg, variation_aware=False, seed=0).fit(
+        slope.x_train, slope.y_train, slope.x_val, slope.y_val
+    )
+    proposed = AdaptPNC(3, rng=np.random.default_rng(0))
+    Trainer(
+        proposed, cfg, variation_aware=True, augmentation=default_config("Slope"), seed=0
+    ).fit(slope.x_train, slope.y_train, slope.x_val, slope.y_val)
+    return baseline, proposed
+
+
+class TestHeadlineClaim:
+    def test_both_models_learn_the_task(self, trained_pair, slope):
+        baseline, proposed = trained_pair
+        assert accuracy(baseline, slope.x_test, slope.y_test) > 0.6
+        assert accuracy(proposed, slope.x_test, slope.y_test) > 0.6
+
+    def test_adapt_more_robust_under_variation(self, trained_pair, slope):
+        """The paper's core result: robustness-aware ADAPT-pNC holds
+        accuracy under ±10% variation better than the baseline."""
+        baseline, proposed = trained_pair
+        base = evaluate_under_variation(
+            baseline, slope.x_test, slope.y_test, delta=0.10, mc_samples=8, seed=0
+        )
+        prop = evaluate_under_variation(
+            proposed, slope.x_test, slope.y_test, delta=0.10, mc_samples=8, seed=0
+        )
+        assert prop.mean >= base.mean - 0.02
+        assert prop.std <= base.std + 0.02
+
+    def test_adapt_stable_across_variation_levels(self, trained_pair, slope):
+        _, proposed = trained_pair
+        accs = [
+            evaluate_under_variation(
+                proposed, slope.x_test, slope.y_test, delta=d, mc_samples=5, seed=1
+            ).mean
+            for d in (0.05, 0.10, 0.20)
+        ]
+        assert max(accs) - min(accs) < 0.25
+
+
+class TestHardwareClaim:
+    def test_device_and_power_tradeoff(self, trained_pair):
+        """Trained models: ~2x devices, large power reduction (Table III)."""
+        from repro.hw import count_devices, estimate_power
+
+        baseline, proposed = trained_pair
+        dev_ratio = count_devices(proposed).total / count_devices(baseline).total
+        power_ratio = estimate_power(proposed).total / estimate_power(baseline).total
+        assert dev_ratio > 1.2
+        assert power_ratio < 0.35
+
+
+class TestFilterCircuitConsistency:
+    def test_trained_filters_remain_printable(self, trained_pair):
+        _, proposed = trained_pair
+        for block in proposed.blocks:
+            vals = block.filters.component_values()
+            for key, arr in vals.items():
+                assert np.all(arr > 0), f"{key} must stay positive after training"
+
+    def test_trained_so_filter_matches_spice(self, trained_pair, slope):
+        """After training, the learned SO-LF still matches the MNA netlist."""
+        from repro.autograd import Tensor
+        from repro.spice import Circuit, PiecewiseLinear, transient
+
+        _, proposed = trained_pair
+        flt = proposed.blocks[0].filters
+        flt.sampler = ideal_sampler()
+        r1 = float(np.exp(flt.stage1.log_r.data[0]))
+        c1 = float(np.exp(flt.stage1.log_c.data[0]))
+        r2 = float(np.exp(flt.stage2.log_r.data[0]))
+        c2 = float(np.exp(flt.stage2.log_c.data[0]))
+
+        steps = 20
+        x = slope.x_test[0][:steps]
+        layer = flt(Tensor(x.reshape(1, steps, 1))).data[0, :, 0]
+
+        circ = Circuit()
+        times = np.arange(steps + 1) * flt.dt
+        circ.add_voltage_source(
+            "vin", "in", 0, PiecewiseLinear(times, np.concatenate([[x[0]], x]))
+        )
+        circ.add_resistor("r1", "in", "m", r1)
+        circ.add_capacitor("c1", "m", 0, c1)
+        circ.add_resistor("r2", "m", "out", r2)
+        circ.add_capacitor("c2", "out", 0, c2)
+        sim = transient(circ, dt=flt.dt, steps=steps, probes=["out"])["out"][1:]
+        # decoupled layer (mu=1) vs physically coupled netlist: the
+        # difference is bounded by the coupling effect
+        assert np.max(np.abs(layer - sim)) < 0.2
+
+
+class TestReproducibility:
+    def test_identical_seeds_identical_models(self, slope):
+        from dataclasses import replace
+
+        cfg = replace(TrainingConfig.ci(), max_epochs=25)
+        states = []
+        for _ in range(2):
+            model = AdaptPNC(3, rng=np.random.default_rng(5))
+            Trainer(model, cfg, variation_aware=True, seed=5).fit(
+                slope.x_train, slope.y_train, slope.x_val, slope.y_val
+            )
+            states.append(model.state_dict())
+        for key in states[0]:
+            assert np.array_equal(states[0][key], states[1][key]), key

@@ -1,0 +1,116 @@
+"""Linear, activations, containers and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Identity, Linear, ModuleList, ReLU, Sequential, Sigmoid, Tanh, init
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data.sum() == 0.0
+
+    def test_gradients_reach_parameters(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        layer(Tensor(rng.normal(size=(2, 4)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        assert layer(Tensor(np.ones((2, 5, 4)))).shape == (2, 5, 3)
+
+    @pytest.mark.parametrize("bad", [(0, 3), (3, 0), (-1, 2)])
+    def test_rejects_bad_dims(self, bad):
+        with pytest.raises(ValueError):
+            Linear(*bad)
+
+    def test_seeded_init_reproducible(self):
+        a = Linear(4, 3, rng=np.random.default_rng(7))
+        b = Linear(4, 3, rng=np.random.default_rng(7))
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Identity(), lambda x: x),
+        ],
+    )
+    def test_matches_numpy(self, module, fn, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(module(Tensor(x)).data, fn(x))
+
+
+class TestContainers:
+    def test_sequential_chains(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+        assert net(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_sequential_parameters_collected(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert net.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_sequential_indexing_iteration(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Tanh())
+        assert len(net) == 2
+        assert isinstance(net[1], Tanh)
+        assert [type(m).__name__ for m in net] == ["Linear", "Tanh"]
+
+    def test_modulelist_append_and_iterate(self, rng):
+        ml = ModuleList([Linear(2, 2, rng=rng)])
+        ml.append(Tanh())
+        assert len(ml) == 2
+        assert isinstance(ml[1], Tanh)
+
+    def test_modulelist_parameters_registered(self, rng):
+        ml = ModuleList([Linear(2, 3, rng=rng), Linear(3, 1, rng=rng)])
+        assert ml.num_parameters() == (2 * 3 + 3) + (3 + 1)
+
+    def test_modulelist_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            ModuleList([Tanh()])(1)
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 0.005
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((10, 25), rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 25))
+
+    def test_uniform_range(self, rng):
+        w = init.uniform((1000,), rng, low=2.0, high=3.0)
+        assert w.min() >= 2.0 and w.max() < 3.0
+
+    def test_normal_moments(self, rng):
+        w = init.normal((5000,), rng, mean=1.0, std=0.5)
+        assert abs(w.mean() - 1.0) < 0.05
+        assert abs(w.std() - 0.5) < 0.05
+
+    def test_fans_reject_empty_shape(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((), rng)

@@ -1,0 +1,106 @@
+"""LR schedules and early stopping — the paper's training protocol."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, EarlyStopping, ReduceLROnPlateau, StepLR
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestReduceLROnPlateau:
+    def test_halves_after_patience_exceeded(self):
+        opt = make_optimizer(0.1)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)  # best
+        for _ in range(3):  # 3 bad epochs > patience 2
+            sched.step(2.0)
+        assert np.isclose(opt.lr, 0.05)
+
+    def test_improvement_resets_counter(self):
+        opt = make_optimizer(0.1)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        sched.step(2.0)
+        sched.step(0.5)  # improvement
+        sched.step(2.0)
+        sched.step(2.0)
+        assert opt.lr == 0.1  # only 2 bad epochs since reset
+
+    def test_paper_protocol_terminates(self):
+        # lr 0.1 halved on every plateau must cross 1e-5 after 14 halvings.
+        opt = make_optimizer(0.1)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-5)
+        sched.step(1.0)
+        epochs = 0
+        while not sched.should_stop() and epochs < 100:
+            sched.step(1.0)
+            epochs += 1
+        assert sched.should_stop()
+        assert epochs == 14  # ceil(log2(0.1 / 1e-5)) halvings at patience 0
+
+    def test_threshold_requires_relative_improvement(self):
+        opt = make_optimizer(0.1)
+        sched = ReduceLROnPlateau(opt, patience=0, threshold=0.01)
+        sched.step(1.0)
+        sched.step(0.999)  # below 1% improvement -> counts as bad
+        assert opt.lr < 0.1
+
+    @pytest.mark.parametrize("bad", [{"factor": 0.0}, {"factor": 1.0}, {"patience": -1}])
+    def test_rejects_bad_hyperparameters(self, bad):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(make_optimizer(), **bad)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        for _ in range(3):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)
+        for _ in range(3):
+            sched.step()
+        assert np.isclose(opt.lr, 0.01)
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestEarlyStopping:
+    def test_tracks_best_state(self):
+        es = EarlyStopping(patience=3)
+        es.update(1.0, {"w": np.array([1.0])})
+        es.update(0.5, {"w": np.array([2.0])})
+        es.update(0.9, {"w": np.array([3.0])})
+        assert es.best_metric == 0.5
+        assert np.array_equal(es.best_state["w"], [2.0])
+
+    def test_best_state_is_copied(self):
+        es = EarlyStopping(patience=3)
+        state = {"w": np.array([1.0])}
+        es.update(1.0, state)
+        state["w"][0] = 99.0
+        assert es.best_state["w"][0] == 1.0
+
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=2)
+        es.update(1.0, {})
+        es.update(1.5, {})
+        assert not es.should_stop()
+        es.update(1.5, {})
+        assert es.should_stop()
+
+    def test_maximize_mode(self):
+        es = EarlyStopping(patience=2, minimize=False)
+        assert es.update(0.5, {})
+        assert es.update(0.9, {})
+        assert not es.update(0.7, {})
+
+    def test_rejects_nonpositive_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

@@ -1,0 +1,80 @@
+"""Behavioural transfer elements in the nonlinear solver."""
+
+import numpy as np
+import pytest
+
+from repro.spice import NonlinearCircuit, newton_dc, transient_nonlinear
+from repro.spice.waveforms import Step
+
+
+def tanh_stage(gain: float = 4.0):
+    """vin -> behavioural tanh -> out, with a load resistor."""
+    c = NonlinearCircuit()
+    c.add_voltage_source("vin", "in", 0, 0.5)
+    c.add_behavioral(
+        "act", "out", "in",
+        fn=lambda v, g=gain: np.tanh(v * g),
+        dfn=lambda v, g=gain: g * (1 - np.tanh(v * g) ** 2),
+    )
+    c.add_resistor("rl", "out", 0, 1e4)
+    return c
+
+
+class TestBehavioralDC:
+    def test_output_equals_transfer(self):
+        op = newton_dc(tanh_stage())
+        assert np.isclose(op["out"], np.tanh(0.5 * 4.0), atol=1e-8)
+
+    @pytest.mark.parametrize("vin", [-0.8, -0.1, 0.0, 0.3, 1.0])
+    def test_across_input_range(self, vin):
+        from repro.spice import DC
+
+        c = tanh_stage()
+        c["vin"].waveform = DC(vin)
+        op = newton_dc(c)
+        assert np.isclose(op["out"], np.tanh(vin * 4.0), atol=1e-8)
+
+    def test_ideal_source_unaffected_by_load(self):
+        light = tanh_stage()
+        heavy = tanh_stage()
+        heavy["rl"].resistance = 10.0  # brutal load
+        assert np.isclose(newton_dc(light)["out"], newton_dc(heavy)["out"], atol=1e-9)
+
+    def test_duplicate_name_rejected(self):
+        c = NonlinearCircuit()
+        c.add_behavioral("b", "out", "in", lambda v: v, lambda v: 1.0)
+        with pytest.raises(ValueError):
+            c.add_behavioral("b", "out2", "in", lambda v: v, lambda v: 1.0)
+
+    def test_cascaded_behaviorals(self):
+        c = NonlinearCircuit()
+        c.add_voltage_source("vin", "in", 0, 0.4)
+        c.add_behavioral("a1", "mid", "in", lambda v: np.tanh(2 * v), lambda v: 2 * (1 - np.tanh(2 * v) ** 2))
+        c.add_behavioral("a2", "out", "mid", lambda v: np.tanh(3 * v), lambda v: 3 * (1 - np.tanh(3 * v) ** 2))
+        op = newton_dc(c)
+        assert np.isclose(op["out"], np.tanh(3 * np.tanh(2 * 0.4)), atol=1e-8)
+
+
+class TestBehavioralTransient:
+    def test_rc_then_tanh(self):
+        """RC filter into a behavioural tanh: output = tanh(filter state)."""
+        r, cval, dt = 1e3, 1e-6, 1e-5
+        circ = NonlinearCircuit()
+        circ.add_voltage_source("vin", "in", 0, Step(0, 1, 0))
+        circ.add_resistor("r", "in", "f", r)
+        circ.add_capacitor("c", "f", 0, cval)
+        circ.add_behavioral(
+            "act", "out", "f",
+            fn=lambda v: np.tanh(3 * v),
+            dfn=lambda v: 3 * (1 - np.tanh(3 * v) ** 2),
+        )
+        res = transient_nonlinear(circ, dt=dt, steps=300, probes=["f", "out"])
+        assert np.allclose(res["out"], np.tanh(3 * res["f"]), atol=1e-7)
+
+    def test_transient_validation(self):
+        with pytest.raises(ValueError):
+            transient_nonlinear(tanh_stage(), dt=0.0, steps=5)
+        with pytest.raises(ValueError):
+            transient_nonlinear(tanh_stage(), dt=1e-5, steps=0)
+        with pytest.raises(KeyError):
+            transient_nonlinear(tanh_stage(), dt=1e-5, steps=5, probes=["ghost"])

@@ -1,0 +1,134 @@
+"""SPICE netlist file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    circuit_to_spice,
+    dc_operating_point,
+    format_value,
+    parse_value,
+    spice_to_circuit,
+)
+
+
+class TestValueFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (4700.0, "4.7k"),
+            (1e6, "1meg"),
+            (1e-7, "100n"),
+            (2.2e-6, "2.2u"),
+            (0.0, "0"),
+            (1e-12, "1p"),
+            (3.3e9, "3.3g"),
+            (0.5, "500m"),
+        ],
+    )
+    def test_format(self, value, expected):
+        assert format_value(value) == expected
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("4.7k", 4700.0),
+            ("100n", 1e-7),
+            ("1meg", 1e6),
+            ("2.2u", 2.2e-6),
+            ("1e-6", 1e-6),
+            ("10K", 1e4),
+            ("470", 470.0),
+            ("-1.5", -1.5),
+        ],
+    )
+    def test_parse(self, token, expected):
+        assert np.isclose(parse_value(token), expected)
+
+    def test_roundtrip_random_values(self, rng):
+        for _ in range(50):
+            value = float(np.exp(rng.uniform(np.log(1e-12), np.log(1e9))))
+            assert np.isclose(parse_value(format_value(value)), value, rtol=1e-5)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("ohm")
+
+
+def build_demo() -> Circuit:
+    c = Circuit("demo")
+    c.add_voltage_source("vin", "in", 0, 2.0)
+    c.add_resistor("r1", "in", "mid", 4700.0)
+    c.add_resistor("r2", "mid", 0, 10e3)
+    c.add_capacitor("c1", "mid", 0, 100e-9, initial_voltage=0.25)
+    c.add_vcvs("e1", "out", 0, "mid", 0, -2.0)
+    c.add_current_source("i1", 0, "mid", 1e-3)
+    return c
+
+
+class TestExport:
+    def test_all_elements_emitted(self):
+        # SPICE designators are case-insensitive; names already starting
+        # with their element letter are emitted as-is.
+        text = circuit_to_spice(build_demo())
+        for token in ("r1 in mid", "r2 mid 0", "c1 mid 0", "vin in 0", "e1 out 0", "i1 0 mid", ".title demo", ".end"):
+            assert token in text
+
+    def test_capacitor_ic_emitted(self):
+        assert "IC=250m" in circuit_to_spice(build_demo())
+
+    def test_time_varying_source_annotated(self):
+        from repro.spice import Sine
+
+        c = Circuit()
+        c.add_voltage_source("vin", "a", 0, Sine(1.0, 50.0))
+        c.add_resistor("r", "a", 0, 1e3)
+        assert "time-varying" in circuit_to_spice(c)
+
+    def test_compiled_model_exports_b_sources(self, rng):
+        from repro.compile import compile_model
+        from repro.core import PTPNC
+
+        text = circuit_to_spice(compile_model(PTPNC(2, rng=rng)).circuit)
+        assert text.count("tanh(") >= 2  # one behavioural source per neuron
+        assert "_branch" not in text  # internal rows hidden
+
+
+class TestImport:
+    def test_roundtrip_preserves_operating_point(self):
+        original = build_demo()
+        restored = spice_to_circuit(circuit_to_spice(original))
+        op_a = dc_operating_point(original)
+        op_b = dc_operating_point(restored)
+        for node in ("in", "mid", "out"):
+            assert np.isclose(op_a[node], op_b[node], atol=1e-9)
+
+    def test_roundtrip_preserves_capacitor_ic(self):
+        restored = spice_to_circuit(circuit_to_spice(build_demo()))
+        assert np.isclose(restored["c1"].initial_voltage, 0.25)
+
+    def test_comments_and_directives_ignored(self):
+        text = """.title t
+* a comment
+R1 a 0 1k  * inline comment
+.options whatever
+.end
+R2 never 0 1k
+"""
+        c = spice_to_circuit(text)
+        assert len(c.resistors) == 1
+
+    def test_unsupported_element_raises(self):
+        with pytest.raises(ValueError):
+            spice_to_circuit("Q1 c b e model\n")
+
+    def test_parses_external_style_netlist(self):
+        text = """.title rc_filter
+Vin in 0 DC 1
+R1 in out 1k
+C1 out 0 1u
+.end
+"""
+        c = spice_to_circuit(text)
+        assert np.isclose(dc_operating_point(c)["out"], 1.0, atol=1e-6)

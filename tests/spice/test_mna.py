@@ -1,0 +1,126 @@
+"""DC operating-point correctness of the MNA solver."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_operating_point
+
+
+class TestDividers:
+    def test_two_resistor_divider(self):
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 10.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", 0, 3e3)
+        op = dc_operating_point(c)
+        assert np.isclose(op["mid"], 7.5)
+
+    def test_three_way_divider(self):
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 6.0)
+        for i, (a, b) in enumerate([("in", "n1"), ("n1", "n2"), ("n2", "0")]):
+            c.add_resistor(f"r{i}", a, b, 1e3)
+        op = dc_operating_point(c)
+        assert np.isclose(op["n1"], 4.0)
+        assert np.isclose(op["n2"], 2.0)
+
+    def test_parallel_resistors(self):
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 1.0)
+        c.add_resistor("r1", "in", "out", 1e3)
+        c.add_resistor("r2", "out", 0, 1e3)
+        c.add_resistor("r3", "out", 0, 1e3)  # 500 ohm to ground
+        op = dc_operating_point(c)
+        assert np.isclose(op["out"], 500.0 / 1500.0)
+
+
+class TestSources:
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("i1", 0, "n", 2e-3)  # 2 mA into node n
+        c.add_resistor("r1", "n", 0, 1e3)
+        op = dc_operating_point(c)
+        assert np.isclose(op["n"], 2.0)
+
+    def test_superposition(self):
+        def build(v, i):
+            c = Circuit()
+            c.add_voltage_source("v1", "a", 0, v)
+            c.add_resistor("r1", "a", "n", 1e3)
+            c.add_current_source("i1", 0, "n", i)
+            c.add_resistor("r2", "n", 0, 1e3)
+            return dc_operating_point(c)["n"]
+
+        both = build(2.0, 1e-3)
+        only_v = build(2.0, 0.0)
+        only_i = build(0.0, 1e-3)
+        assert np.isclose(both, only_v + only_i)
+
+    def test_vcvs_inverter_gain(self):
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 0.7)
+        c.add_vcvs("e1", "out", 0, "in", 0, -1.0)
+        c.add_resistor("rl", "out", 0, 1e4)
+        op = dc_operating_point(c)
+        assert np.isclose(op["out"], -0.7)
+
+    def test_vcvs_amplifier(self):
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 0.1)
+        c.add_vcvs("e1", "out", 0, "in", 0, 10.0)
+        c.add_resistor("rl", "out", 0, 1e4)
+        op = dc_operating_point(c)
+        assert np.isclose(op["out"], 1.0)
+
+    def test_time_dependent_source_evaluated_at_t(self):
+        from repro.spice import Step
+
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, Step(0.0, 5.0, t0=1.0))
+        c.add_resistor("r1", "in", 0, 1e3)
+        assert np.isclose(dc_operating_point(c, t=0.0)["in"], 0.0, atol=1e-6)
+        assert np.isclose(dc_operating_point(c, t=2.0)["in"], 5.0)
+
+
+class TestCrossbarEquation:
+    def test_resistor_crossbar_matches_eq1(self):
+        """A 3-input crossbar column must satisfy the paper's Eq. (1)."""
+        g = np.array([1e-5, 2e-5, 0.5e-5])  # input conductances
+        g_b, g_d = 1e-5, 3e-5
+        v_in = np.array([0.3, -0.5, 0.8])
+        v_b = 1.0
+
+        c = Circuit()
+        for i, (gi, vi) in enumerate(zip(g, v_in)):
+            c.add_voltage_source(f"v{i}", f"in{i}", 0, vi)
+            c.add_resistor(f"r{i}", f"in{i}", "out", 1.0 / gi)
+        c.add_voltage_source("vb", "b", 0, v_b)
+        c.add_resistor("rb", "b", "out", 1.0 / g_b)
+        c.add_resistor("rd", "out", 0, 1.0 / g_d)
+        op = dc_operating_point(c)
+
+        big_g = g.sum() + g_b + g_d
+        expected = (g @ v_in + g_b * v_b) / big_g
+        assert np.isclose(op["out"], expected, atol=1e-9)
+
+
+class TestKCL:
+    def test_current_conservation_at_node(self):
+        # Currents into the mid node of a divider must sum to zero.
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 10.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", 0, 2e3)
+        op = dc_operating_point(c)
+        i_in = (op["in"] - op["mid"]) / 1e3
+        i_out = op["mid"] / 2e3
+        assert np.isclose(i_in, i_out, rtol=1e-9)
+
+    def test_floating_capacitive_node_is_regularised(self):
+        # A node connected only through a capacitor (open in DC) must not
+        # blow up the solve thanks to gmin.
+        c = Circuit()
+        c.add_voltage_source("vin", "in", 0, 1.0)
+        c.add_capacitor("c1", "in", "float", 1e-6)
+        op = dc_operating_point(c)
+        assert np.isfinite(op["float"])

@@ -1,0 +1,72 @@
+"""Netlist construction and component validation."""
+
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.components import Capacitor, Resistor
+
+
+class TestCircuitBuilding:
+    def test_builders_register_components(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 100.0)
+        c.add_capacitor("c1", "b", 0, 1e-6)
+        c.add_voltage_source("v1", "a", 0, 1.0)
+        c.add_current_source("i1", "b", 0, 1e-3)
+        c.add_vcvs("e1", "c", 0, "a", 0, -1.0)
+        assert c.num_components() == 5
+        assert "r1" in c and "e1" in c
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", 0, 1.0)
+        with pytest.raises(ValueError):
+            c.add_resistor("r1", "b", 0, 1.0)
+
+    def test_ground_aliases_unify(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "gnd", 1.0)
+        c.add_resistor("r2", "b", 0, 1.0)
+        c.add_resistor("r3", "c", "0", 1.0)
+        assert set(c.nodes) == {"a", "b", "c"}
+
+    def test_node_indices_stable(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 1.0)
+        assert c.node_index("a") == 0
+        assert c.node_index("b") == 1
+
+    def test_ground_has_no_index(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", 0, 1.0)
+        with pytest.raises(KeyError):
+            c.node_index(0)
+
+    def test_getitem_returns_component(self):
+        c = Circuit()
+        r = c.add_resistor("r1", "a", 0, 42.0)
+        assert c["r1"] is r
+
+    def test_repr_summarises(self):
+        c = Circuit("demo")
+        c.add_resistor("r1", "a", 0, 1.0)
+        assert "demo" in repr(c) and "R=1" in repr(c)
+
+
+class TestComponentValidation:
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_resistor_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError):
+            Resistor("r", "a", "b", value)
+
+    @pytest.mark.parametrize("value", [0.0, -1e-9])
+    def test_capacitor_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError):
+            Capacitor("c", "a", "b", value)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_conductance(self):
+        assert Resistor("r", "a", "b", 4.0).conductance == 0.25

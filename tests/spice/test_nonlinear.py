@@ -1,0 +1,137 @@
+"""Nonlinear DC analysis: EGT model and Newton solver."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    EGTParameters,
+    NonlinearCircuit,
+    dc_transfer_sweep,
+    newton_dc,
+)
+
+
+class TestEGTModel:
+    def test_cutoff_no_current(self):
+        egt = EGTParameters(k=1e-4, v_t=0.3)
+        assert egt.current(0.2, 0.5) == 0.0
+        assert egt.derivatives(0.2, 0.5) == (0.0, 0.0)
+
+    def test_saturation_square_law(self):
+        egt = EGTParameters(k=1e-4, v_t=0.3, lambda_=0.0)
+        assert np.isclose(egt.current(0.8, 1.0), 1e-4 * 0.5**2)
+
+    def test_triode_formula(self):
+        egt = EGTParameters(k=1e-4, v_t=0.3, lambda_=0.0)
+        v_ov, v_ds = 0.5, 0.2
+        assert np.isclose(
+            egt.current(0.8, v_ds), 1e-4 * (2 * v_ov * v_ds - v_ds**2)
+        )
+
+    def test_current_continuous_at_boundary(self):
+        """The λ factor must apply in both regimes (Newton stability)."""
+        egt = EGTParameters(k=1e-4, v_t=0.3, lambda_=0.1)
+        v_ov = 0.5
+        below = egt.current(0.8, v_ov - 1e-9)
+        above = egt.current(0.8, v_ov + 1e-9)
+        assert np.isclose(below, above, rtol=1e-6)
+
+    def test_derivatives_continuous_at_boundary(self):
+        egt = EGTParameters(k=1e-4, v_t=0.3, lambda_=0.1)
+        v_ov = 0.5
+        gm_b, gds_b = egt.derivatives(0.8, v_ov - 1e-9)
+        gm_a, gds_a = egt.derivatives(0.8, v_ov + 1e-9)
+        assert np.isclose(gm_b, gm_a, rtol=1e-6)
+        assert np.isclose(gds_b, gds_a, rtol=1e-3)
+
+    def test_derivatives_match_finite_differences(self):
+        egt = EGTParameters(k=2e-4, v_t=0.25, lambda_=0.08)
+        eps = 1e-7
+        for v_gs, v_ds in [(0.7, 0.1), (0.7, 0.9), (0.5, 0.24)]:
+            g_m, g_ds = egt.derivatives(v_gs, v_ds)
+            num_gm = (egt.current(v_gs + eps, v_ds) - egt.current(v_gs - eps, v_ds)) / (2 * eps)
+            num_gds = (egt.current(v_gs, v_ds + eps) - egt.current(v_gs, v_ds - eps)) / (2 * eps)
+            assert np.isclose(g_m, num_gm, rtol=1e-4)
+            assert np.isclose(g_ds, num_gds, rtol=1e-4)
+
+    @pytest.mark.parametrize("bad", [{"k": 0.0}, {"k": -1e-4}, {"lambda_": -0.1}])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ValueError):
+            EGTParameters(**bad)
+
+
+class TestNewtonDC:
+    def test_linear_circuit_matches_linear_solver(self):
+        from repro.spice import dc_operating_point
+
+        c = NonlinearCircuit()
+        c.add_voltage_source("vin", "in", 0, 2.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", 0, 1e3)
+        newton = newton_dc(c)
+        linear = dc_operating_point(c)
+        assert np.isclose(newton["mid"], linear["mid"])
+
+    def test_common_source_stage_operating_point(self):
+        """Resistor-loaded EGT: solve the triode quadratic analytically."""
+        c = NonlinearCircuit()
+        c.add_voltage_source("vdd", "vdd", 0, 1.0)
+        c.add_voltage_source("vg", "g", 0, 1.0)
+        c.add_resistor("rl", "vdd", "d", 2e4)
+        c.add_egt("t1", "d", "g", 0, EGTParameters(k=1e-4, v_t=0.3, lambda_=0.0))
+        op = newton_dc(c)
+        # triode: 2e4 * 1e-4 (2*0.7 v - v^2) = 1 - v  =>  2v^2 - 3.8v + 1 = 0
+        expected = (3.8 - np.sqrt(3.8**2 - 8.0)) / 4.0
+        assert np.isclose(op["d"], expected, atol=1e-6)
+
+    def test_transistor_off_output_at_rail(self):
+        c = NonlinearCircuit()
+        c.add_voltage_source("vdd", "vdd", 0, 1.0)
+        c.add_voltage_source("vg", "g", 0, 0.0)  # below threshold
+        c.add_resistor("rl", "vdd", "d", 2e4)
+        c.add_egt("t1", "d", "g", 0)
+        op = newton_dc(c)
+        assert np.isclose(op["d"], 1.0, atol=1e-6)
+
+    def test_warm_start_size_validated(self):
+        c = NonlinearCircuit()
+        c.add_voltage_source("v", "a", 0, 1.0)
+        c.add_resistor("r", "a", 0, 1e3)
+        with pytest.raises(ValueError):
+            newton_dc(c, x0=np.zeros(99))
+
+    def test_duplicate_egt_name_rejected(self):
+        c = NonlinearCircuit()
+        c.add_egt("t1", "d", "g", 0)
+        with pytest.raises(ValueError):
+            c.add_egt("t1", "d2", "g2", 0)
+
+
+class TestTransferSweep:
+    def test_inverter_transfer_monotone_falling(self):
+        c = NonlinearCircuit()
+        c.add_voltage_source("vdd", "vdd", 0, 1.0)
+        c.add_voltage_source("vin", "in", 0, 0.0)
+        c.add_resistor("rl", "vdd", "out", 2e4)
+        c.add_egt("t1", "out", "in", 0)
+        v_in = np.linspace(0, 1, 21)
+        v_out = dc_transfer_sweep(c, "vin", "out", v_in)
+        assert np.all(np.diff(v_out) <= 1e-9)
+        assert v_out[0] > 0.99  # off: output at the rail
+        assert v_out[-1] < 0.5  # on: pulled down
+
+    def test_sweep_restores_waveform(self):
+        c = NonlinearCircuit()
+        c.add_voltage_source("vdd", "vdd", 0, 1.0)
+        c.add_voltage_source("vin", "in", 0, 0.42)
+        c.add_resistor("rl", "vdd", "out", 2e4)
+        c.add_egt("t1", "out", "in", 0)
+        original = c["vin"].waveform
+        dc_transfer_sweep(c, "vin", "out", np.array([0.0, 1.0]))
+        assert c["vin"].waveform is original
+
+    def test_unknown_source_rejected(self):
+        c = NonlinearCircuit()
+        c.add_resistor("r", "a", 0, 1e3)
+        with pytest.raises(KeyError):
+            dc_transfer_sweep(c, "ghost", "a", np.array([0.0]))

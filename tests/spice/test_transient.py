@@ -1,0 +1,111 @@
+"""Backward-Euler transient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, PiecewiseLinear, Sine, Step, transient
+
+
+def rc_circuit(r=1e3, c=1e-6, vin=None, ic=0.0):
+    circ = Circuit("rc")
+    circ.add_voltage_source("vin", "in", 0, vin if vin is not None else Step(0, 1, 0))
+    circ.add_resistor("r", "in", "out", r)
+    circ.add_capacitor("c", "out", 0, c, initial_voltage=ic)
+    return circ
+
+
+class TestRCStep:
+    def test_matches_analytic_charging(self):
+        r, c, dt = 1e3, 1e-6, 1e-5
+        res = transient(rc_circuit(r, c), dt=dt, steps=500, probes=["out"])
+        analytic = 1.0 - np.exp(-res.times / (r * c))
+        assert np.max(np.abs(res["out"] - analytic)) < 5e-3
+
+    def test_matches_paper_recurrence_exactly(self):
+        """Backward Euler must reproduce Eq. (3): V_k = (RC V_{k-1} + dt V_in)/(RC + dt)."""
+        r, c, dt = 1e3, 1e-6, 1e-5
+        res = transient(rc_circuit(r, c), dt=dt, steps=200, probes=["out"])
+        v, expected = 0.0, [0.0]
+        for _ in range(200):
+            v = (r * c * v + dt * 1.0) / (r * c + dt)
+            expected.append(v)
+        assert np.allclose(res["out"], expected, atol=1e-7)
+
+    def test_initial_condition_respected(self):
+        res = transient(rc_circuit(ic=0.5), dt=1e-5, steps=10, probes=["out"])
+        assert np.isclose(res["out"][0], 0.5, atol=1e-3)
+
+    def test_steady_state_reaches_input(self):
+        r, c = 1e3, 1e-6
+        res = transient(rc_circuit(r, c), dt=1e-4, steps=200, probes=["out"])
+        assert np.isclose(res["out"][-1], 1.0, atol=1e-3)
+
+
+class TestSineResponse:
+    def test_attenuation_beyond_cutoff(self):
+        # Drive at 10x the cutoff: output amplitude ~ 1/10 of input.
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        f = 10 * fc
+        circ = rc_circuit(r, c, vin=Sine(amplitude=1.0, frequency=f))
+        dt = 1.0 / (f * 200)
+        res = transient(circ, dt=dt, steps=2000, probes=["out"])
+        settled = res["out"][1000:]
+        gain = (settled.max() - settled.min()) / 2.0
+        assert 0.05 < gain < 0.18
+
+    def test_passband_transparency(self):
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        f = fc / 50
+        circ = rc_circuit(r, c, vin=Sine(amplitude=1.0, frequency=f))
+        dt = 1.0 / (f * 400)
+        res = transient(circ, dt=dt, steps=1200, probes=["out"])
+        settled = res["out"][400:]
+        gain = (settled.max() - settled.min()) / 2.0
+        assert gain > 0.97
+
+
+class TestSecondOrder:
+    def test_two_stage_smoother_than_one(self):
+        """The SO filter's step response must lag the first-order one."""
+        one = rc_circuit(1e3, 1e-6)
+        two = Circuit("so")
+        two.add_voltage_source("vin", "in", 0, Step(0, 1, 0))
+        two.add_resistor("r1", "in", "m", 1e3)
+        two.add_capacitor("c1", "m", 0, 1e-6)
+        two.add_resistor("r2", "m", "out", 1e3)
+        two.add_capacitor("c2", "out", 0, 1e-6)
+        dt = 1e-5
+        r1 = transient(one, dt=dt, steps=100, probes=["out"])["out"]
+        r2 = transient(two, dt=dt, steps=100, probes=["out"])["out"]
+        assert np.all(r2[1:] <= r1[1:] + 1e-12)
+
+    def test_pwl_driven_filter_tracks_input_mean(self):
+        times = np.linspace(0, 0.01, 11)
+        values = np.full(11, 0.6)
+        circ = rc_circuit(1e2, 1e-6, vin=PiecewiseLinear(times, values))
+        res = transient(circ, dt=1e-5, steps=100, probes=["out"])
+        assert np.isclose(res["out"][-1], 0.6, atol=0.01)
+
+
+class TestValidation:
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), dt=0.0, steps=10)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), dt=1e-5, steps=0)
+
+    def test_rejects_unknown_probe(self):
+        with pytest.raises(KeyError):
+            transient(rc_circuit(), dt=1e-5, steps=10, probes=["nope"])
+
+    def test_records_all_nodes_by_default(self):
+        res = transient(rc_circuit(), dt=1e-5, steps=5)
+        assert set(res.voltages) == {"in", "out"}
+
+    def test_times_axis(self):
+        res = transient(rc_circuit(), dt=1e-5, steps=5)
+        assert np.allclose(res.times, np.arange(6) * 1e-5)

@@ -1,0 +1,71 @@
+"""Trapezoidal integration cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, Sine, Step, transient
+
+
+def rc_circuit(r=1e3, c=1e-6):
+    circ = Circuit("rc")
+    circ.add_voltage_source("vin", "in", 0, Step(0, 1, 0))
+    circ.add_resistor("r", "in", "out", r)
+    circ.add_capacitor("c", "out", 0, c)
+    return circ
+
+
+class TestTrapezoidal:
+    def test_second_order_beats_backward_euler(self):
+        r, c, dt = 1e3, 1e-6, 2e-5
+        circ = rc_circuit(r, c)
+        analytic = lambda t: 1 - np.exp(-t / (r * c))  # noqa: E731
+        be = transient(circ, dt=dt, steps=200, probes=["out"], method="backward_euler")
+        tr = transient(circ, dt=dt, steps=200, probes=["out"], method="trapezoidal")
+        err_be = np.max(np.abs(be["out"][1:] - analytic(be.times[1:])))
+        err_tr = np.max(np.abs(tr["out"][1:] - analytic(tr.times[1:])))
+        assert err_tr < err_be / 20
+
+    def test_error_scales_quadratically(self):
+        """Halving dt must cut the trapezoidal error ~4x (2nd order)."""
+        r, c = 1e3, 1e-6
+        analytic = lambda t: 1 - np.exp(-t / (r * c))  # noqa: E731
+        errors = []
+        for dt in (4e-5, 2e-5):
+            res = transient(
+                rc_circuit(r, c), dt=dt, steps=int(4e-3 / dt), probes=["out"],
+                method="trapezoidal",
+            )
+            errors.append(np.max(np.abs(res["out"][1:] - analytic(res.times[1:]))))
+        ratio = errors[0] / errors[1]
+        assert 3.0 < ratio < 5.5
+
+    def test_both_methods_agree_at_steady_state(self):
+        circ = rc_circuit()
+        be = transient(circ, dt=1e-4, steps=100, probes=["out"])
+        tr = transient(circ, dt=1e-4, steps=100, probes=["out"], method="trapezoidal")
+        assert np.isclose(be["out"][-1], tr["out"][-1], atol=1e-3)
+
+    def test_sine_steady_state_amplitude(self):
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        circ = Circuit()
+        circ.add_voltage_source("vin", "in", 0, Sine(1.0, fc))
+        circ.add_resistor("r", "in", "out", r)
+        circ.add_capacitor("c", "out", 0, c)
+        dt = 1.0 / (fc * 100)
+        res = transient(circ, dt=dt, steps=1000, probes=["out"], method="trapezoidal")
+        settled = res["out"][500:]
+        gain = (settled.max() - settled.min()) / 2
+        assert np.isclose(gain, 1 / np.sqrt(2), atol=0.02)  # -3 dB at cutoff
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), dt=1e-5, steps=5, method="forward_euler")
+
+    def test_initial_condition_preserved(self):
+        circ = Circuit()
+        circ.add_voltage_source("vin", "in", 0, Step(0, 1, 0))
+        circ.add_resistor("r", "in", "out", 1e3)
+        circ.add_capacitor("c", "out", 0, 1e-6, initial_voltage=0.5)
+        res = transient(circ, dt=1e-5, steps=10, probes=["out"], method="trapezoidal")
+        assert np.isclose(res["out"][0], 0.5, atol=1e-2)

@@ -1,0 +1,137 @@
+"""Top-level API surface and small remaining behaviours."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "autograd",
+            "nn",
+            "optim",
+            "spice",
+            "circuits",
+            "data",
+            "augment",
+            "core",
+            "analysis",
+            "hw",
+            "tuning",
+            "compile",
+            "utils",
+            "report",
+            "cli",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        __import__(f"repro.{module}")
+
+    @pytest.mark.parametrize(
+        "module",
+        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw"],
+    )
+    def test_all_exports_resolve(self, module):
+        mod = __import__(f"repro.{module}", fromlist=["__all__"])
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"repro.{module}.{name} missing"
+
+
+class TestSmallBehaviours:
+    def test_experiment_smoke_custom_datasets(self):
+        from repro.core import ExperimentConfig
+
+        cfg = ExperimentConfig.smoke(datasets=("CBF",))
+        assert cfg.datasets == ("CBF",)
+
+    def test_model_result_repr(self):
+        from repro.core import ModelResult
+
+        assert repr(ModelResult(mean=0.726, std=0.014)) == "0.726 ± 0.014"
+
+    def test_training_history_defaults(self):
+        from repro.core import TrainingHistory
+
+        hist = TrainingHistory()
+        assert hist.epochs_run == 0
+        assert hist.best_epoch == -1
+        assert hist.train_loss == []
+
+    def test_evaluation_result_repr(self):
+        from repro.core import EvaluationResult
+
+        result = EvaluationResult(mean=0.5, std=0.1, samples=np.array([0.4, 0.6]))
+        assert "0.500" in repr(result)
+
+    def test_dataset_splits_series_length(self):
+        from repro.data import load_dataset
+
+        assert load_dataset("Slope", n_samples=40).series_length == 64
+
+    def test_device_count_repr_fields(self):
+        from repro.hw import DeviceCount
+
+        count = DeviceCount(1, 2, 3)
+        assert count.transistors == 1 and count.total == 6
+
+    def test_power_breakdown_consistency(self, rng):
+        from repro.core import AdaptPNC
+        from repro.hw import estimate_power
+
+        power = estimate_power(AdaptPNC(2, rng=rng))
+        assert power.total_mw == pytest.approx(power.total * 1e3)
+
+    def test_yield_result_repr(self):
+        from repro.analysis import YieldResult
+
+        result = YieldResult(
+            yield_fraction=0.8, threshold=0.7, accuracies=np.array([0.6, 0.9])
+        )
+        assert "80" in repr(result) and "worst=0.600" in repr(result)
+
+    def test_quantization_report_repr(self, rng):
+        from repro.circuits import quantize_model
+        from repro.core import AdaptPNC
+
+        report = quantize_model(AdaptPNC(2, rng=rng))
+        assert "12/decade" in repr(report)
+
+    def test_fault_result_repr(self):
+        from repro.analysis import FaultResult
+
+        result = FaultResult("open_crossing", 2, 0.7, 0.05)
+        assert "open_crossing" in repr(result)
+
+    def test_synthesis_result_repr(self):
+        from repro.circuits.synthesis import SynthesisResult
+        from repro.spice import EGTParameters
+
+        t = EGTParameters()
+        result = SynthesisResult(1e4, 2e4, t, t, 0.005, np.zeros(4))
+        assert "rms=5.0mV" in repr(result)
+
+    def test_calibration_result_gain(self):
+        from repro.core import CalibrationResult
+
+        result = CalibrationResult(0, 0.6, 0.75)
+        assert result.gain == pytest.approx(0.15)
+
+    def test_corner_report_helpers(self):
+        from repro.analysis import CornerReport
+
+        report = CornerReport(accuracy={"TT": 0.9, "SS": 0.7, "FF": 0.8}, delta=0.1)
+        assert report.worst_corner() == "SS"
+        assert report.spread() == pytest.approx(0.2)
+
+    def test_compiled_model_input_node_alias(self, rng):
+        from repro.compile import compile_model
+        from repro.core import PTPNC
+
+        compiled = compile_model(PTPNC(2, rng=rng))
+        assert compiled.input_node == compiled.input_nodes[0] == "in"

@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "name", ["table1", "table2", "table3", "fig5", "fig6", "fig7", "mu"]
+    )
+    def test_artifact_commands_registered(self, name):
+        args = build_parser().parse_args([name, "--scale", "smoke"])
+        assert args.command == name
+        assert args.scale == "smoke"
+
+    def test_report_command(self):
+        args = build_parser().parse_args(["report", "some.json", "--output", "out.md"])
+        assert args.results == "some.json"
+
+    def test_export_defaults(self):
+        args = build_parser().parse_args(["export", "Slope"])
+        assert args.output == "adapt_pnc.cir"
+        assert not args.coupled
+
+
+class TestExecution:
+    def test_mu_command_runs(self, capsys):
+        assert main(["mu", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mu_min" in out and "within_paper_band" in out
+
+    def test_table3_smoke_runs(self, capsys):
+        assert main(["table3", "--scale", "smoke"]) == 0
+        assert "Average" in capsys.readouterr().out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "jittering" in capsys.readouterr().out
+
+    def test_report_renders_fixture(self, tmp_path, capsys):
+        import json
+
+        record = {"scale": "smoke", "datasets": [], "seeds": []}
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(record))
+        assert main(["report", str(path)]) == 0
+        assert "evaluation report" in capsys.readouterr().out
+
+    def test_export_writes_netlist(self, tmp_path):
+        out = tmp_path / "net.cir"
+        code = main(
+            ["export", "Slope", "--output", str(out), "--samples", "40"]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert ".title adapt_pnc_Slope" in text
+        assert "tanh(" in text

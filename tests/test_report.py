@@ -1,0 +1,91 @@
+"""Markdown report generation."""
+
+import json
+
+import pytest
+
+from repro.report import render_report, render_report_file
+
+
+@pytest.fixture
+def record():
+    return {
+        "scale": "ci",
+        "datasets": ["Slope", "CBF"],
+        "seeds": [0, 1],
+        "table1": {
+            "Slope": {
+                "elman": {"mean": 0.9, "std": 0.01},
+                "ptpnc": {"mean": 0.8, "std": 0.02},
+                "adapt": {"mean": 0.95, "std": 0.01},
+            },
+            "Average": {
+                "elman": {"mean": 0.9, "std": 0.01},
+                "ptpnc": {"mean": 0.8, "std": 0.02},
+                "adapt": {"mean": 0.95, "std": 0.01},
+            },
+        },
+        "table2_seconds_per_step": {"elman": 0.016, "ptpnc": 0.012, "adapt": 0.060},
+        "table3": [
+            {
+                "dataset": "Slope",
+                "baseline": [22, 45, 4, 71],
+                "proposed": [52, 76, 12, 140],
+                "baseline_power_mw": 0.948,
+                "proposed_power_mw": 0.103,
+            }
+        ],
+        "fig5": {"clean_ideal": 0.78, "perturbed_varied": 0.64},
+        "fig7": {
+            "baseline": {
+                "clean": {"mean": 0.75, "std": 0.19},
+                "perturbed": {"mean": 0.72, "std": 0.18},
+            }
+        },
+        "mu_extraction": {
+            "mu_min": 1.0,
+            "mu_max": 1.1,
+            "mu_mean": 1.03,
+            "within_paper_band": 1.0,
+        },
+    }
+
+
+class TestRenderReport:
+    def test_all_sections_present(self, record):
+        text = render_report(record)
+        for heading in ("Table I", "Table II", "Table III", "Fig. 5", "Fig. 7", "µ extraction"):
+            assert heading in text
+
+    def test_shape_check_reproduced(self, record):
+        assert "**reproduced**" in render_report(record)
+
+    def test_shape_check_flags_regression(self, record):
+        record["table1"]["Average"]["adapt"]["mean"] = 0.5
+        assert "NOT reproduced" in render_report(record)
+
+    def test_device_ratio_computed(self, record):
+        text = render_report(record)
+        assert "1.97×" in text  # 140 / 71
+
+    def test_missing_sections_skipped(self):
+        text = render_report({"scale": "smoke", "datasets": [], "seeds": []})
+        assert "Table I" not in text
+        assert text.startswith("# ADAPT-pNC evaluation report")
+
+    def test_render_from_file(self, record, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(record))
+        out = tmp_path / "report.md"
+        text = render_report_file(path, out)
+        assert out.read_text() == text
+        assert "Table I" in text
+
+    def test_renders_real_ci_results_if_present(self):
+        import pathlib
+
+        real = pathlib.Path("results/ci/results.json")
+        if not real.exists():
+            pytest.skip("no CI results on disk")
+        text = render_report_file(real)
+        assert "Table I" in text and "reproduced" in text

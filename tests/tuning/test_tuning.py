@@ -1,0 +1,120 @@
+"""Hyper-parameter search (the Ray Tune substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    SearchSpace,
+    choice,
+    default_space,
+    loguniform,
+    random_search,
+    successive_halving,
+    uniform,
+)
+
+
+class TestDimensions:
+    def test_uniform_bounds(self, rng):
+        dim = uniform(2.0, 3.0)
+        samples = [dim.sample(rng) for _ in range(200)]
+        assert min(samples) >= 2.0 and max(samples) < 3.0
+
+    def test_loguniform_bounds(self, rng):
+        dim = loguniform(1e-3, 1.0)
+        samples = np.array([dim.sample(rng) for _ in range(200)])
+        assert samples.min() >= 1e-3 and samples.max() < 1.0
+
+    def test_loguniform_covers_decades(self, rng):
+        dim = loguniform(1e-3, 1.0)
+        samples = np.array([dim.sample(rng) for _ in range(500)])
+        # roughly a third of log-uniform draws per decade
+        assert (samples < 1e-2).mean() > 0.15
+
+    def test_choice(self, rng):
+        dim = choice([1, 2, 3])
+        assert all(dim.sample(rng) in (1, 2, 3) for _ in range(50))
+
+    @pytest.mark.parametrize(
+        "factory,args",
+        [(uniform, (1.0, 1.0)), (loguniform, (0.0, 1.0)), (choice, ([],))],
+    )
+    def test_rejects_degenerate(self, factory, args):
+        with pytest.raises(ValueError):
+            factory(*args)
+
+
+class TestSearchSpace:
+    def test_sample_has_all_dimensions(self, rng):
+        space = default_space()
+        config = space.sample(rng)
+        assert set(config) == {"jitter_sigma", "time_warp_strength", "crop_fraction"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+
+
+class TestRandomSearch:
+    def test_results_sorted_best_first(self, rng):
+        space = SearchSpace({"x": uniform(0.0, 1.0)})
+        results = random_search(lambda c: -((c["x"] - 0.5) ** 2), space, n_trials=20, seed=0)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_finds_near_optimum(self):
+        space = SearchSpace({"x": uniform(0.0, 1.0)})
+        best = random_search(lambda c: -((c["x"] - 0.5) ** 2), space, n_trials=50, seed=0)[0]
+        assert abs(best.config["x"] - 0.5) < 0.1
+
+    def test_deterministic_per_seed(self):
+        space = SearchSpace({"x": uniform(0.0, 1.0)})
+        a = random_search(lambda c: c["x"], space, n_trials=5, seed=3)
+        b = random_search(lambda c: c["x"], space, n_trials=5, seed=3)
+        assert [r.config["x"] for r in a] == [r.config["x"] for r in b]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            random_search(lambda c: 0.0, default_space(), n_trials=0)
+
+
+class TestSuccessiveHalving:
+    def test_survivors_shrink(self):
+        space = SearchSpace({"x": uniform(0.0, 1.0)})
+        calls = []
+
+        def objective(config, budget):
+            calls.append(budget)
+            return config["x"]
+
+        results = successive_halving(
+            objective, space, n_trials=8, budgets=(1, 2, 4), keep_fraction=0.5, seed=0
+        )
+        assert len(results) == 2  # 8 -> 4 -> 2
+        assert calls.count(1) == 8 and calls.count(2) == 4 and calls.count(4) == 2
+
+    def test_best_config_survives(self):
+        space = SearchSpace({"x": uniform(0.0, 1.0)})
+        all_round1 = []
+
+        def objective(config, budget):
+            if budget == 1:
+                all_round1.append(config["x"])
+            return config["x"]
+
+        results = successive_halving(objective, space, n_trials=10, budgets=(1, 2), seed=1)
+        assert np.isclose(results[0].config["x"], max(all_round1))
+
+    @pytest.mark.parametrize("kwargs", [{"budgets": ()}, {"budgets": (0,)}, {"keep_fraction": 1.0}])
+    def test_rejects_bad_schedule(self, kwargs):
+        with pytest.raises(ValueError):
+            successive_halving(lambda c, b: 0.0, default_space(), **kwargs)
+
+
+class TestTuneAugmentation:
+    def test_end_to_end_tiny(self):
+        from repro.tuning import tune_augmentation
+
+        best = tune_augmentation("Slope", n_trials=2, n_samples=40, max_epochs=3)
+        assert 0.0 <= best.score <= 1.0
+        assert 0.6 <= best.config["crop_fraction"] <= 1.0

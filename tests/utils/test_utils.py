@@ -1,0 +1,57 @@
+"""Table rendering and timing helpers."""
+
+import time
+
+import pytest
+
+from repro.utils import Stopwatch, format_mean_std, render_table, time_callable
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["A", "B"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_column_widths_adapt(self):
+        text = render_table(["X"], [["very-long-cell"]])
+        assert "very-long-cell" in text
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+
+class TestFormatMeanStd:
+    def test_paper_style(self):
+        assert format_mean_std(0.7264, 0.0141) == "0.726 ± 0.014"
+
+    def test_digits(self):
+        assert format_mean_std(0.5, 0.25, digits=2) == "0.50 ± 0.25"
+
+
+class TestTiming:
+    def test_stopwatch_measures(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert 0.005 < sw.elapsed < 0.5
+
+    def test_time_callable_average(self):
+        calls = []
+        t = time_callable(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+        assert t >= 0.0
+
+    def test_time_callable_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)

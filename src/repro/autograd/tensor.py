@@ -58,6 +58,22 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """True when ``index`` uses only basic (non-fancy) numpy indexing.
+
+    Basic indices (ints, slices, ``Ellipsis``, ``None``) select every
+    element at most once, so the gradient scatter can use a plain
+    in-place add instead of the much slower ``np.add.at``.
+    """
+    parts = index if isinstance(index, tuple) else (index,)
+    return all(
+        part is Ellipsis
+        or part is None
+        or isinstance(part, (int, np.integer, slice))
+        for part in parts
+    )
+
+
 class Tensor:
     """A numpy-backed tensor with reverse-mode autodiff.
 
@@ -514,6 +530,22 @@ class Tensor:
 
         return Tensor._from_op(data, (self,), backward_fn, "reshape")
 
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Interchange two axes (differentiable).
+
+        Unlike :attr:`T` (which reverses *all* axes) this swaps exactly
+        two — the building block for batched matrix products such as the
+        Monte-Carlo crossbar path, where ``(draws, out, in)`` weight
+        stacks must become ``(draws, in, out)`` operands.
+        """
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_grad(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._from_op(data, (self,), backward_fn, "swapaxes")
+
     def transpose(self, *axes: int) -> "Tensor":
         """Permute axes (all reversed when no axes given)."""
         ax: Optional[Tuple[int, ...]] = axes if axes else None
@@ -534,11 +566,19 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
+                if basic:
+                    # Basic (slice/int/ellipsis) indexing selects each
+                    # element at most once, so a plain in-place add is
+                    # correct and much faster than ``np.add.at`` — this
+                    # is the hot path of the unrolled filter recurrence.
+                    full[index] += grad
+                else:
+                    np.add.at(full, index, grad)
                 self._accumulate_grad(full)
 
         return Tensor._from_op(np.asarray(data), (self,), backward_fn, "getitem")

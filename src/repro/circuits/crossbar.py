@@ -100,26 +100,35 @@ class PrintedCrossbar(Module):
         Parameters
         ----------
         x:
-            Input voltages, shape ``(batch, in_features)``.
+            Input voltages, shape ``(batch, in_features)``.  Inside a
+            batched-draws sampler context a leading Monte-Carlo axis is
+            also accepted (``(draws, batch, in_features)``), or the 2-D
+            input is broadcast across draws.
 
         Returns
         -------
-        Output voltages, shape ``(batch, out_features)``.
+        Output voltages, shape ``(batch, out_features)`` — with a
+        leading ``draws`` axis in batched mode.
         """
-        if x.ndim != 2 or x.shape[1] != self.in_features:
+        if x.ndim not in (2, 3) or x.shape[-1] != self.in_features:
             raise ValueError(f"expected (batch, {self.in_features}), got {x.shape}")
+        if x.ndim == 3 and self.sampler.draws is None:
+            raise ValueError(
+                "3-D crossbar input requires an active batched-draws sampler context"
+            )
         g, g_b, g_d, _ = self._magnitudes()
 
+        # In batched mode every ε gains a leading draws axis.
         eps = Tensor(self.sampler.epsilon((self.out_features, self.in_features)))
         eps_b = Tensor(self.sampler.epsilon((self.out_features,)))
         eps_d = Tensor(self.sampler.epsilon((self.out_features,)))
         # Inverter non-ideality: gain = -(1 ⊙ ε_inv) on inverted rails.
         inv_gain = Tensor(self.sampler.epsilon((self.out_features, self.in_features)))
 
-        g_eps = g * eps
+        g_eps = g * eps  # (out, in) or (draws, out, in)
         gb_eps = g_b * eps_b
         gd_eps = g_d * eps_d
-        denom = g_eps.sum(axis=1) + gb_eps + gd_eps  # (out,)
+        denom = g_eps.sum(axis=-1) + gb_eps + gd_eps  # (out,) / (draws, out)
 
         # Positive crossings pass the rail directly (gain +1); negative
         # ones pass the inverted rail, whose gain -ε_inv carries the
@@ -129,10 +138,12 @@ class PrintedCrossbar(Module):
         inverted = Tensor(np.where(sign >= 0, 0.0, -1.0))
         path = direct + inv_gain * inverted
 
-        weights = path * g_eps / denom.unsqueeze(1)  # (out, in)
+        weights = path * g_eps / denom.unsqueeze(-1)  # (..., out, in)
         bias_sign = Tensor(np.sign(self.theta_b.data))
-        bias = bias_sign * gb_eps / denom * self.pdk.supply_voltage  # (out,)
-        return x @ weights.T + bias
+        bias = bias_sign * gb_eps / denom * self.pdk.supply_voltage  # (..., out)
+        # Batched matmul broadcasts (batch, in) @ (draws, in, out) to
+        # (draws, batch, out) — one numpy GEMM per draw, no Python loop.
+        return x @ weights.swapaxes(-1, -2) + bias.unsqueeze(-2)
 
     # -- hardware accounting ---------------------------------------------------
 

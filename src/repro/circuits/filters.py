@@ -67,6 +67,27 @@ def _init_log_rc(
     return log_r, log_c
 
 
+def _check_filter_input(x: Tensor, num_filters: int, sampler: VariationSampler) -> None:
+    """Validate filter-bank input shape (draws-axis aware).
+
+    Sequential mode expects ``(batch, time, n)``; inside a batched
+    sampler context a leading draws axis is also accepted (and, when
+    present, must match the active draw count).
+    """
+    batched = sampler.draws is not None
+    if x.ndim == 3 and x.shape[2] == num_filters:
+        return
+    if batched and x.ndim == 4 and x.shape[3] == num_filters:
+        if x.shape[0] != sampler.draws:
+            raise ValueError(
+                f"draws axis {x.shape[0]} does not match active batch of "
+                f"{sampler.draws} Monte-Carlo draws"
+            )
+        return
+    expected = "(draws, batch, time, n) or " if batched else ""
+    raise ValueError(f"expected {expected}(batch, time, {num_filters}), got {x.shape}")
+
+
 class _RCStage(Module):
     """One learnable printed RC stage operating on ``(batch, n)`` steps."""
 
@@ -86,7 +107,12 @@ class _RCStage(Module):
     def coefficients(
         self, dt: float, sampler: VariationSampler
     ) -> Tuple[Tensor, Tensor]:
-        """Sampled recurrence coefficients ``(a, b)`` for one forward pass."""
+        """Sampled recurrence coefficients ``(a, b)`` for one forward pass.
+
+        ``(n,)`` in sequential mode; ``(draws, n)`` when the sampler is
+        inside a :meth:`~repro.circuits.VariationSampler.batched`
+        context (every Monte-Carlo draw evaluated in one pass).
+        """
         n = self.num_filters
         eps_r = Tensor(sampler.epsilon((n,)))
         eps_c = Tensor(sampler.epsilon((n,)))
@@ -111,16 +137,28 @@ def _run_recurrence(
 ) -> Tensor:
     """Apply ``v_k = a v_{k-1} + b x_k`` along the time axis.
 
-    ``x`` is ``(batch, time, n)``; ``a``/``b`` are ``(n,)``; ``v0`` is
-    ``(batch, n)`` or ``(n,)``.  Returns ``(batch, time, n)``.
+    Shape-polymorphic over the Monte-Carlo ``draws`` axis:
+
+    * sequential — ``x`` is ``(batch, time, n)``; ``a``/``b`` are
+      ``(n,)``; ``v0`` is ``(batch, n)`` or ``(n,)``;
+    * batched — ``a``/``b`` carry a leading draws axis ``(draws, n)``
+      and ``v0`` is ``(draws, batch, n)``; ``x`` may be the shared
+      input ``(batch, time, n)`` (broadcast over draws) or an already
+      draw-dependent ``(draws, batch, time, n)`` stack.
+
+    Returns ``(batch, time, n)`` or ``(draws, batch, time, n)``.
     """
-    steps = x.shape[1]
+    steps = x.shape[-2]
+    if a.ndim == 2:
+        # (draws, n) -> (draws, 1, n): broadcast over the batch axis.
+        a = a.unsqueeze(1)
+        b = b.unsqueeze(1)
     v = v0
     outputs: List[Tensor] = []
     for k in range(steps):
-        v = a * v + b * x[:, k, :]
+        v = a * v + b * x[..., k, :]
         outputs.append(v)
-    return stack(outputs, axis=1)
+    return stack(outputs, axis=-2)
 
 
 class FirstOrderLearnableFilter(Module):
@@ -152,11 +190,14 @@ class FirstOrderLearnableFilter(Module):
         self.stage = _RCStage(num_filters, pdk, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        """Filter a batch of sequences ``(batch, time, num_filters)``."""
-        if x.ndim != 3 or x.shape[2] != self.num_filters:
-            raise ValueError(f"expected (batch, time, {self.num_filters}), got {x.shape}")
+        """Filter a batch of sequences ``(batch, time, num_filters)``.
+
+        Inside a batched-draws sampler context the output (and,
+        optionally, the input) carries a leading ``draws`` axis.
+        """
+        _check_filter_input(x, self.num_filters, self.sampler)
         a, b = self.stage.coefficients(self.dt, self.sampler)
-        v0 = Tensor(self.sampler.initial_voltage((x.shape[0], self.num_filters)))
+        v0 = Tensor(self.sampler.initial_voltage((x.shape[-3], self.num_filters)))
         return _run_recurrence(x, a, b, v0)
 
     # -- hardware accounting ----------------------------------------------
@@ -223,13 +264,14 @@ class SecondOrderLearnableFilter(Module):
         """Filter a batch of sequences ``(batch, time, num_filters)``.
 
         Implements Eqs. (10)-(11): the intermediate voltage of stage 1
-        feeds stage 2; both recurrences carry their own μ draw.
+        feeds stage 2; both recurrences carry their own μ draw.  Inside
+        a batched-draws sampler context the output carries a leading
+        ``draws`` axis.
         """
-        if x.ndim != 3 or x.shape[2] != self.num_filters:
-            raise ValueError(f"expected (batch, time, {self.num_filters}), got {x.shape}")
+        _check_filter_input(x, self.num_filters, self.sampler)
         a1, b1 = self.stage1.coefficients(self.dt, self.sampler)
         a2, b2 = self.stage2.coefficients(self.dt, self.sampler)
-        batch = x.shape[0]
+        batch = x.shape[-3]
         v0_1 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
         v0_2 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
         intermediate = _run_recurrence(x, a1, b1, v0_1)

@@ -60,15 +60,25 @@ class PrintedTanh(Module):
         """Apply the per-neuron nonlinearity.
 
         ``x`` has shape ``(batch, num_neurons)``; each column uses its
-        own η set with a fresh variation draw.
+        own η set with a fresh variation draw.  Inside a batched-draws
+        sampler context a leading Monte-Carlo axis is also accepted
+        (``(draws, batch, num_neurons)``), with one η draw per
+        Monte-Carlo instance.
         """
-        if x.ndim != 2 or x.shape[1] != self.num_neurons:
+        if x.ndim not in (2, 3) or x.shape[-1] != self.num_neurons:
             raise ValueError(f"expected (batch, {self.num_neurons}), got {x.shape}")
+        if x.ndim == 3 and self.sampler.draws is None:
+            raise ValueError(
+                "3-D ptanh input requires an active batched-draws sampler context"
+            )
         n = self.num_neurons
         e1 = Tensor(self.sampler.epsilon((n,)))
         e2 = Tensor(self.sampler.epsilon((n,)))
         e3 = Tensor(self.sampler.epsilon((n,)))
         e4 = Tensor(self.sampler.epsilon((n,)))
+        if e1.ndim == 2:
+            # (draws, n) -> (draws, 1, n): broadcast over the batch axis.
+            e1, e2, e3, e4 = (e.unsqueeze(1) for e in (e1, e2, e3, e4))
         eta1 = self.eta1 * e1
         eta2 = self.eta2 * e2
         eta3 = self.eta3 * e3

@@ -6,12 +6,28 @@ distribution describing the printing process: a uniform model for
 electrical characteristics [20, 23] and a Gaussian-mixture model at the
 device level [24].  :class:`VariationSampler` draws the ε tensors used
 by the Monte-Carlo training objective (Eq. 13/14).
+
+Batched Monte-Carlo draws
+-------------------------
+Inside a :meth:`VariationSampler.batched` context every draw method
+(``epsilon`` / ``mu`` / ``initial_voltage``) returns arrays with a
+leading ``draws`` axis, so a single forward pass through the printed
+modules evaluates *all* Monte-Carlo hardware instances at once as a
+``(draws, batch, ...)`` numpy computation.
+
+Equivalence with the sequential oracle is guaranteed by construction:
+both paths derive one independent child generator per draw from the
+sampler's parent generator (:meth:`spawn_streams`).  Draw ``d`` then
+consumes *its own* stream in module-call order, which is exactly the
+stream a sequential forward pass for draw ``d`` would consume — so the
+sampled ε/μ/V₀ values are bit-identical between the two paths.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -136,6 +152,11 @@ class VariationSampler:
     mu_high: float = 1.3
     v0_max: float = 0.1
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    #: Active per-draw child generators; ``None`` outside a
+    #: :meth:`batched` context (runtime state, not configuration).
+    _draw_streams: Optional[List[np.random.Generator]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0 < self.mu_low <= self.mu_high:
@@ -143,19 +164,76 @@ class VariationSampler:
         if self.v0_max < 0:
             raise ValueError("v0_max must be non-negative")
 
+    # -- batched Monte-Carlo draws ------------------------------------------
+
+    @property
+    def draws(self) -> Optional[int]:
+        """Active batched draw count, or ``None`` in sequential mode."""
+        return None if self._draw_streams is None else len(self._draw_streams)
+
+    def spawn_streams(self, draws: int) -> List[np.random.Generator]:
+        """Derive ``draws`` independent child generators from the parent.
+
+        Deterministic given the parent generator's state; used by both
+        the batched path and the sequential oracle so their per-draw
+        random streams are identical.
+        """
+        if draws < 1:
+            raise ValueError("draws must be >= 1")
+        try:
+            return list(self.rng.spawn(draws))
+        except AttributeError:  # numpy < 1.25 fallback
+            seeds = self.rng.integers(0, 2**63 - 1, size=draws)
+            return [np.random.default_rng(int(s)) for s in seeds]
+
+    @contextmanager
+    def batched(self, draws: int) -> Iterator["VariationSampler"]:
+        """Context in which all draw methods gain a leading ``draws`` axis."""
+        if self._draw_streams is not None:
+            raise RuntimeError("batched() contexts cannot be nested")
+        self._draw_streams = self.spawn_streams(draws)
+        try:
+            yield self
+        finally:
+            self._draw_streams = None
+
+    def _per_draw(self, fn) -> np.ndarray:
+        """Stack ``fn(stream)`` over the active draw streams."""
+        assert self._draw_streams is not None
+        return np.stack([fn(stream) for stream in self._draw_streams])
+
+    # -- draw methods --------------------------------------------------------
+
     def epsilon(self, shape: Sequence[int]) -> np.ndarray:
-        """Draw component-variation factors ε of the given shape."""
-        return self.model.sample(tuple(shape), self.rng)
+        """Draw component-variation factors ε of the given shape.
+
+        Returns ``shape`` in sequential mode, ``(draws,) + shape``
+        inside a :meth:`batched` context.
+        """
+        shape = tuple(shape)
+        if self._draw_streams is not None:
+            return self._per_draw(lambda rng: self.model.sample(shape, rng))
+        return self.model.sample(shape, self.rng)
 
     def mu(self, shape: Sequence[int]) -> np.ndarray:
-        """Draw coupling factors μ ∈ [mu_low, mu_high]."""
-        return self.rng.uniform(self.mu_low, self.mu_high, size=tuple(shape))
+        """Draw coupling factors μ ∈ [mu_low, mu_high] (batched-aware)."""
+        shape = tuple(shape)
+        if self._draw_streams is not None:
+            return self._per_draw(
+                lambda rng: rng.uniform(self.mu_low, self.mu_high, size=shape)
+            )
+        return self.rng.uniform(self.mu_low, self.mu_high, size=shape)
 
     def initial_voltage(self, shape: Sequence[int]) -> np.ndarray:
-        """Draw filter initial voltages V₀ ∈ [0, v0_max]."""
+        """Draw filter initial voltages V₀ ∈ [0, v0_max] (batched-aware)."""
+        shape = tuple(shape)
         if self.v0_max == 0:
-            return np.zeros(tuple(shape))
-        return self.rng.uniform(0.0, self.v0_max, size=tuple(shape))
+            if self._draw_streams is not None:
+                return np.zeros((len(self._draw_streams),) + shape)
+            return np.zeros(shape)
+        if self._draw_streams is not None:
+            return self._per_draw(lambda rng: rng.uniform(0.0, self.v0_max, size=shape))
+        return self.rng.uniform(0.0, self.v0_max, size=shape)
 
     def reseed(self, seed: int) -> None:
         """Reset the internal generator (per-experiment reproducibility)."""

@@ -5,6 +5,8 @@ Subcommands
 * ``table1|table2|table3|fig5|fig6|fig7|mu`` — regenerate one paper
   artefact at a chosen ``--scale``;
 * ``evaluate`` — run the whole suite and write ``results/<scale>/``;
+* ``mc-bench`` — measure sequential-vs-batched Monte-Carlo training
+  throughput and verify loss equivalence between the two backends;
 * ``report`` — render a saved ``results.json`` as markdown;
 * ``export`` — train a model on a dataset and write its compiled
   netlist as a SPICE file;
@@ -119,6 +121,27 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mc_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import TrainingConfig, format_mc_benchmark, run_mc_benchmark
+
+    config = TrainingConfig.ci() if args.scale == "ci" else TrainingConfig.paper()
+    record = run_mc_benchmark(
+        draws_list=tuple(args.draws),
+        n_samples=args.samples,
+        repeats=args.repeats,
+        seed=args.seed,
+        config=config,
+    )
+    print(format_mc_benchmark(record))
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump({"mc_vectorization": record}, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if record["equivalent"] else 1
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     # Delegates to the example script's logic without importing it.
     import subprocess
@@ -160,6 +183,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "mc-bench", help="benchmark batched vs sequential Monte-Carlo training"
+    )
+    p.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    p.add_argument(
+        "--draws", type=int, nargs="+", default=[2, 4, 8], help="MC draw counts to sweep"
+    )
+    p.add_argument("--samples", type=int, default=24, help="dataset size")
+    p.add_argument("--repeats", type=int, default=3, help="timed repeats per backend")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write the record as JSON here")
+    p.set_defaults(func=_cmd_mc_bench)
 
     p = sub.add_parser("evaluate", help="run the full evaluation suite")
     p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")

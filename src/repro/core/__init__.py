@@ -29,10 +29,17 @@ from .models import (
     PTPNC,
 )
 from .calibration import CalibrationResult, calibrate_instance, calibration_study
+from .mcbench import EQUIVALENCE_ATOL, format_mc_benchmark, run_mc_benchmark
 from .search import ArchitectureResult, architecture_space, search_architecture
 from .streaming import StreamingClassifier
 from .tpb import PrintedTemporalProcessingBlock
-from .training import Trainer, TrainingConfig, TrainingHistory
+from .training import (
+    MC_BACKENDS,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    mc_cross_entropy,
+)
 
 __all__ = [
     "PrintedTemporalProcessingBlock",
@@ -68,4 +75,9 @@ __all__ = [
     "calibrate_instance",
     "calibration_study",
     "CalibrationResult",
+    "MC_BACKENDS",
+    "mc_cross_entropy",
+    "run_mc_benchmark",
+    "format_mc_benchmark",
+    "EQUIVALENCE_ATOL",
 ]

@@ -4,6 +4,18 @@ Implements the paper's measurement protocol (Sec. IV-B): trained models
 are evaluated on an (optionally augmented/perturbed) test set while the
 printed components are re-drawn with ±10 % variation per Monte-Carlo
 hardware instance; reported accuracy is the mean over instances.
+
+All Monte-Carlo instances are evaluated in one vectorized forward by
+default (the sampler's batched-draws context stacks logits as
+``(draws, batch, classes)``); the original per-instance loop is kept
+behind ``vectorized=False`` as the reference oracle.  Both paths draw
+identical ε/μ/V₀ values (one child random stream per draw), so their
+accuracy samples are bit-equal.
+
+Deterministic fast path: when no variation is requested
+(``mc_samples=0``, ``delta=0`` or a zero-spread variation model) the
+model is evaluated exactly once under the ideal sampler instead of
+re-entering the variation context per sample.
 """
 
 from __future__ import annotations
@@ -15,12 +27,14 @@ import numpy as np
 
 from ..autograd import no_grad
 from ..circuits import (
+    NoVariation,
     UniformVariation,
     VariationModel,
     VariationSampler,
     ideal_sampler,
 )
 from ..nn.module import Module
+from ..utils.timing import Stopwatch, mc_counters
 
 __all__ = [
     "accuracy",
@@ -51,6 +65,72 @@ class EvaluationResult:
         return f"EvaluationResult(mean={self.mean:.3f}, std={self.std:.3f})"
 
 
+def _deterministic_result(model: Module, x: np.ndarray, y: np.ndarray) -> EvaluationResult:
+    """Nominal (no-variation) evaluation: one ideal-sampler forward."""
+    original = model.sampler
+    try:
+        model.set_sampler(ideal_sampler())
+        acc = accuracy(model, x, y)
+    finally:
+        model.set_sampler(original)
+    return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
+
+
+def _mc_accuracy_samples(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    sampler: VariationSampler,
+    mc_samples: int,
+    vectorized: bool,
+) -> np.ndarray:
+    """Per-draw accuracies under ``sampler`` (batched or sequential).
+
+    Both paths consume the same per-draw child random streams, so the
+    returned samples are identical; the batched path simply evaluates
+    them in one ``(draws, batch, ...)`` forward.
+    """
+    if vectorized:
+        with Stopwatch() as sw:
+            with no_grad(), sampler.batched(mc_samples):
+                logits = model(x)  # (draws, batch, classes)
+        mc_counters.record_forward(sw.elapsed, mc_samples, backend="batched")
+        pred = np.argmax(logits.data, axis=-1)  # (draws, batch)
+        return (pred == np.asarray(y)).mean(axis=1)
+    streams = sampler.spawn_streams(mc_samples)
+    parent = sampler.rng
+    accs: List[float] = []
+    with Stopwatch() as sw:
+        try:
+            for stream in streams:
+                sampler.rng = stream
+                accs.append(accuracy(model, x, y))
+        finally:
+            sampler.rng = parent
+    mc_counters.record_forward(sw.elapsed, mc_samples, backend="sequential")
+    return np.array(accs)
+
+
+def _evaluate_with_sampler(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    sampler: VariationSampler,
+    mc_samples: int,
+    vectorized: bool,
+) -> EvaluationResult:
+    """Install ``sampler``, collect MC accuracy samples, restore."""
+    original = model.sampler
+    try:
+        model.set_sampler(sampler)
+        samples = _mc_accuracy_samples(model, x, y, sampler, mc_samples, vectorized)
+    finally:
+        model.set_sampler(original)
+    return EvaluationResult(
+        mean=float(samples.mean()), std=float(samples.std()), samples=samples
+    )
+
+
 def evaluate_under_variation(
     model: Module,
     x: np.ndarray,
@@ -58,36 +138,31 @@ def evaluate_under_variation(
     delta: float = 0.10,
     mc_samples: int = 10,
     seed: int = 0,
+    vectorized: bool = True,
 ) -> EvaluationResult:
     """Mean accuracy over ``mc_samples`` fabricated-instance draws.
 
     Each draw installs fresh ±``delta`` component variations (plus
-    sampled μ and V₀) and classifies the whole test set.  The model's
-    original sampler is restored afterwards.  Hardware-agnostic models
-    (no ``set_sampler``) are evaluated once, deterministically.
+    sampled μ and V₀) and classifies the whole test set — all draws in
+    a single vectorized forward unless ``vectorized=False`` selects the
+    sequential reference oracle.  The model's original sampler is
+    restored afterwards.  Hardware-agnostic models (no ``set_sampler``)
+    are evaluated once, deterministically, as is the explicit
+    no-variation case (``mc_samples=0`` or ``delta=0``).
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
-    if mc_samples < 1:
-        raise ValueError("mc_samples must be >= 1")
-
-    original = model.sampler
-    try:
-        if delta == 0.0:
-            model.set_sampler(ideal_sampler())
-            acc = accuracy(model, x, y)
-            return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
-        sampler = VariationSampler(
-            model=UniformVariation(delta), rng=np.random.default_rng(seed)
-        )
-        model.set_sampler(sampler)
-        samples = np.array([accuracy(model, x, y) for _ in range(mc_samples)])
-        return EvaluationResult(
-            mean=float(samples.mean()), std=float(samples.std()), samples=samples
-        )
-    finally:
-        model.set_sampler(original)
+    if mc_samples < 0:
+        raise ValueError("mc_samples must be >= 0")
+    if mc_samples == 0 or delta == 0.0:
+        # Deterministic fast path: no variation context is entered at
+        # all — one nominal forward under the ideal sampler.
+        return _deterministic_result(model, x, y)
+    sampler = VariationSampler(
+        model=UniformVariation(delta), rng=np.random.default_rng(seed)
+    )
+    return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
 
 
 def evaluate_under_model(
@@ -97,29 +172,26 @@ def evaluate_under_model(
     variation: VariationModel,
     mc_samples: int = 10,
     seed: int = 0,
+    vectorized: bool = True,
 ) -> EvaluationResult:
     """Mean accuracy under an arbitrary variation distribution.
 
     Generalises :func:`evaluate_under_variation` to any
     :class:`~repro.circuits.VariationModel` — e.g. the Gaussian-mixture
     device-level model of Rasheed et al. [24] — so robustness can be
-    compared across printing-process assumptions.
+    compared across printing-process assumptions.  ``mc_samples=0`` or
+    a :class:`~repro.circuits.NoVariation` model short-circuit to the
+    deterministic nominal evaluation.
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
-    if mc_samples < 1:
-        raise ValueError("mc_samples must be >= 1")
-    original = model.sampler
-    try:
-        sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
-        model.set_sampler(sampler)
-        samples = np.array([accuracy(model, x, y) for _ in range(mc_samples)])
-        return EvaluationResult(
-            mean=float(samples.mean()), std=float(samples.std()), samples=samples
-        )
-    finally:
-        model.set_sampler(original)
+    if mc_samples < 0:
+        raise ValueError("mc_samples must be >= 0")
+    if mc_samples == 0 or isinstance(variation, NoVariation):
+        return _deterministic_result(model, x, y)
+    sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
+    return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
 
 
 def select_top_k(

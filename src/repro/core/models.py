@@ -161,11 +161,17 @@ class PrintedTemporalClassifier(Module):
     def forward(self, x) -> Tensor:
         """Logits ``(batch, n_classes)`` from ``(batch, time)`` series
         (single-channel) or ``(batch, time, in_channels)`` multivariate
-        inputs."""
+        inputs.
+
+        Inside a :meth:`~repro.circuits.VariationSampler.batched`
+        context the network evaluates every Monte-Carlo hardware
+        instance in a single vectorized pass and the logits gain a
+        leading draws axis: ``(draws, batch, n_classes)``.
+        """
         seq = _coerce_sequences(x, self.in_channels)
         for block in self.blocks:
             seq = block(seq)
-        return seq[:, -1, :] * self.logit_scale
+        return seq[..., -1, :] * self.logit_scale
 
 
 class PTPNC(PrintedTemporalClassifier):

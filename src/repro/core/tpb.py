@@ -96,12 +96,27 @@ class PrintedTemporalProcessingBlock(Module):
     def forward(self, x: Tensor) -> Tensor:
         """Process a voltage sequence ``(batch, time, in_features)``.
 
-        Returns ``(batch, time, out_features)``.
+        Returns ``(batch, time, out_features)``.  Inside a batched-draws
+        sampler context the block evaluates every Monte-Carlo draw in
+        one pass: the input may additionally carry a leading ``draws``
+        axis (or be broadcast across draws), and the output is
+        ``(draws, batch, time, out_features)``.
         """
-        if x.ndim != 3 or x.shape[2] != self.in_features:
+        if x.ndim not in (3, 4) or x.shape[-1] != self.in_features:
             raise ValueError(f"expected (batch, time, {self.in_features}), got {x.shape}")
-        batch, steps, _ = x.shape
+        steps = x.shape[-2]
         filtered = self.filters(x)
+        if filtered.ndim == 4:
+            # Batched Monte-Carlo: (draws, batch, time, n).  The
+            # crossbar/activation are memoryless, so batch and time
+            # flatten together while the draws axis stays separate —
+            # each draw keeps its own ε set.
+            draws, batch = filtered.shape[0], filtered.shape[1]
+            flat = filtered.reshape(draws, batch * steps, self.in_features)
+            summed = self.crossbar(flat)
+            activated = self.activation(summed)
+            return activated.reshape(draws, batch, steps, self.out_features)
+        batch = filtered.shape[0]
         flat = filtered.reshape(batch * steps, self.in_features)
         summed = self.crossbar(flat)
         activated = self.activation(summed)

@@ -10,6 +10,20 @@ once the LR falls below 1e-5.
 The same :class:`Trainer` trains the non-variation-aware baseline
 (ideal sampler, one MC sample) and the hardware-agnostic Elman
 reference (no sampler at all) — one code path for every row of Table I.
+
+Monte-Carlo backends
+--------------------
+The MC expectation over draws is evaluated by one of two backends:
+
+* ``"batched"`` (default) — all draws run through a single vectorized
+  forward with a leading ``(draws, batch, ...)`` axis (the variation
+  sampler's :meth:`~repro.circuits.VariationSampler.batched` context);
+* ``"sequential"`` — the original per-draw Python loop, retained as the
+  reference oracle for equivalence testing.
+
+Both backends derive one child random stream per draw from the same
+parent generator, so they sample bit-identical ε/μ/V₀ values and their
+losses agree to floating-point accumulation error (≪1e-8).
 """
 
 from __future__ import annotations
@@ -26,8 +40,12 @@ from ..circuits import UniformVariation, VariationSampler, ideal_sampler
 from ..nn import cross_entropy
 from ..nn.module import Module
 from ..optim import AdamW, ReduceLROnPlateau
+from ..utils.timing import Stopwatch, mc_counters
 
-__all__ = ["TrainingConfig", "TrainingHistory", "Trainer"]
+__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "MC_BACKENDS"]
+
+#: Valid Monte-Carlo objective backends.
+MC_BACKENDS = ("batched", "sequential")
 
 
 @dataclass(frozen=True)
@@ -47,6 +65,10 @@ class TrainingConfig:
     weight_decay: float = 0.01
     variation_delta: float = 0.10
     logit_loss: str = "cross_entropy"
+    #: Monte-Carlo objective backend: "batched" evaluates all draws in
+    #: one vectorized forward; "sequential" is the per-draw reference
+    #: oracle (identical draws, kept for equivalence testing).
+    mc_backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.lr <= 0 or self.min_lr <= 0:
@@ -57,6 +79,8 @@ class TrainingConfig:
             raise ValueError("mc_samples must be >= 1")
         if not 0 <= self.variation_delta < 1:
             raise ValueError("variation_delta must be in [0, 1)")
+        if self.mc_backend not in MC_BACKENDS:
+            raise ValueError(f"mc_backend must be one of {MC_BACKENDS}")
 
     @staticmethod
     def paper() -> "TrainingConfig":
@@ -90,6 +114,24 @@ class TrainingHistory:
     best_val_loss: float = math.inf
     best_epoch: int = -1
     epochs_run: int = 0
+
+
+def mc_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over a ``(draws, batch, classes)`` logit stack.
+
+    Flattens draws and batch into one axis and tiles the labels, which
+    equals the draw-average of per-draw mean cross-entropies (every
+    draw covers the same batch) — the vectorized form of Eq. 13.
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"expected (draws, batch, classes) logits, got {logits.shape}")
+    draws, batch, classes = logits.shape
+    flat = logits.reshape(draws * batch, classes)
+    tiled = np.tile(np.asarray(labels, dtype=np.int64), draws)
+    return cross_entropy(flat, tiled)
+
+
+__all__.append("mc_cross_entropy")
 
 
 class Trainer:
@@ -149,13 +191,44 @@ class Trainer:
         return 1
 
     def _loss(self, x: np.ndarray, y: np.ndarray) -> Tensor:
-        """Monte-Carlo objective (Eq. 13): average loss over fresh draws."""
+        """Monte-Carlo objective (Eq. 13): average loss over fresh draws.
+
+        Dispatches to the vectorized batched backend (default) or the
+        sequential reference oracle, both consuming identical per-draw
+        random streams; records wall-clock and draw counts in
+        :data:`repro.utils.timing.mc_counters`.
+        """
         draws = self._mc_samples()
+        backend = self.config.mc_backend
+        if not (self.variation_aware and self._is_printed):
+            # Deterministic objective (ideal sampler / Elman): a single
+            # forward is exact, no MC machinery needed.
+            with Stopwatch() as sw:
+                loss = cross_entropy(self.model(x), y)
+            mc_counters.record_forward(sw.elapsed, 1, backend="deterministic")
+            return loss
+        sampler = self.model.sampler
+        if backend == "batched":
+            with Stopwatch() as sw:
+                with sampler.batched(draws):
+                    logits = self.model(x)  # (draws, batch, classes)
+                loss = mc_cross_entropy(logits, y)
+            mc_counters.record_forward(sw.elapsed, draws, backend="batched")
+            return loss
+        # Sequential oracle: one forward per draw, each consuming its
+        # own child stream (the same streams the batched path uses).
+        streams = sampler.spawn_streams(draws)
+        parent = sampler.rng
         total: Optional[Tensor] = None
-        for _ in range(draws):
-            logits = self.model(x)
-            loss = cross_entropy(logits, y)
-            total = loss if total is None else total + loss
+        with Stopwatch() as sw:
+            try:
+                for stream in streams:
+                    sampler.rng = stream
+                    loss = cross_entropy(self.model(x), y)
+                    total = loss if total is None else total + loss
+            finally:
+                sampler.rng = parent
+        mc_counters.record_forward(sw.elapsed, draws, backend="sequential")
         assert total is not None
         return total / float(draws)
 
@@ -197,7 +270,9 @@ class Trainer:
         for epoch in range(self.config.max_epochs):
             optimizer.zero_grad()
             loss = self._loss(x_train, y_train)
-            loss.backward()
+            with Stopwatch() as sw:
+                loss.backward()
+            mc_counters.record_backward(sw.elapsed)
             optimizer.step()
 
             val_loss = self._eval_loss(x_val, y_val)

@@ -112,6 +112,43 @@ def _table3_section(record: Dict) -> List[str]:
     return lines
 
 
+def _mc_section(record: Dict) -> List[str]:
+    """Render the Monte-Carlo vectorization record (``mc-bench``)."""
+    mc = record.get("mc_vectorization")
+    if not mc:
+        return []
+    lines = [
+        "## Monte-Carlo vectorization — batched vs sequential",
+        "",
+        "| MC draws | Sequential / step | Batched / step | Speedup | Draws/s (batched) |",
+        "|---|---|---|---|---|",
+    ]
+    for row in mc.get("rows", []):
+        lines.append(
+            f"| {row['draws']} | {row['sequential_s']*1e3:.1f} ms | "
+            f"{row['batched_s']*1e3:.1f} ms | {row['speedup']:.2f}× | "
+            f"{row['batched_draws_per_sec']:.1f} |"
+        )
+    lines.append("")
+    verdict = "**equivalent**" if mc.get("equivalent") else "**NOT equivalent**"
+    lines.append(
+        f"Loss agreement between backends: max |Δ| = "
+        f"{mc.get('max_abs_loss_delta', float('nan')):.2e} "
+        f"(tolerance {mc.get('equivalence_atol', 1e-8):.0e}) — {verdict}."
+    )
+    counters = mc.get("counters")
+    if counters:
+        lines.append(
+            f"Recorded {counters.get('draws', 0):.0f} draws over "
+            f"{counters.get('forward_calls', 0):.0f} forwards "
+            f"({counters.get('draws_per_second', 0.0):.1f} draws/s; "
+            f"forward {counters.get('forward_seconds', 0.0):.2f} s, "
+            f"backward {counters.get('backward_seconds', 0.0):.2f} s)."
+        )
+    lines.append("")
+    return lines
+
+
 def _fig_sections(record: Dict) -> List[str]:
     lines: List[str] = []
     fig5 = record.get("fig5")
@@ -157,6 +194,7 @@ def render_report(record: Dict) -> str:
     lines += _table1_section(record)
     lines += _table2_section(record)
     lines += _table3_section(record)
+    lines += _mc_section(record)
     lines += _fig_sections(record)
     return "\n".join(lines)
 

@@ -1,11 +1,14 @@
-"""Wall-clock timing helpers for the runtime comparison (Table II)."""
+"""Wall-clock timing helpers for the runtime comparison (Table II)
+and lightweight Monte-Carlo instrumentation (draws/sec, forward vs
+backward wall-clock) used by the vectorized variation engine."""
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Dict
 
-__all__ = ["Stopwatch", "time_callable"]
+__all__ = ["Stopwatch", "time_callable", "MCCounters", "mc_counters"]
 
 
 class Stopwatch:
@@ -21,6 +24,73 @@ class Stopwatch:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class MCCounters:
+    """Aggregate counters for Monte-Carlo forward/backward passes.
+
+    The trainer (and the evaluation harness) record every MC objective
+    evaluation here, so experiments can report draws/sec and the
+    forward/backward wall-clock split without any profiler.  A single
+    process-wide instance (:data:`mc_counters`) is enough — training is
+    single-threaded — but independent instances can be created for
+    scoped measurements (the MC-vectorization benchmark does).
+    """
+
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    forward_calls: int = 0
+    backward_calls: int = 0
+    draws: int = 0
+    _by_backend_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record_forward(self, seconds: float, draws: int, backend: str = "batched") -> None:
+        """Record one MC objective evaluation covering ``draws`` draws."""
+        self.forward_seconds += seconds
+        self.forward_calls += 1
+        self.draws += int(draws)
+        self._by_backend_seconds[backend] = (
+            self._by_backend_seconds.get(backend, 0.0) + seconds
+        )
+
+    def record_backward(self, seconds: float) -> None:
+        """Record one backward pass through the MC objective."""
+        self.backward_seconds += seconds
+        self.backward_calls += 1
+
+    def draws_per_second(self) -> float:
+        """Monte-Carlo draw throughput of the recorded forwards."""
+        if self.forward_seconds <= 0.0:
+            return 0.0
+        return self.draws / self.forward_seconds
+
+    def reset(self) -> None:
+        """Zero every counter (start of an experiment/benchmark)."""
+        self.forward_seconds = 0.0
+        self.backward_seconds = 0.0
+        self.forward_calls = 0
+        self.backward_calls = 0
+        self.draws = 0
+        self._by_backend_seconds = {}
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-serialisable view (stored in ``results.json`` records)."""
+        out: Dict[str, float] = {
+            "forward_seconds": self.forward_seconds,
+            "backward_seconds": self.backward_seconds,
+            "forward_calls": float(self.forward_calls),
+            "backward_calls": float(self.backward_calls),
+            "draws": float(self.draws),
+            "draws_per_second": self.draws_per_second(),
+        }
+        for backend, seconds in self._by_backend_seconds.items():
+            out[f"{backend}_seconds"] = seconds
+        return out
+
+
+#: Process-wide Monte-Carlo counters (reset between experiments).
+mc_counters = MCCounters()
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:

@@ -7,6 +7,7 @@ from repro.circuits import derive_eta, synthesize_ptanh
 from repro.circuits.synthesis import _target_transfer
 
 
+@pytest.mark.slow
 class TestSynthesis:
     @pytest.fixture(scope="class")
     def roundtrip(self):

@@ -114,3 +114,85 @@ class TestVariationSampler:
     def test_rejects_bad_bounds(self, kwargs):
         with pytest.raises(ValueError):
             VariationSampler(**kwargs)
+
+
+def _sampler(seed: int = 0) -> VariationSampler:
+    return VariationSampler(model=UniformVariation(0.1), rng=np.random.default_rng(seed))
+
+
+class TestBatchedDraws:
+    """The batched-draws context (vectorized Monte-Carlo engine)."""
+
+    def test_draws_property_tracks_context(self):
+        s = _sampler()
+        assert s.draws is None
+        with s.batched(4):
+            assert s.draws == 4
+        assert s.draws is None
+
+    def test_context_cleared_on_error(self):
+        s = _sampler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with s.batched(3):
+                raise RuntimeError("boom")
+        assert s.draws is None
+
+    def test_nesting_rejected(self):
+        s = _sampler()
+        with s.batched(2):
+            with pytest.raises(RuntimeError):
+                with s.batched(2):
+                    pass
+
+    def test_rejects_nonpositive_draws(self):
+        with pytest.raises(ValueError):
+            _sampler().spawn_streams(0)
+
+    @pytest.mark.parametrize("method,shape", [
+        ("epsilon", (3, 2)), ("mu", (5,)), ("initial_voltage", (4, 3)),
+    ])
+    def test_leading_draws_axis(self, method, shape):
+        s = _sampler()
+        with s.batched(6):
+            out = getattr(s, method)(shape)
+        assert out.shape == (6,) + shape
+
+    def test_v0_zero_stays_zero_batched(self):
+        s = VariationSampler(v0_max=0.0, rng=np.random.default_rng(0))
+        with s.batched(3):
+            v0 = s.initial_voltage((4,))
+        assert v0.shape == (3, 4) and np.all(v0 == 0.0)
+
+    def test_batched_draws_equal_per_stream_sequential_draws(self):
+        """Row d of the batched stack is exactly what draw d's own
+        child stream yields sequentially — the bit-equivalence the MC
+        backends rely on."""
+        shapes = [(3, 2), (4,), (2, 2)]
+        with _sampler(seed=5).batched(4) as s:
+            batched = [s.epsilon(shape) for shape in shapes]
+            mu = s.mu((3,))
+            v0 = s.initial_voltage((2,))
+
+        oracle = _sampler(seed=5)  # identically seeded → same children
+        for d, stream in enumerate(oracle.spawn_streams(4)):
+            oracle.rng = stream
+            for got, shape in zip(batched, shapes):
+                np.testing.assert_array_equal(got[d], oracle.epsilon(shape))
+            np.testing.assert_array_equal(mu[d], oracle.mu((3,)))
+            np.testing.assert_array_equal(v0[d], oracle.initial_voltage((2,)))
+
+    def test_same_seed_same_batched_draws(self):
+        with _sampler(seed=3).batched(3) as s:
+            a = s.epsilon((4, 4))
+        with _sampler(seed=3).batched(3) as s:
+            b = s.epsilon((4, 4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_distinct_draws(self):
+        with _sampler(seed=0).batched(3) as s:
+            a = s.epsilon((8, 8))
+        with _sampler(seed=1).batched(3) as s:
+            b = s.epsilon((8, 8))
+        assert not np.array_equal(a, b)
+        # Draws within one context are mutually independent too.
+        assert not np.array_equal(a[0], a[1])

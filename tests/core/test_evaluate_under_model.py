@@ -48,6 +48,33 @@ class TestEvaluateUnderModel:
         )
         assert len(res.samples) == 1
 
-    def test_rejects_zero_samples(self, model, data):
+    def test_rejects_negative_samples(self, model, data):
         with pytest.raises(ValueError):
-            evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=0)
+            evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=-2)
+
+    def test_zero_samples_is_deterministic(self, model, data):
+        from repro.core import accuracy
+
+        res = evaluate_under_model(model, *data, UniformVariation(0.1), mc_samples=0)
+        assert len(res.samples) == 1
+        assert res.std == 0.0
+        assert res.mean == accuracy(model, *data)
+
+    def test_no_variation_skips_mc_context(self, model, data, monkeypatch):
+        from repro.circuits import VariationSampler
+
+        def boom(self, draws):  # pragma: no cover - should never run
+            raise AssertionError("variation context entered for NoVariation")
+
+        monkeypatch.setattr(VariationSampler, "batched", boom)
+        res = evaluate_under_model(model, *data, NoVariation(), mc_samples=8)
+        assert len(res.samples) == 1
+
+    def test_vectorized_matches_sequential_oracle(self, model, data):
+        fast = evaluate_under_model(
+            model, *data, GMMVariation(), mc_samples=5, seed=11, vectorized=True
+        )
+        slow = evaluate_under_model(
+            model, *data, GMMVariation(), mc_samples=5, seed=11, vectorized=False
+        )
+        assert np.array_equal(fast.samples, slow.samples)

@@ -63,9 +63,39 @@ class TestEvaluateUnderVariation:
         assert len(res.samples) == 1
         assert res.std == 0.0
 
-    def test_rejects_zero_mc(self, model, data):
+    def test_rejects_negative_mc(self, model, data):
         with pytest.raises(ValueError):
-            evaluate_under_variation(model, *data, delta=0.1, mc_samples=0)
+            evaluate_under_variation(model, *data, delta=0.1, mc_samples=-1)
+
+    def test_zero_mc_is_deterministic_fast_path(self, model, data):
+        """mc_samples=0 means "no variation": one nominal forward."""
+        res = evaluate_under_variation(model, *data, delta=0.1, mc_samples=0)
+        assert len(res.samples) == 1
+        assert res.std == 0.0
+        x, y = data
+        assert res.mean == accuracy(model, x, y)
+
+    def test_deterministic_path_skips_variation_context(self, model, data, monkeypatch):
+        """The fast path must not re-enter the batched-draws context."""
+        from repro.circuits import VariationSampler
+
+        def boom(self, draws):  # pragma: no cover - should never run
+            raise AssertionError("variation context entered in deterministic mode")
+
+        monkeypatch.setattr(VariationSampler, "batched", boom)
+        monkeypatch.setattr(VariationSampler, "spawn_streams", boom)
+        for kwargs in ({"delta": 0.0, "mc_samples": 5}, {"delta": 0.1, "mc_samples": 0}):
+            res = evaluate_under_variation(model, *data, **kwargs)
+            assert len(res.samples) == 1
+
+    def test_vectorized_matches_sequential_oracle(self, model, data):
+        fast = evaluate_under_variation(
+            model, *data, delta=0.1, mc_samples=6, seed=3, vectorized=True
+        )
+        slow = evaluate_under_variation(
+            model, *data, delta=0.1, mc_samples=6, seed=3, vectorized=False
+        )
+        assert np.array_equal(fast.samples, slow.samples)
 
     def test_restores_sampler_even_on_error(self, model):
         before = model.sampler

@@ -1,0 +1,153 @@
+"""Seeded batched-vs-sequential Monte-Carlo backend equivalence.
+
+The vectorized MC engine must be a pure performance optimisation: both
+backends derive one child random stream per draw from the same parent
+generator, so ε/μ/V₀ draws are bit-identical and losses, gradients and
+accuracy samples agree to floating-point accumulation error (the
+benchmark's ``EQUIVALENCE_ATOL``).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptPNC,
+    ElmanClassifier,
+    PTPNC,
+    Trainer,
+    TrainingConfig,
+    evaluate_under_variation,
+    mc_cross_entropy,
+)
+from repro.core.mcbench import EQUIVALENCE_ATOL
+
+PRINTED_MODELS = {"ptpnc": PTPNC, "adapt": AdaptPNC}
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(-1, 1, (10, 16)), rng.integers(0, 3, 10)
+
+
+def _make_trainer(model_cls, backend: str, seed: int = 0, draws: int = 3) -> Trainer:
+    model = model_cls(3, rng=np.random.default_rng(seed))
+    config = replace(TrainingConfig.ci(), mc_samples=draws, mc_backend=backend)
+    return Trainer(model, config, variation_aware=True, seed=seed)
+
+
+class TestLossEquivalence:
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    def test_losses_agree_under_shared_seed(self, model_cls, data):
+        x, y = data
+        losses = {
+            backend: float(_make_trainer(model_cls, backend)._loss(x, y).item())
+            for backend in ("batched", "sequential")
+        }
+        assert abs(losses["batched"] - losses["sequential"]) <= EQUIVALENCE_ATOL
+
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    def test_parameter_gradients_agree(self, model_cls, data):
+        """Backward through both objectives yields the same gradients."""
+        x, y = data
+        grads = {}
+        for backend in ("batched", "sequential"):
+            trainer = _make_trainer(model_cls, backend)
+            trainer.model.zero_grad()
+            trainer._loss(x, y).backward()
+            grads[backend] = {
+                name: p.grad for name, p in trainer.model.named_parameters()
+            }
+        assert grads["batched"].keys() == grads["sequential"].keys()
+        for name, g_batched in grads["batched"].items():
+            assert g_batched is not None and grads["sequential"][name] is not None
+            np.testing.assert_allclose(
+                g_batched, grads["sequential"][name], atol=1e-10, rtol=1e-8,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_elman_reference_backend_independent(self, data):
+        """Hardware-agnostic Elman takes the deterministic path: the
+        backend flag must not change its objective at all."""
+        x, y = data
+        losses = {}
+        for backend in ("batched", "sequential"):
+            model = ElmanClassifier(3, rng=np.random.default_rng(0))
+            config = replace(TrainingConfig.ci(), mc_backend=backend)
+            losses[backend] = float(Trainer(model, config)._loss(x, y).item())
+        assert losses["batched"] == losses["sequential"]
+
+    def test_mc_cross_entropy_equals_per_draw_average(self, rng):
+        """The flattened (draws·batch) CE equals the mean of per-draw CEs."""
+        from repro.autograd import Tensor
+        from repro.nn import cross_entropy
+
+        logits = rng.normal(size=(4, 6, 3))
+        labels = rng.integers(0, 3, 6)
+        stacked = float(mc_cross_entropy(Tensor(logits), labels).item())
+        per_draw = np.mean(
+            [float(cross_entropy(Tensor(logits[d]), labels).item()) for d in range(4)]
+        )
+        assert abs(stacked - per_draw) <= EQUIVALENCE_ATOL
+
+    def test_mc_cross_entropy_rejects_2d(self, rng):
+        from repro.autograd import Tensor
+
+        with pytest.raises(ValueError):
+            mc_cross_entropy(Tensor(rng.normal(size=(6, 3))), rng.integers(0, 3, 6))
+
+
+class TestAccuracyEquivalence:
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    def test_accuracy_samples_bit_equal(self, model_cls, data):
+        model = model_cls(3, rng=np.random.default_rng(1))
+        kwargs = dict(delta=0.1, mc_samples=5, seed=42)
+        fast = evaluate_under_variation(model, *data, vectorized=True, **kwargs)
+        slow = evaluate_under_variation(model, *data, vectorized=False, **kwargs)
+        assert np.array_equal(fast.samples, slow.samples)
+        assert fast.mean == slow.mean and fast.std == slow.std
+
+    def test_elman_vectorized_flag_is_inert(self, rng, data):
+        model = ElmanClassifier(3, rng=rng)
+        fast = evaluate_under_variation(model, *data, mc_samples=5, vectorized=True)
+        slow = evaluate_under_variation(model, *data, mc_samples=5, vectorized=False)
+        assert np.array_equal(fast.samples, slow.samples)
+        assert len(fast.samples) == 1
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    def test_batched_forward_matches_per_draw_forwards(self, model_cls, data):
+        """Draw d of the batched logit stack equals a sequential forward
+        consuming draw d's own child stream."""
+        from repro.autograd import no_grad
+        from repro.circuits import UniformVariation, VariationSampler
+
+        x, _ = data
+        draws = 4
+        model = model_cls(3, rng=np.random.default_rng(2))
+        sampler = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(7)
+        )
+        model.set_sampler(sampler)
+        with no_grad(), sampler.batched(draws):
+            batched = model(x).data  # (draws, batch, classes)
+
+        # Spawning mutates the parent's seed-sequence child counter, so
+        # the sequential oracle restarts from an identically seeded
+        # sampler (exactly what Trainer/evaluate do per invocation).
+        oracle = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(7)
+        )
+        model.set_sampler(oracle)
+        streams = oracle.spawn_streams(draws)
+        parent = oracle.rng
+        try:
+            for d, stream in enumerate(streams):
+                oracle.rng = stream
+                with no_grad():
+                    single = model(x).data
+                np.testing.assert_array_equal(batched[d], single)
+        finally:
+            oracle.rng = parent

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.augment import default_config
 from repro.circuits import ideal_sampler
 from repro.core import (

@@ -52,6 +52,7 @@ class TestExecution:
         assert main(["report", str(path)]) == 0
         assert "evaluation report" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_export_writes_netlist(self, tmp_path):
         out = tmp_path / "net.cir"
         code = main(

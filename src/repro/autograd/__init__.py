@@ -6,6 +6,7 @@ Public API::
 """
 
 from .context import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .function import FilterScan, Function, FunctionContext, filter_scan
 from .functional import (
     concat,
     log_softmax,
@@ -23,6 +24,10 @@ from .tensor import Tensor
 
 __all__ = [
     "Tensor",
+    "Function",
+    "FunctionContext",
+    "FilterScan",
+    "filter_scan",
     "no_grad",
     "enable_grad",
     "is_grad_enabled",

@@ -191,8 +191,17 @@ class Tensor:
     # ------------------------------------------------------------------
 
     def _accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's ``.grad`` buffer."""
+        """Add ``grad`` into this tensor's ``.grad`` buffer.
+
+        The first accumulation materialises ``grad`` with one copy
+        (which also densifies stride-0 broadcast views) instead of a
+        ``zeros_like`` write followed by ``+=`` — one full memory pass
+        saved on every tensor in the graph.
+        """
         if self.grad is None:
+            if grad.shape == self.data.shape:
+                self.grad = np.array(grad, dtype=np.float64)
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 
@@ -481,7 +490,10 @@ class Tensor:
             g = grad / count
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate_grad(np.broadcast_to(g, self.shape).astype(np.float64))
+            # The stride-0 broadcast view is densified (one copy) by
+            # _accumulate_grad itself; no eager astype copy needed.
+            g = np.asarray(g, dtype=np.float64)
+            self._accumulate_grad(np.broadcast_to(g, self.shape))
 
         return Tensor._from_op(np.asarray(data), (self,), backward_fn, "mean")
 

@@ -4,6 +4,7 @@ from .coupling import CouplingFit, build_so_filter_circuit, extract_mu_range, fi
 from .crossbar import THETA_MAX, THETA_MIN, PrintedCrossbar, program_crossbar
 from .filters import (
     DEFAULT_DT,
+    SCAN_BACKENDS,
     FirstOrderLearnableFilter,
     SecondOrderLearnableFilter,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "FirstOrderLearnableFilter",
     "SecondOrderLearnableFilter",
     "DEFAULT_DT",
+    "SCAN_BACKENDS",
     "PrintedPDK",
     "DEFAULT_PDK",
     "BASELINE_PDK",

@@ -30,6 +30,22 @@ R and C are trained in log-space so positivity (printability) is
 guaranteed; during variation-aware training each draw multiplies them
 by sampled ε factors, and μ and the initial voltage V₀ are themselves
 sampled per forward pass (Sec. III-A).
+
+Scan backends
+-------------
+The time-unrolled recurrence is evaluated by one of two backends:
+
+* ``"fused"`` (default) — the whole scan runs as a single custom
+  autograd node (:func:`repro.autograd.filter_scan`) with an analytic
+  reverse-time adjoint backward;
+* ``"unfused"`` — the original node-per-step graph, retained as the
+  bit-equal reference oracle (mirroring the Monte-Carlo engine's
+  ``mc_backend`` pattern).
+
+Both perform identical per-element arithmetic, so forward values are
+bit-equal and gradients agree to floating-point accumulation order.
+Per-backend wall-clock is recorded in
+:data:`repro.utils.timing.mc_counters`.
 """
 
 from __future__ import annotations
@@ -38,15 +54,24 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, stack
+from ..autograd import Tensor, filter_scan, stack
 from ..nn.module import Module, Parameter
+from ..utils.timing import Stopwatch, mc_counters
 from .pdk import DEFAULT_PDK, PrintedPDK
 from .variation import VariationSampler, ideal_sampler
 
-__all__ = ["FirstOrderLearnableFilter", "SecondOrderLearnableFilter"]
+__all__ = [
+    "FirstOrderLearnableFilter",
+    "SecondOrderLearnableFilter",
+    "SCAN_BACKENDS",
+]
 
 #: Default temporal discretisation: 1 kHz sensor sampling.
 DEFAULT_DT = 1e-3
+
+#: Valid recurrence evaluation backends: the fused single-node scan
+#: kernel and the node-per-step reference oracle.
+SCAN_BACKENDS = ("fused", "unfused")
 
 
 def _init_log_rc(
@@ -120,8 +145,10 @@ class _RCStage(Module):
         r = self.log_r.exp() * eps_r
         c = self.log_c.exp() * eps_c
         rc = r * c
-        denom = rc + mu * dt
-        return rc / denom, Tensor(np.full(n, dt)) / denom
+        # One reciprocal instead of two divides (and no materialised
+        # ``np.full(n, dt)`` constant node): a = rc·inv, b = dt·inv.
+        inv = 1.0 / (rc + mu * dt)
+        return rc * inv, inv * dt
 
     def nominal_values(self) -> Tuple[np.ndarray, np.ndarray]:
         """Nominal (R, C) values in Ω and F, clipped to the printable window."""
@@ -132,8 +159,23 @@ class _RCStage(Module):
         return r, c
 
 
+def _unfused_recurrence(x: Tensor, a: Tensor, b: Tensor, v0: Tensor) -> Tensor:
+    """Node-per-step oracle: one autograd node per primitive per step."""
+    steps = x.shape[-2]
+    if a.ndim == 2:
+        # (draws, n) -> (draws, 1, n): broadcast over the batch axis.
+        a = a.unsqueeze(1)
+        b = b.unsqueeze(1)
+    v = v0
+    outputs: List[Tensor] = []
+    for k in range(steps):
+        v = a * v + b * x[..., k, :]
+        outputs.append(v)
+    return stack(outputs, axis=-2)
+
+
 def _run_recurrence(
-    x: Tensor, a: Tensor, b: Tensor, v0: Tensor
+    x: Tensor, a: Tensor, b: Tensor, v0: Tensor, backend: str = "fused"
 ) -> Tensor:
     """Apply ``v_k = a v_{k-1} + b x_k`` along the time axis.
 
@@ -147,18 +189,23 @@ def _run_recurrence(
       draw-dependent ``(draws, batch, time, n)`` stack.
 
     Returns ``(batch, time, n)`` or ``(draws, batch, time, n)``.
+
+    ``backend`` selects the evaluation strategy: ``"fused"`` runs the
+    whole scan as one custom autograd node with an analytic adjoint
+    backward (:func:`repro.autograd.filter_scan`); ``"unfused"`` is the
+    original node-per-step graph, kept as the bit-equal reference
+    oracle.  Forward wall-clock per backend is recorded in
+    :data:`repro.utils.timing.mc_counters`.
     """
-    steps = x.shape[-2]
-    if a.ndim == 2:
-        # (draws, n) -> (draws, 1, n): broadcast over the batch axis.
-        a = a.unsqueeze(1)
-        b = b.unsqueeze(1)
-    v = v0
-    outputs: List[Tensor] = []
-    for k in range(steps):
-        v = a * v + b * x[..., k, :]
-        outputs.append(v)
-    return stack(outputs, axis=-2)
+    if backend not in SCAN_BACKENDS:
+        raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}, got {backend!r}")
+    with Stopwatch() as sw:
+        if backend == "fused":
+            out = filter_scan(x, a, b, v0)
+        else:
+            out = _unfused_recurrence(x, a, b, v0)
+    mc_counters.record_scan(sw.elapsed, backend)
+    return out
 
 
 class FirstOrderLearnableFilter(Module):
@@ -176,18 +223,28 @@ class FirstOrderLearnableFilter(Module):
         sampler: Optional[VariationSampler] = None,
         pdk: PrintedPDK = DEFAULT_PDK,
         rng: Optional[np.random.Generator] = None,
+        scan_backend: str = "fused",
     ) -> None:
         super().__init__()
         if num_filters <= 0:
             raise ValueError("num_filters must be positive")
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if scan_backend not in SCAN_BACKENDS:
+            raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
         rng = rng if rng is not None else np.random.default_rng()
         self.num_filters = num_filters
         self.dt = dt
         self.sampler = sampler if sampler is not None else ideal_sampler()
         self.pdk = pdk
+        self.scan_backend = scan_backend
         self.stage = _RCStage(num_filters, pdk, rng)
+
+    def set_scan_backend(self, backend: str) -> None:
+        """Select the recurrence evaluation backend (``fused``/``unfused``)."""
+        if backend not in SCAN_BACKENDS:
+            raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
+        self.scan_backend = backend
 
     def forward(self, x: Tensor) -> Tensor:
         """Filter a batch of sequences ``(batch, time, num_filters)``.
@@ -198,7 +255,7 @@ class FirstOrderLearnableFilter(Module):
         _check_filter_input(x, self.num_filters, self.sampler)
         a, b = self.stage.coefficients(self.dt, self.sampler)
         v0 = Tensor(self.sampler.initial_voltage((x.shape[-3], self.num_filters)))
-        return _run_recurrence(x, a, b, v0)
+        return _run_recurrence(x, a, b, v0, backend=self.scan_backend)
 
     # -- hardware accounting ----------------------------------------------
 
@@ -246,19 +303,29 @@ class SecondOrderLearnableFilter(Module):
         sampler: Optional[VariationSampler] = None,
         pdk: PrintedPDK = DEFAULT_PDK,
         rng: Optional[np.random.Generator] = None,
+        scan_backend: str = "fused",
     ) -> None:
         super().__init__()
         if num_filters <= 0:
             raise ValueError("num_filters must be positive")
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if scan_backend not in SCAN_BACKENDS:
+            raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
         rng = rng if rng is not None else np.random.default_rng()
         self.num_filters = num_filters
         self.dt = dt
         self.sampler = sampler if sampler is not None else ideal_sampler()
         self.pdk = pdk
+        self.scan_backend = scan_backend
         self.stage1 = _RCStage(num_filters, pdk, rng)
         self.stage2 = _RCStage(num_filters, pdk, rng)
+
+    def set_scan_backend(self, backend: str) -> None:
+        """Select the recurrence evaluation backend (``fused``/``unfused``)."""
+        if backend not in SCAN_BACKENDS:
+            raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
+        self.scan_backend = backend
 
     def forward(self, x: Tensor) -> Tensor:
         """Filter a batch of sequences ``(batch, time, num_filters)``.
@@ -274,8 +341,8 @@ class SecondOrderLearnableFilter(Module):
         batch = x.shape[-3]
         v0_1 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
         v0_2 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
-        intermediate = _run_recurrence(x, a1, b1, v0_1)
-        return _run_recurrence(intermediate, a2, b2, v0_2)
+        intermediate = _run_recurrence(x, a1, b1, v0_1, backend=self.scan_backend)
+        return _run_recurrence(intermediate, a2, b2, v0_2, backend=self.scan_backend)
 
     # -- hardware accounting ----------------------------------------------
 

@@ -7,6 +7,9 @@ Subcommands
 * ``evaluate`` — run the whole suite and write ``results/<scale>/``;
 * ``mc-bench`` — measure sequential-vs-batched Monte-Carlo training
   throughput and verify loss equivalence between the two backends;
+* ``scan-bench`` — measure the fused filter-scan kernel against the
+  node-per-step oracle (SO-LF forward+backward and end-to-end epoch
+  wall-clock) and verify loss/gradient equivalence;
 * ``report`` — render a saved ``results.json`` as markdown;
 * ``export`` — train a model on a dataset and write its compiled
   netlist as a SPICE file;
@@ -133,11 +136,35 @@ def _cmd_mc_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
         config=config,
+        scan_backend=args.scan_backend,
     )
     print(format_mc_benchmark(record))
     if args.output is not None:
         with open(args.output, "w") as fh:
             json.dump({"mc_vectorization": record}, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if record["equivalent"] else 1
+
+
+def _cmd_scan_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import format_scan_benchmark, run_scan_benchmark
+
+    record = run_scan_benchmark(
+        seq_len=args.seq_len,
+        batch=args.batch,
+        draws=args.draws,
+        num_filters=args.filters,
+        repeats=args.repeats,
+        seed=args.seed,
+        train_epochs=args.epochs,
+        include_training=not args.no_training,
+    )
+    print(format_scan_benchmark(record))
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump({"filter_scan": record}, fh, indent=2)
         print(f"wrote {args.output}")
     return 0 if record["equivalent"] else 1
 
@@ -194,8 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=24, help="dataset size")
     p.add_argument("--repeats", type=int, default=3, help="timed repeats per backend")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scan-backend",
+        choices=("fused", "unfused"),
+        default="fused",
+        help="filter-recurrence kernel used by both MC backends",
+    )
     p.add_argument("--output", default=None, help="write the record as JSON here")
     p.set_defaults(func=_cmd_mc_bench)
+
+    p = sub.add_parser(
+        "scan-bench", help="benchmark fused vs unfused filter-scan kernels"
+    )
+    p.add_argument("--seq-len", type=int, default=64, help="sequence length T")
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--draws", type=int, default=8, help="Monte-Carlo draws")
+    p.add_argument("--filters", type=int, default=8, help="filter-bank width")
+    p.add_argument("--repeats", type=int, default=5, help="timed repeats per backend")
+    p.add_argument("--epochs", type=int, default=5, help="end-to-end training epochs")
+    p.add_argument(
+        "--no-training", action="store_true", help="skip the Trainer.fit comparison"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write the record as JSON here")
+    p.set_defaults(func=_cmd_scan_bench)
 
     p = sub.add_parser("evaluate", help="run the full evaluation suite")
     p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")

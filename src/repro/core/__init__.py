@@ -30,11 +30,18 @@ from .models import (
 )
 from .calibration import CalibrationResult, calibrate_instance, calibration_study
 from .mcbench import EQUIVALENCE_ATOL, format_mc_benchmark, run_mc_benchmark
+from .scanbench import (
+    SCAN_EQUIVALENCE_ATOL,
+    SCAN_GRAD_ATOL,
+    format_scan_benchmark,
+    run_scan_benchmark,
+)
 from .search import ArchitectureResult, architecture_space, search_architecture
 from .streaming import StreamingClassifier
 from .tpb import PrintedTemporalProcessingBlock
 from .training import (
     MC_BACKENDS,
+    SCAN_BACKENDS,
     Trainer,
     TrainingConfig,
     TrainingHistory,
@@ -76,8 +83,13 @@ __all__ = [
     "calibration_study",
     "CalibrationResult",
     "MC_BACKENDS",
+    "SCAN_BACKENDS",
     "mc_cross_entropy",
     "run_mc_benchmark",
     "format_mc_benchmark",
     "EQUIVALENCE_ATOL",
+    "run_scan_benchmark",
+    "format_scan_benchmark",
+    "SCAN_EQUIVALENCE_ATOL",
+    "SCAN_GRAD_ATOL",
 ]

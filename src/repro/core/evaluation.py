@@ -20,8 +20,9 @@ re-entering the variation context per sample.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +64,25 @@ class EvaluationResult:
 
     def __repr__(self) -> str:
         return f"EvaluationResult(mean={self.mean:.3f}, std={self.std:.3f})"
+
+
+@contextmanager
+def _scan_backend(model: Module, backend: Optional[str]) -> Iterator[None]:
+    """Temporarily select the model's filter-recurrence backend.
+
+    ``None`` (the default) leaves whatever backend the model already
+    uses; models without filter banks (no ``set_scan_backend``) ignore
+    the request entirely, so the flag is inert for the Elman reference.
+    """
+    if backend is None or not hasattr(model, "set_scan_backend"):
+        yield
+        return
+    original = model.scan_backend
+    model.set_scan_backend(backend)
+    try:
+        yield
+    finally:
+        model.set_scan_backend(original)
 
 
 def _deterministic_result(model: Module, x: np.ndarray, y: np.ndarray) -> EvaluationResult:
@@ -139,6 +159,7 @@ def evaluate_under_variation(
     mc_samples: int = 10,
     seed: int = 0,
     vectorized: bool = True,
+    scan_backend: Optional[str] = None,
 ) -> EvaluationResult:
     """Mean accuracy over ``mc_samples`` fabricated-instance draws.
 
@@ -149,20 +170,25 @@ def evaluate_under_variation(
     restored afterwards.  Hardware-agnostic models (no ``set_sampler``)
     are evaluated once, deterministically, as is the explicit
     no-variation case (``mc_samples=0`` or ``delta=0``).
+
+    ``scan_backend`` temporarily selects the filter-recurrence backend
+    (``"fused"``/``"unfused"``) for the duration of the evaluation;
+    ``None`` keeps the model's current backend.
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    if mc_samples == 0 or delta == 0.0:
-        # Deterministic fast path: no variation context is entered at
-        # all — one nominal forward under the ideal sampler.
-        return _deterministic_result(model, x, y)
-    sampler = VariationSampler(
-        model=UniformVariation(delta), rng=np.random.default_rng(seed)
-    )
-    return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+    with _scan_backend(model, scan_backend):
+        if mc_samples == 0 or delta == 0.0:
+            # Deterministic fast path: no variation context is entered at
+            # all — one nominal forward under the ideal sampler.
+            return _deterministic_result(model, x, y)
+        sampler = VariationSampler(
+            model=UniformVariation(delta), rng=np.random.default_rng(seed)
+        )
+        return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
 
 
 def evaluate_under_model(
@@ -173,6 +199,7 @@ def evaluate_under_model(
     mc_samples: int = 10,
     seed: int = 0,
     vectorized: bool = True,
+    scan_backend: Optional[str] = None,
 ) -> EvaluationResult:
     """Mean accuracy under an arbitrary variation distribution.
 
@@ -181,17 +208,20 @@ def evaluate_under_model(
     device-level model of Rasheed et al. [24] — so robustness can be
     compared across printing-process assumptions.  ``mc_samples=0`` or
     a :class:`~repro.circuits.NoVariation` model short-circuit to the
-    deterministic nominal evaluation.
+    deterministic nominal evaluation.  ``scan_backend`` temporarily
+    selects the filter-recurrence backend, as in
+    :func:`evaluate_under_variation`.
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    if mc_samples == 0 or isinstance(variation, NoVariation):
-        return _deterministic_result(model, x, y)
-    sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
-    return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+    with _scan_backend(model, scan_backend):
+        if mc_samples == 0 or isinstance(variation, NoVariation):
+            return _deterministic_result(model, x, y)
+        sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
+        return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
 
 
 def select_top_k(

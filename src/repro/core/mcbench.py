@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..utils.timing import Stopwatch
+from ..utils.timing import Stopwatch, mc_counters
 from .models import AdaptPNC
 from .training import Trainer, TrainingConfig
 
@@ -29,10 +29,17 @@ EQUIVALENCE_ATOL = 1e-8
 
 
 def _make_trainer(
-    n_classes: int, mc_samples: int, backend: str, seed: int, config: TrainingConfig
+    n_classes: int,
+    mc_samples: int,
+    backend: str,
+    seed: int,
+    config: TrainingConfig,
+    scan_backend: str = "fused",
 ) -> Trainer:
     model = AdaptPNC(n_classes, rng=np.random.default_rng(seed))
-    cfg = replace(config, mc_samples=mc_samples, mc_backend=backend)
+    cfg = replace(
+        config, mc_samples=mc_samples, mc_backend=backend, scan_backend=scan_backend
+    )
     return Trainer(model, cfg, variation_aware=True, seed=seed)
 
 
@@ -84,6 +91,7 @@ def run_mc_benchmark(
     repeats: int = 3,
     seed: int = 0,
     config: Optional[TrainingConfig] = None,
+    scan_backend: str = "fused",
 ) -> Dict:
     """Measure sequential-vs-batched MC training throughput.
 
@@ -92,19 +100,24 @@ def run_mc_benchmark(
     best-of-``repeats`` timings, the speedup, a draws/sec figure, and
     the max |loss| disagreement
     (which must stay below :data:`EQUIVALENCE_ATOL` — asserted by the
-    benchmark, reported here).
+    benchmark, reported here).  ``scan_backend`` selects the filter-
+    recurrence kernel used by *both* MC backends; per-scan-backend
+    wall-clock is captured in the record's ``counters`` snapshot.
     """
     config = config if config is not None else TrainingConfig.ci()
     rng = np.random.default_rng(seed)
     x = rng.uniform(-1.0, 1.0, size=(n_samples, seq_len))
     y = rng.integers(0, n_classes, size=n_samples)
 
+    mc_counters.reset()
     rows: List[Dict] = []
     max_delta = 0.0
     for draws in draws_list:
         per_backend: Dict[str, Dict[str, float]] = {}
         for backend in ("sequential", "batched"):
-            trainer = _make_trainer(n_classes, draws, backend, seed, config)
+            trainer = _make_trainer(
+                n_classes, draws, backend, seed, config, scan_backend=scan_backend
+            )
             per_backend[backend] = _time_objective(trainer, x, y, repeats)
         seq, bat = per_backend["sequential"], per_backend["batched"]
         delta = abs(seq["loss"] - bat["loss"])
@@ -130,6 +143,8 @@ def run_mc_benchmark(
         "n_samples": int(n_samples),
         "seq_len": int(seq_len),
         "repeats": int(repeats),
+        "scan_backend": scan_backend,
+        "counters": mc_counters.snapshot(),
     }
 
 
@@ -154,4 +169,14 @@ def format_mc_benchmark(record: Dict) -> str:
         f"loss equivalence: max |Δ| = {record['max_abs_loss_delta']:.2e} "
         f"(tol {record['equivalence_atol']:.0e}) — {verdict}"
     )
+    scan = (record.get("counters") or {}).get("scan") or {}
+    if scan:
+        parts = ", ".join(
+            f"{backend}: {entry['seconds']*1e3:.1f} ms over {entry['calls']:.0f} scans"
+            for backend, entry in sorted(scan.items())
+        )
+        lines.append(
+            f"filter-scan wall-clock ({record.get('scan_backend', 'fused')} kernel "
+            f"selected): {parts}"
+        )
     return "\n".join(lines)

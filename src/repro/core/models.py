@@ -158,6 +158,16 @@ class PrintedTemporalClassifier(Module):
     def sampler(self) -> VariationSampler:
         return self.blocks[0].sampler
 
+    @property
+    def scan_backend(self) -> str:
+        """The filter banks' recurrence backend (``fused``/``unfused``)."""
+        return self.blocks[0].scan_backend
+
+    def set_scan_backend(self, backend: str) -> None:
+        """Select the recurrence backend of every block's filter bank."""
+        for block in self.blocks:
+            block.set_scan_backend(backend)
+
     def forward(self, x) -> Tensor:
         """Logits ``(batch, n_classes)`` from ``(batch, time)`` series
         (single-channel) or ``(batch, time, in_channels)`` multivariate

@@ -93,6 +93,15 @@ class PrintedTemporalProcessingBlock(Module):
         self.crossbar.sampler = sampler
         self.activation.sampler = sampler
 
+    @property
+    def scan_backend(self) -> str:
+        """The filter bank's recurrence backend (``fused``/``unfused``)."""
+        return self.filters.scan_backend
+
+    def set_scan_backend(self, backend: str) -> None:
+        """Select the filter bank's recurrence evaluation backend."""
+        self.filters.set_scan_backend(backend)
+
     def forward(self, x: Tensor) -> Tensor:
         """Process a voltage sequence ``(batch, time, in_features)``.
 

@@ -36,13 +36,19 @@ import numpy as np
 
 from ..augment import AugmentationConfig, augment_dataset
 from ..autograd import Tensor, no_grad
-from ..circuits import UniformVariation, VariationSampler, ideal_sampler
+from ..circuits import SCAN_BACKENDS, UniformVariation, VariationSampler, ideal_sampler
 from ..nn import cross_entropy
 from ..nn.module import Module
 from ..optim import AdamW, ReduceLROnPlateau
 from ..utils.timing import Stopwatch, mc_counters
 
-__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "MC_BACKENDS"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "Trainer",
+    "MC_BACKENDS",
+    "SCAN_BACKENDS",
+]
 
 #: Valid Monte-Carlo objective backends.
 MC_BACKENDS = ("batched", "sequential")
@@ -69,6 +75,10 @@ class TrainingConfig:
     #: one vectorized forward; "sequential" is the per-draw reference
     #: oracle (identical draws, kept for equivalence testing).
     mc_backend: str = "batched"
+    #: Filter-recurrence backend: "fused" runs each RC scan as a single
+    #: custom autograd node with an analytic adjoint backward;
+    #: "unfused" is the node-per-step reference oracle.
+    scan_backend: str = "fused"
 
     def __post_init__(self) -> None:
         if self.lr <= 0 or self.min_lr <= 0:
@@ -81,6 +91,8 @@ class TrainingConfig:
             raise ValueError("variation_delta must be in [0, 1)")
         if self.mc_backend not in MC_BACKENDS:
             raise ValueError(f"mc_backend must be one of {MC_BACKENDS}")
+        if self.scan_backend not in SCAN_BACKENDS:
+            raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
 
     @staticmethod
     def paper() -> "TrainingConfig":
@@ -171,6 +183,8 @@ class Trainer:
         self.seed = seed
 
         self._is_printed = hasattr(model, "set_sampler")
+        if hasattr(model, "set_scan_backend"):
+            model.set_scan_backend(self.config.scan_backend)
         if self._is_printed:
             if variation_aware:
                 sampler = VariationSampler(

@@ -145,6 +145,63 @@ def _mc_section(record: Dict) -> List[str]:
             f"forward {counters.get('forward_seconds', 0.0):.2f} s, "
             f"backward {counters.get('backward_seconds', 0.0):.2f} s)."
         )
+        by_backend = counters.get("by_backend") or {}
+        if by_backend:
+            split = ", ".join(
+                f"{backend} {seconds:.2f} s"
+                for backend, seconds in sorted(by_backend.items())
+            )
+            lines.append(f"Forward wall-clock by MC backend: {split}.")
+        scan = counters.get("scan") or {}
+        if scan:
+            split = ", ".join(
+                f"{backend} {entry['seconds']*1e3:.1f} ms / {entry['calls']:.0f} scans"
+                for backend, entry in sorted(scan.items())
+            )
+            lines.append(f"Filter-scan wall-clock by kernel: {split}.")
+    lines.append("")
+    return lines
+
+
+def _filter_scan_section(record: Dict) -> List[str]:
+    """Render the fused filter-scan record (``scan-bench``)."""
+    fs = record.get("filter_scan")
+    if not fs:
+        return []
+    solf = fs.get("solf") or {}
+    lines = [
+        "## Fused filter scan — custom-Function kernel vs node-per-step oracle",
+        "",
+        f"SO-LF bank at T={solf.get('seq_len', '?')}, "
+        f"batch={solf.get('batch', '?')}, draws={solf.get('draws', '?')}, "
+        f"n={solf.get('num_filters', '?')}:",
+        "",
+        "| Scan backend | Forward | Backward | Fwd+bwd |",
+        "|---|---|---|---|",
+    ]
+    for backend in ("unfused", "fused"):
+        lines.append(
+            f"| {backend} | {solf.get(f'{backend}_forward_s', 0.0)*1e3:.2f} ms | "
+            f"{solf.get(f'{backend}_backward_s', 0.0)*1e3:.2f} ms | "
+            f"{solf.get(f'{backend}_s', 0.0)*1e3:.2f} ms |"
+        )
+    verdict = "**equivalent**" if fs.get("equivalent") else "**NOT equivalent**"
+    lines += [
+        "",
+        f"Speedup (fused over unfused): {solf.get('speedup', 0.0):.2f}×.",
+        f"Equivalence: |Δloss| = {solf.get('loss_delta', float('nan')):.2e} "
+        f"(tolerance {fs.get('equivalence_atol', 1e-10):.0e}), "
+        f"max |Δgrad| = {solf.get('max_abs_grad_delta', float('nan')):.2e} "
+        f"(tolerance {fs.get('grad_atol', 1e-8):.0e}) — {verdict}.",
+    ]
+    training = fs.get("training")
+    if training:
+        lines.append(
+            f"End-to-end `Trainer.fit` epoch wall-clock: "
+            f"unfused {training.get('unfused_epoch_s', 0.0)*1e3:.1f} ms → "
+            f"fused {training.get('fused_epoch_s', 0.0)*1e3:.1f} ms "
+            f"({training.get('epoch_speedup', 0.0):.2f}×)."
+        )
     lines.append("")
     return lines
 
@@ -195,6 +252,7 @@ def render_report(record: Dict) -> str:
     lines += _table2_section(record)
     lines += _table3_section(record)
     lines += _mc_section(record)
+    lines += _filter_scan_section(record)
     lines += _fig_sections(record)
     return "\n".join(lines)
 

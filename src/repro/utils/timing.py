@@ -1,6 +1,7 @@
 """Wall-clock timing helpers for the runtime comparison (Table II)
 and lightweight Monte-Carlo instrumentation (draws/sec, forward vs
-backward wall-clock) used by the vectorized variation engine."""
+backward wall-clock, per-backend filter-scan timings) used by the
+vectorized variation engine and the fused filter-scan kernel."""
 
 from __future__ import annotations
 
@@ -32,10 +33,13 @@ class MCCounters:
 
     The trainer (and the evaluation harness) record every MC objective
     evaluation here, so experiments can report draws/sec and the
-    forward/backward wall-clock split without any profiler.  A single
-    process-wide instance (:data:`mc_counters`) is enough — training is
-    single-threaded — but independent instances can be created for
-    scoped measurements (the MC-vectorization benchmark does).
+    forward/backward wall-clock split without any profiler.  The filter
+    banks additionally record per-``scan_backend`` wall-clock for the
+    RC-recurrence forward (``fused`` kernel vs ``unfused`` node-per-step
+    oracle).  A single process-wide instance (:data:`mc_counters`) is
+    enough — training is single-threaded — but independent instances can
+    be created for scoped measurements (the MC-vectorization and
+    filter-scan benchmarks do).
     """
 
     forward_seconds: float = 0.0
@@ -44,6 +48,8 @@ class MCCounters:
     backward_calls: int = 0
     draws: int = 0
     _by_backend_seconds: Dict[str, float] = field(default_factory=dict)
+    _scan_seconds: Dict[str, float] = field(default_factory=dict)
+    _scan_calls: Dict[str, int] = field(default_factory=dict)
 
     def record_forward(self, seconds: float, draws: int, backend: str = "batched") -> None:
         """Record one MC objective evaluation covering ``draws`` draws."""
@@ -59,6 +65,11 @@ class MCCounters:
         self.backward_seconds += seconds
         self.backward_calls += 1
 
+    def record_scan(self, seconds: float, backend: str) -> None:
+        """Record one filter-bank recurrence forward under ``backend``."""
+        self._scan_seconds[backend] = self._scan_seconds.get(backend, 0.0) + seconds
+        self._scan_calls[backend] = self._scan_calls.get(backend, 0) + 1
+
     def draws_per_second(self) -> float:
         """Monte-Carlo draw throughput of the recorded forwards."""
         if self.forward_seconds <= 0.0:
@@ -73,20 +84,32 @@ class MCCounters:
         self.backward_calls = 0
         self.draws = 0
         self._by_backend_seconds = {}
+        self._scan_seconds = {}
+        self._scan_calls = {}
 
-    def snapshot(self) -> Dict[str, float]:
-        """JSON-serialisable view (stored in ``results.json`` records)."""
-        out: Dict[str, float] = {
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serialisable view (stored in ``results.json`` records).
+
+        MC-backend and scan-backend timings are namespaced under the
+        ``"by_backend"`` / ``"scan"`` sub-dicts so arbitrary backend
+        names can never collide with the fixed top-level keys.
+        """
+        return {
             "forward_seconds": self.forward_seconds,
             "backward_seconds": self.backward_seconds,
             "forward_calls": float(self.forward_calls),
             "backward_calls": float(self.backward_calls),
             "draws": float(self.draws),
             "draws_per_second": self.draws_per_second(),
+            "by_backend": dict(self._by_backend_seconds),
+            "scan": {
+                backend: {
+                    "seconds": seconds,
+                    "calls": float(self._scan_calls.get(backend, 0)),
+                }
+                for backend, seconds in self._scan_seconds.items()
+            },
         }
-        for backend, seconds in self._by_backend_seconds.items():
-            out[f"{backend}_seconds"] = seconds
-        return out
 
 
 #: Process-wide Monte-Carlo counters (reset between experiments).

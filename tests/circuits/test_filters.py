@@ -159,6 +159,205 @@ class TestSecondOrder:
         assert set(vals) == {"R1", "C1", "R2", "C2"}
 
 
+class TestCheckFilterInput:
+    """Shape validation for the filter banks (draws-axis aware)."""
+
+    def _sampler(self, batched_draws=None):
+        sampler = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(0)
+        )
+        return sampler
+
+    def test_sequential_3d_accepted(self):
+        from repro.circuits.filters import _check_filter_input
+
+        _check_filter_input(Tensor(np.zeros((2, 5, 3))), 3, self._sampler())
+
+    def test_sequential_rejects_draws_axis(self):
+        """4-D input outside a batched context is a shape error."""
+        from repro.circuits.filters import _check_filter_input
+
+        with pytest.raises(ValueError) as excinfo:
+            _check_filter_input(Tensor(np.zeros((4, 2, 5, 3))), 3, self._sampler())
+        # Error message names the expected and the observed shapes.
+        assert "(batch, time, 3)" in str(excinfo.value)
+        assert "(4, 2, 5, 3)" in str(excinfo.value)
+        assert "draws" not in str(excinfo.value)
+
+    def test_batched_accepts_matching_draws_axis(self):
+        from repro.circuits.filters import _check_filter_input
+
+        sampler = self._sampler()
+        with sampler.batched(4):
+            _check_filter_input(Tensor(np.zeros((4, 2, 5, 3))), 3, sampler)
+
+    def test_batched_accepts_shared_3d_input(self):
+        from repro.circuits.filters import _check_filter_input
+
+        sampler = self._sampler()
+        with sampler.batched(4):
+            _check_filter_input(Tensor(np.zeros((2, 5, 3))), 3, sampler)
+
+    def test_batched_rejects_draws_axis_mismatch(self):
+        """A draws axis that disagrees with the active draw count is the
+        one 4-D shape that must be rejected inside a batched context."""
+        from repro.circuits.filters import _check_filter_input
+
+        sampler = self._sampler()
+        with sampler.batched(4):
+            with pytest.raises(ValueError, match="draws axis 3 does not match"):
+                _check_filter_input(Tensor(np.zeros((3, 2, 5, 3))), 3, sampler)
+
+    def test_batched_error_mentions_draws_layout(self):
+        from repro.circuits.filters import _check_filter_input
+
+        sampler = self._sampler()
+        with sampler.batched(4):
+            with pytest.raises(ValueError) as excinfo:
+                _check_filter_input(Tensor(np.zeros((2, 5, 7))), 3, sampler)
+        assert "(draws, batch, time, n)" in str(excinfo.value)
+        assert "(batch, time, 3)" in str(excinfo.value)
+
+    def test_wrong_channel_count_rejected_in_both_modes(self):
+        from repro.circuits.filters import _check_filter_input
+
+        sampler = self._sampler()
+        with pytest.raises(ValueError):
+            _check_filter_input(Tensor(np.zeros((2, 5, 4))), 3, sampler)
+        with sampler.batched(2):
+            with pytest.raises(ValueError):
+                _check_filter_input(Tensor(np.zeros((2, 2, 5, 4))), 3, sampler)
+
+
+class TestCoefficients:
+    """Regression: the one-reciprocal coefficient form is unchanged."""
+
+    def _reference(self, stage, dt, eps_r, eps_c, mu):
+        """Original two-divide formulation."""
+        r = np.exp(stage.log_r.data) * eps_r
+        c = np.exp(stage.log_c.data) * eps_c
+        rc = r * c
+        denom = rc + mu * dt
+        return rc / denom, np.full(stage.num_filters, dt) / denom
+
+    def test_matches_two_divide_form_ideal(self, rng):
+        flt = FirstOrderLearnableFilter(4, sampler=ideal_sampler(), rng=rng)
+        a, b = flt.stage.coefficients(flt.dt, flt.sampler)
+        ones = np.ones(4)
+        a_ref, b_ref = self._reference(flt.stage, flt.dt, ones, ones, ones)
+        np.testing.assert_allclose(a.data, a_ref, rtol=1e-15)
+        np.testing.assert_allclose(b.data, b_ref, rtol=1e-15)
+
+    def test_matches_two_divide_form_under_variation(self, rng):
+        flt = FirstOrderLearnableFilter(4, rng=rng)
+        sampler = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(5)
+        )
+        a, b = flt.stage.coefficients(flt.dt, sampler)
+        # Replay the identical draws for the reference formulation.
+        replay = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(5)
+        )
+        eps_r = replay.epsilon((4,))
+        eps_c = replay.epsilon((4,))
+        mu = replay.mu((4,))
+        a_ref, b_ref = self._reference(flt.stage, flt.dt, eps_r, eps_c, mu)
+        np.testing.assert_allclose(a.data, a_ref, rtol=1e-14)
+        np.testing.assert_allclose(b.data, b_ref, rtol=1e-14)
+
+    def test_batched_shape(self, rng):
+        flt = FirstOrderLearnableFilter(4, rng=rng)
+        sampler = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(5)
+        )
+        with sampler.batched(6):
+            a, b = flt.stage.coefficients(flt.dt, sampler)
+        assert a.shape == (6, 4) and b.shape == (6, 4)
+
+    def test_coefficients_stay_stable(self, rng):
+        flt = FirstOrderLearnableFilter(8, rng=rng)
+        a, _ = flt.stage.coefficients(flt.dt, ideal_sampler())
+        assert np.all(a.data > 0) and np.all(a.data < 1)
+
+
+class TestScanBackends:
+    """The fused kernel is a pure optimisation of the unfused oracle."""
+
+    def _pair(self, cls, seed=0):
+        out = []
+        for backend in ("fused", "unfused"):
+            sampler = VariationSampler(
+                model=UniformVariation(0.1), rng=np.random.default_rng(seed + 9)
+            )
+            flt = cls(3, sampler=sampler, rng=np.random.default_rng(seed),
+                      scan_backend=backend)
+            out.append(flt)
+        return out
+
+    @pytest.mark.parametrize(
+        "cls", [FirstOrderLearnableFilter, SecondOrderLearnableFilter]
+    )
+    def test_outputs_bit_equal(self, cls, rng):
+        fused, unfused = self._pair(cls)
+        x = Tensor(rng.uniform(-1, 1, (2, 12, 3)))
+        np.testing.assert_array_equal(fused(x).data, unfused(x).data)
+
+    @pytest.mark.parametrize(
+        "cls", [FirstOrderLearnableFilter, SecondOrderLearnableFilter]
+    )
+    def test_outputs_bit_equal_batched_draws(self, cls, rng):
+        fused, unfused = self._pair(cls)
+        x = Tensor(rng.uniform(-1, 1, (2, 12, 3)))
+        outs = []
+        for flt in (fused, unfused):
+            flt.sampler.reseed(123)
+            with flt.sampler.batched(4):
+                outs.append(flt(x).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_parameter_gradients_agree(self, rng):
+        fused, unfused = self._pair(SecondOrderLearnableFilter)
+        x = Tensor(rng.uniform(-1, 1, (2, 12, 3)))
+        grads = []
+        for flt in (fused, unfused):
+            flt.zero_grad()
+            flt.sampler.reseed(77)
+            with flt.sampler.batched(4):
+                (flt(x) ** 2).mean().backward()
+            grads.append({n: p.grad for n, p in flt.named_parameters()})
+        assert grads[0].keys() == grads[1].keys()
+        for name in grads[0]:
+            np.testing.assert_allclose(
+                grads[0][name], grads[1][name], atol=1e-12,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_set_scan_backend_switches_and_validates(self, rng):
+        flt = SecondOrderLearnableFilter(2, rng=rng)
+        assert flt.scan_backend == "fused"
+        flt.set_scan_backend("unfused")
+        assert flt.scan_backend == "unfused"
+        with pytest.raises(ValueError):
+            flt.set_scan_backend("magic")
+
+    def test_ctor_rejects_unknown_backend(self, rng):
+        with pytest.raises(ValueError):
+            FirstOrderLearnableFilter(2, rng=rng, scan_backend="magic")
+
+    def test_scan_wall_clock_recorded(self, rng):
+        from repro.utils.timing import mc_counters
+
+        mc_counters.reset()
+        flt = FirstOrderLearnableFilter(2, sampler=ideal_sampler(), rng=rng)
+        flt(Tensor(rng.uniform(-1, 1, (1, 5, 2))))
+        flt.set_scan_backend("unfused")
+        flt(Tensor(rng.uniform(-1, 1, (1, 5, 2))))
+        scan = mc_counters.snapshot()["scan"]
+        assert scan["fused"]["calls"] == 1
+        assert scan["unfused"]["calls"] == 1
+        mc_counters.reset()
+
+
 class TestStabilityProperties:
     def test_bounded_input_bounded_output(self, rng):
         """BIBO stability: |a| < 1 always, so output stays within input range."""

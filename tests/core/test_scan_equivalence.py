@@ -1,0 +1,156 @@
+"""Fused-vs-unfused scan equivalence across the full training stack.
+
+The fused :func:`~repro.autograd.filter_scan` kernel must be a pure
+performance optimisation: under identical seeds the training objective,
+every parameter gradient (filter log_r/log_c *and* crossbar θ) and the
+evaluation accuracies must agree with the node-per-step oracle across
+the whole ``mc_backend × scan_backend`` grid, at the scan-benchmark
+tolerances (losses ≤ 1e-10, per-parameter gradients ≤ 1e-8).
+"""
+
+from dataclasses import replace
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SCAN_BACKENDS,
+    AdaptPNC,
+    PTPNC,
+    Trainer,
+    TrainingConfig,
+    evaluate_under_variation,
+)
+from repro.core.scanbench import SCAN_EQUIVALENCE_ATOL, SCAN_GRAD_ATOL
+
+PRINTED_MODELS = {"ptpnc": PTPNC, "adapt": AdaptPNC}
+MC_BACKENDS = ("batched", "sequential")
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(-1, 1, (10, 16)), rng.integers(0, 3, 10)
+
+
+def _make_trainer(
+    model_cls, mc_backend: str, scan_backend: str, seed: int = 0, draws: int = 3
+) -> Trainer:
+    model = model_cls(3, rng=np.random.default_rng(seed))
+    config = replace(
+        TrainingConfig.ci(),
+        mc_samples=draws,
+        mc_backend=mc_backend,
+        scan_backend=scan_backend,
+    )
+    return Trainer(model, config, variation_aware=True, seed=seed)
+
+
+class TestTrainerGridEquivalence:
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    def test_losses_agree_across_grid(self, model_cls, data):
+        """All four (mc, scan) corners share one objective value."""
+        x, y = data
+        losses = {
+            (mc, scan): float(
+                _make_trainer(model_cls, mc, scan)._loss(x, y).item()
+            )
+            for mc, scan in product(MC_BACKENDS, SCAN_BACKENDS)
+        }
+        reference = losses[("batched", "fused")]
+        for corner, value in losses.items():
+            assert abs(value - reference) <= SCAN_EQUIVALENCE_ATOL, (
+                f"loss at {corner} diverged: |Δ| = {abs(value - reference):.2e}"
+            )
+
+    @pytest.mark.parametrize("model_cls", PRINTED_MODELS.values(), ids=PRINTED_MODELS)
+    @pytest.mark.parametrize("mc_backend", MC_BACKENDS)
+    def test_every_parameter_gradient_agrees(self, model_cls, mc_backend, data):
+        """log_r, log_c and crossbar θ gradients match the oracle."""
+        x, y = data
+        grads = {}
+        for scan in SCAN_BACKENDS:
+            trainer = _make_trainer(model_cls, mc_backend, scan)
+            trainer.model.zero_grad()
+            trainer._loss(x, y).backward()
+            grads[scan] = {
+                name: p.grad for name, p in trainer.model.named_parameters()
+            }
+        assert grads["fused"].keys() == grads["unfused"].keys()
+        names = list(grads["fused"])
+        # The checked set really covers filters and crossbars.
+        assert any("log_r" in n for n in names)
+        assert any("log_c" in n for n in names)
+        assert any("theta" in n or "crossbar" in n for n in names)
+        for name in names:
+            g_fused, g_unfused = grads["fused"][name], grads["unfused"][name]
+            assert g_fused is not None and g_unfused is not None
+            assert float(np.max(np.abs(g_fused - g_unfused))) <= SCAN_GRAD_ATOL, (
+                f"gradient mismatch for {name} under mc_backend={mc_backend}"
+            )
+
+    def test_training_config_validates_scan_backend(self):
+        with pytest.raises(ValueError):
+            replace(TrainingConfig.ci(), scan_backend="magic")
+
+    def test_trainer_applies_config_backend_to_model(self):
+        trainer = _make_trainer(AdaptPNC, "batched", "unfused")
+        assert trainer.model.scan_backend == "unfused"
+
+    def test_fit_histories_identical(self, data):
+        """A short fit is step-for-step identical across scan backends."""
+        x, y = data
+        histories = {}
+        for scan in SCAN_BACKENDS:
+            model = AdaptPNC(3, rng=np.random.default_rng(0))
+            config = replace(
+                TrainingConfig.ci(), max_epochs=2, mc_samples=2, scan_backend=scan
+            )
+            trainer = Trainer(model, config, variation_aware=True, seed=0)
+            histories[scan] = trainer.fit(x, y, x, y)
+        np.testing.assert_allclose(
+            histories["fused"].train_loss,
+            histories["unfused"].train_loss,
+            atol=SCAN_EQUIVALENCE_ATOL,
+        )
+
+
+class TestEvaluationScanBackend:
+    def test_accuracy_samples_bit_equal_across_backends(self, rng, data):
+        x, y = data
+        model = AdaptPNC(3, rng=np.random.default_rng(1))
+        results = {
+            scan: evaluate_under_variation(
+                model, x, y, delta=0.1, mc_samples=5, seed=42, scan_backend=scan
+            )
+            for scan in SCAN_BACKENDS
+        }
+        np.testing.assert_array_equal(
+            results["fused"].samples, results["unfused"].samples
+        )
+
+    def test_backend_restored_after_evaluation(self, rng, data):
+        x, y = data
+        model = AdaptPNC(3, rng=np.random.default_rng(1))
+        assert model.scan_backend == "fused"
+        evaluate_under_variation(
+            model, x, y, mc_samples=2, seed=0, scan_backend="unfused"
+        )
+        assert model.scan_backend == "fused"
+
+    def test_none_keeps_current_backend(self, rng, data):
+        x, y = data
+        model = AdaptPNC(3, rng=np.random.default_rng(1))
+        model.set_scan_backend("unfused")
+        evaluate_under_variation(model, x, y, mc_samples=2, seed=0)
+        assert model.scan_backend == "unfused"
+
+    def test_elman_ignores_scan_backend(self, rng, data):
+        from repro.core import ElmanClassifier
+
+        x, y = data
+        model = ElmanClassifier(3, rng=rng)
+        result = evaluate_under_variation(
+            model, x, y, mc_samples=2, scan_backend="unfused"
+        )
+        assert len(result.samples) == 1

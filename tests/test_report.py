@@ -81,6 +81,79 @@ class TestRenderReport:
         assert out.read_text() == text
         assert "Table I" in text
 
+    def test_mc_counters_render_namespaced_backends(self, record):
+        record["mc_vectorization"] = {
+            "rows": [
+                {
+                    "draws": 8,
+                    "sequential_s": 0.4,
+                    "batched_s": 0.1,
+                    "speedup": 4.0,
+                    "batched_draws_per_sec": 80.0,
+                }
+            ],
+            "equivalent": True,
+            "max_abs_loss_delta": 1e-12,
+            "equivalence_atol": 1e-8,
+            "counters": {
+                "forward_seconds": 0.5,
+                "backward_seconds": 0.2,
+                "forward_calls": 6,
+                "draws": 48,
+                "draws_per_second": 96.0,
+                "by_backend": {"batched": 0.1, "sequential": 0.4},
+                "scan": {
+                    "fused": {"seconds": 0.05, "calls": 12},
+                    "unfused": {"seconds": 0.3, "calls": 12},
+                },
+            },
+        }
+        text = render_report(record)
+        assert "Monte-Carlo vectorization" in text
+        assert "by MC backend" in text and "sequential 0.40 s" in text
+        assert "Filter-scan wall-clock by kernel" in text
+        assert "fused 50.0 ms / 12 scans" in text
+
+    def test_filter_scan_section(self, record):
+        record["filter_scan"] = {
+            "solf": {
+                "seq_len": 64,
+                "batch": 32,
+                "draws": 8,
+                "num_filters": 8,
+                "fused_forward_s": 0.0013,
+                "fused_backward_s": 0.0017,
+                "fused_s": 0.0030,
+                "unfused_forward_s": 0.0046,
+                "unfused_backward_s": 0.0187,
+                "unfused_s": 0.0233,
+                "speedup": 7.7,
+                "loss_delta": 0.0,
+                "max_abs_grad_delta": 5e-19,
+            },
+            "equivalence_atol": 1e-10,
+            "grad_atol": 1e-8,
+            "equivalent": True,
+            "training": {
+                "epochs": 3,
+                "fused_epoch_s": 0.005,
+                "unfused_epoch_s": 0.012,
+                "epoch_speedup": 2.4,
+            },
+        }
+        text = render_report(record)
+        assert "Fused filter scan" in text
+        assert "7.70×" in text
+        assert "**equivalent**" in text
+        assert "Trainer.fit" in text and "2.40×" in text
+
+    def test_filter_scan_flags_divergence(self, record):
+        record["filter_scan"] = {
+            "solf": {"speedup": 1.0, "loss_delta": 1.0, "max_abs_grad_delta": 1.0},
+            "equivalent": False,
+        }
+        assert "NOT equivalent" in render_report(record)
+
     def test_renders_real_ci_results_if_present(self):
         import pathlib
 

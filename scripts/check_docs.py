@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Docs-consistency checker: generated blocks in the markdown docs.
+
+The user-facing docs quote CLI ``--help`` output, the
+:class:`~repro.core.TrainingConfig` field list, and the telemetry
+event-kind registry.  Quoted-by-hand copies drift the moment a flag is
+renamed, so those code blocks are *generated*: each one is fenced by
+
+.. code-block:: markdown
+
+    <!-- generated: cli-help runs -->
+    ```text
+    ...regenerated content...
+    ```
+    <!-- end generated -->
+
+and this script re-derives the content from the code (``argparse`` help
+with a pinned 80-column width, ``dataclasses.fields``,
+``repro.telemetry.EVENT_KINDS``) and diffs it against the docs.
+
+Usage::
+
+    python scripts/check_docs.py          # exit 1 + unified diff on drift
+    python scripts/check_docs.py --fix    # rewrite the blocks in place
+
+CI runs the check mode on every push (see ``.github/workflows/ci.yml``);
+``tests/test_docs_consistency.py`` runs it from pytest and demonstrates
+that a renamed CLI flag makes it fail.
+
+Block specs
+-----------
+``cli-help [subcommand...]``
+    ``python -m repro [subcommand ...] --help`` (80 columns).
+``training-config``
+    One ``name: type = default`` line per ``TrainingConfig`` field.
+``event-kinds``
+    The telemetry schema version and the event kinds the library emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import pathlib
+import re
+import sys
+from typing import Callable, Dict, List
+
+# Pin the help-text wrap width BEFORE argparse formats anything:
+# argparse sizes its HelpFormatter from shutil.get_terminal_size(),
+# which honours the COLUMNS environment variable.
+os.environ["COLUMNS"] = "80"
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Documents scanned for generated blocks (relative to the repo root).
+DOC_FILES = (
+    "README.md",
+    "docs/TUTORIAL.md",
+    "docs/OBSERVABILITY.md",
+)
+
+BLOCK_RE = re.compile(
+    r"<!-- generated: (?P<spec>[^>]+?) -->\n"
+    r"```text\n"
+    r"(?P<body>.*?)"
+    r"```\n"
+    r"<!-- end generated -->",
+    re.DOTALL,
+)
+
+
+def generate_cli_help(*subcommands: str) -> str:
+    """``python -m repro <subcommands...> --help``, deterministic width."""
+    from repro.cli import build_parser
+
+    parser: argparse.ArgumentParser = build_parser()
+    for name in subcommands:
+        subactions = [
+            a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+        ]
+        if not subactions or name not in subactions[0].choices:
+            raise KeyError(f"no such CLI subcommand: {' '.join(subcommands)}")
+        parser = subactions[0].choices[name]
+    return parser.format_help()
+
+
+def generate_training_config() -> str:
+    """One ``name: type = default`` line per ``TrainingConfig`` field."""
+    import dataclasses
+
+    from repro.core import TrainingConfig
+
+    lines = []
+    for f in dataclasses.fields(TrainingConfig):
+        type_name = f.type if isinstance(f.type, str) else f.type.__name__
+        lines.append(f"{f.name}: {type_name} = {f.default!r}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_event_kinds() -> str:
+    """Telemetry schema version + the event kinds the library emits."""
+    from repro.telemetry import EVENT_KINDS, SCHEMA_VERSION
+
+    lines = [f"schema version: {SCHEMA_VERSION}"]
+    lines += [f"- {kind}" for kind in EVENT_KINDS]
+    return "\n".join(lines) + "\n"
+
+
+GENERATORS: Dict[str, Callable[..., str]] = {
+    "cli-help": generate_cli_help,
+    "training-config": generate_training_config,
+    "event-kinds": generate_event_kinds,
+}
+
+
+def expected_body(spec: str) -> str:
+    """Regenerate the content a ``<!-- generated: spec -->`` block must hold."""
+    kind, *rest = spec.split()
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown generated-block kind {kind!r} "
+            f"(known: {', '.join(sorted(GENERATORS))})"
+        ) from None
+    return generator(*rest)
+
+
+def process_doc(path: pathlib.Path, fix: bool) -> List[str]:
+    """Check (or rewrite) one document; return drift descriptions."""
+    text = path.read_text(encoding="utf-8")
+    problems: List[str] = []
+
+    def replace(match: re.Match) -> str:
+        spec = match.group("spec").strip()
+        actual = match.group("body")
+        expected = expected_body(spec)
+        if actual != expected:
+            diff = difflib.unified_diff(
+                actual.splitlines(keepends=True),
+                expected.splitlines(keepends=True),
+                fromfile=f"{path}: {spec} (documented)",
+                tofile=f"{path}: {spec} (from code)",
+            )
+            problems.append("".join(diff))
+        return (
+            f"<!-- generated: {spec} -->\n```text\n{expected}```\n<!-- end generated -->"
+        )
+
+    fixed = BLOCK_RE.sub(replace, text)
+    if fix and fixed != text:
+        path.write_text(fixed, encoding="utf-8")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--fix", action="store_true", help="rewrite drifted blocks in place"
+    )
+    cli.add_argument(
+        "docs",
+        nargs="*",
+        default=None,
+        help=f"documents to check (default: {' '.join(DOC_FILES)})",
+    )
+    args = cli.parse_args(argv)
+
+    doc_paths = [pathlib.Path(d) for d in args.docs] if args.docs else [
+        REPO_ROOT / name for name in DOC_FILES
+    ]
+
+    missing = [path for path in doc_paths if not path.exists()]
+    for path in missing:
+        print(f"check_docs: {path}: document not found")
+    if missing:
+        return 1
+
+    n_blocks = 0
+    problems: List[str] = []
+    for path in doc_paths:
+        n_blocks += len(BLOCK_RE.findall(path.read_text(encoding="utf-8")))
+        problems.extend(process_doc(path, fix=args.fix))
+
+    if n_blocks == 0:
+        print("check_docs: no generated blocks found — markers broken?")
+        return 1
+    if problems:
+        verb = "rewrote" if args.fix else "found"
+        for problem in problems:
+            sys.stdout.write(problem + "\n")
+        print(f"check_docs: {verb} {len(problems)} drifted block(s) of {n_blocks}")
+        return 0 if args.fix else 1
+    print(f"check_docs: {n_blocks} generated block(s) match the code")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

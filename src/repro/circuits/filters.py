@@ -45,7 +45,9 @@ The time-unrolled recurrence is evaluated by one of two backends:
 Both perform identical per-element arithmetic, so forward values are
 bit-equal and gradients agree to floating-point accumulation order.
 Per-backend wall-clock is recorded in
-:data:`repro.utils.timing.mc_counters`.
+:data:`repro.utils.timing.mc_counters` and, while a
+:class:`repro.telemetry.Run` is active, aggregated as
+``scan.<backend>`` spans in the run's telemetry.
 """
 
 from __future__ import annotations
@@ -56,6 +58,7 @@ import numpy as np
 
 from ..autograd import Tensor, filter_scan, stack
 from ..nn.module import Module, Parameter
+from ..telemetry import record_span
 from ..utils.timing import Stopwatch, mc_counters
 from .pdk import DEFAULT_PDK, PrintedPDK
 from .variation import VariationSampler, ideal_sampler
@@ -205,6 +208,7 @@ def _run_recurrence(
         else:
             out = _unfused_recurrence(x, a, b, v0)
     mc_counters.record_scan(sw.elapsed, backend)
+    record_span(f"scan.{backend}", sw.elapsed)
     return out
 
 

@@ -25,11 +25,14 @@ sampled ε/μ/V₀ values are bit-identical between the two paths.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..telemetry import record_span
 
 __all__ = [
     "VariationModel",
@@ -180,11 +183,14 @@ class VariationSampler:
         """
         if draws < 1:
             raise ValueError("draws must be >= 1")
+        start = time.perf_counter()
         try:
-            return list(self.rng.spawn(draws))
+            streams = list(self.rng.spawn(draws))
         except AttributeError:  # numpy < 1.25 fallback
             seeds = self.rng.integers(0, 2**63 - 1, size=draws)
-            return [np.random.default_rng(int(s)) for s in seeds]
+            streams = [np.random.default_rng(int(s)) for s in seeds]
+        record_span("sampler.spawn", time.perf_counter() - start)
+        return streams
 
     @contextmanager
     def batched(self, draws: int) -> Iterator["VariationSampler"]:
@@ -211,9 +217,13 @@ class VariationSampler:
         inside a :meth:`batched` context.
         """
         shape = tuple(shape)
+        start = time.perf_counter()
         if self._draw_streams is not None:
-            return self._per_draw(lambda rng: self.model.sample(shape, rng))
-        return self.model.sample(shape, self.rng)
+            out = self._per_draw(lambda rng: self.model.sample(shape, rng))
+        else:
+            out = self.model.sample(shape, self.rng)
+        record_span("sampler.draw", time.perf_counter() - start)
+        return out
 
     def mu(self, shape: Sequence[int]) -> np.ndarray:
         """Draw coupling factors μ ∈ [mu_low, mu_high] (batched-aware)."""

@@ -11,6 +11,8 @@ Subcommands
   node-per-step oracle (SO-LF forward+backward and end-to-end epoch
   wall-clock) and verify loss/gradient equivalence;
 * ``report`` — render a saved ``results.json`` as markdown;
+* ``runs`` — inspect telemetry run directories written by
+  :class:`repro.telemetry.Run` (``list`` / ``show`` / ``tail``);
 * ``export`` — train a model on a dataset and write its compiled
   netlist as a SPICE file;
 * ``tune`` — tune augmentation hyper-parameters for one dataset.
@@ -82,6 +84,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(text)
     else:
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import is_run_dir, list_runs, tail_events
+
+    if args.runs_command == "list":
+        summaries = list_runs(args.root)
+        if not summaries:
+            print(f"no runs under {args.root}")
+            return 0
+        from .utils import render_table
+
+        rows = [
+            [
+                s.run_id,
+                s.status,
+                s.created_iso,
+                str(s.epochs),
+                "-" if s.last_val_loss is None else f"{s.last_val_loss:.4g}",
+                str(s.events),
+            ]
+            for s in summaries
+        ]
+        print(
+            render_table(
+                ["Run", "Status", "Created", "Epochs", "Val loss", "Events"], rows
+            )
+        )
+        return 0
+
+    if not is_run_dir(args.run_dir):
+        print(f"{args.run_dir} is not a run directory (no run.json manifest)")
+        return 1
+
+    if args.runs_command == "show":
+        from .report import render_run
+
+        print(render_run(args.run_dir))
+        return 0
+
+    # tail: last N raw events as JSON lines.
+    for event in tail_events(args.run_dir, n=args.n):
+        print(json.dumps(event, sort_keys=True))
     return 0
 
 
@@ -195,6 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("results", help="path to results.json")
     p.add_argument("--output", default=None, help="write markdown here (stdout otherwise)")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("runs", help="inspect telemetry run directories")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    rp = runs_sub.add_parser("list", help="list runs under a root directory")
+    rp.add_argument("--root", default="runs", help="directory holding run directories")
+    rp.set_defaults(func=_cmd_runs)
+    rp = runs_sub.add_parser("show", help="render one run as a markdown summary")
+    rp.add_argument("run_dir", help="path to a run directory")
+    rp.set_defaults(func=_cmd_runs)
+    rp = runs_sub.add_parser("tail", help="print the last N events of a run")
+    rp.add_argument("run_dir", help="path to a run directory")
+    rp.add_argument("-n", type=int, default=10, help="number of events")
+    rp.set_defaults(func=_cmd_runs)
 
     p = sub.add_parser("export", help="train + compile a model to a SPICE netlist")
     p.add_argument("dataset")

@@ -40,6 +40,7 @@ from .search import ArchitectureResult, architecture_space, search_architecture
 from .streaming import StreamingClassifier
 from .tpb import PrintedTemporalProcessingBlock
 from .training import (
+    CHECKPOINT_FILENAME,
     MC_BACKENDS,
     SCAN_BACKENDS,
     Trainer,
@@ -84,6 +85,7 @@ __all__ = [
     "CalibrationResult",
     "MC_BACKENDS",
     "SCAN_BACKENDS",
+    "CHECKPOINT_FILENAME",
     "mc_cross_entropy",
     "run_mc_benchmark",
     "format_mc_benchmark",

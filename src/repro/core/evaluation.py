@@ -16,6 +16,12 @@ Deterministic fast path: when no variation is requested
 (``mc_samples=0``, ``delta=0`` or a zero-spread variation model) the
 model is evaluated exactly once under the ideal sampler instead of
 re-entering the variation context per sample.
+
+Telemetry: when a :class:`repro.telemetry.Run` is active, each
+:func:`evaluate_under_variation` / :func:`evaluate_under_model` call
+emits one ``evaluation`` event (accuracy mean/std, draw count, backend,
+wall-clock) and the MC forwards are timed as ``evaluation`` spans.
+With no active run every hook is a single ``None``-check no-op.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from ..circuits import (
 )
 from ..nn.module import Module
 from ..utils.timing import Stopwatch, mc_counters
+from .. import telemetry
 
 __all__ = [
     "accuracy",
@@ -111,7 +118,7 @@ def _mc_accuracy_samples(
     them in one ``(draws, batch, ...)`` forward.
     """
     if vectorized:
-        with Stopwatch() as sw:
+        with Stopwatch() as sw, telemetry.span("evaluation"):
             with no_grad(), sampler.batched(mc_samples):
                 logits = model(x)  # (draws, batch, classes)
         mc_counters.record_forward(sw.elapsed, mc_samples, backend="batched")
@@ -120,7 +127,7 @@ def _mc_accuracy_samples(
     streams = sampler.spawn_streams(mc_samples)
     parent = sampler.rng
     accs: List[float] = []
-    with Stopwatch() as sw:
+    with Stopwatch() as sw, telemetry.span("evaluation"):
         try:
             for stream in streams:
                 sampler.rng = stream
@@ -129,6 +136,33 @@ def _mc_accuracy_samples(
             sampler.rng = parent
     mc_counters.record_forward(sw.elapsed, mc_samples, backend="sequential")
     return np.array(accs)
+
+
+def _emit_evaluation(
+    model: Module,
+    result: EvaluationResult,
+    *,
+    variation: str,
+    mc_samples: int,
+    vectorized: bool,
+    elapsed: float,
+) -> EvaluationResult:
+    """Emit one ``evaluation`` telemetry event describing ``result``.
+
+    A no-op (single ``None``-check) when no run is active; returns
+    ``result`` unchanged so callers can emit-and-return in one line.
+    """
+    telemetry.emit(
+        "evaluation",
+        model=type(model).__name__,
+        variation=variation,
+        mc_samples=mc_samples,
+        backend="batched" if vectorized else "sequential",
+        accuracy_mean=result.mean,
+        accuracy_std=result.std,
+        elapsed_s=elapsed,
+    )
+    return result
 
 
 def _evaluate_with_sampler(
@@ -180,15 +214,26 @@ def evaluate_under_variation(
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    with _scan_backend(model, scan_backend):
+    with Stopwatch() as sw, _scan_backend(model, scan_backend):
         if mc_samples == 0 or delta == 0.0:
             # Deterministic fast path: no variation context is entered at
             # all — one nominal forward under the ideal sampler.
-            return _deterministic_result(model, x, y)
-        sampler = VariationSampler(
-            model=UniformVariation(delta), rng=np.random.default_rng(seed)
-        )
-        return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+            result = _deterministic_result(model, x, y)
+            draws = 0
+        else:
+            sampler = VariationSampler(
+                model=UniformVariation(delta), rng=np.random.default_rng(seed)
+            )
+            result = _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+            draws = mc_samples
+    return _emit_evaluation(
+        model,
+        result,
+        variation=f"uniform(delta={delta})" if draws else "none",
+        mc_samples=draws,
+        vectorized=vectorized,
+        elapsed=sw.elapsed,
+    )
 
 
 def evaluate_under_model(
@@ -217,11 +262,22 @@ def evaluate_under_model(
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    with _scan_backend(model, scan_backend):
+    with Stopwatch() as sw, _scan_backend(model, scan_backend):
         if mc_samples == 0 or isinstance(variation, NoVariation):
-            return _deterministic_result(model, x, y)
-        sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
-        return _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+            result = _deterministic_result(model, x, y)
+            draws = 0
+        else:
+            sampler = VariationSampler(model=variation, rng=np.random.default_rng(seed))
+            result = _evaluate_with_sampler(model, x, y, sampler, mc_samples, vectorized)
+            draws = mc_samples
+    return _emit_evaluation(
+        model,
+        result,
+        variation=type(variation).__name__ if draws else "none",
+        mc_samples=draws,
+        vectorized=vectorized,
+        elapsed=sw.elapsed,
+    )
 
 
 def select_top_k(

@@ -15,6 +15,11 @@ Entry points (one per artefact):
 Every function takes an :class:`ExperimentConfig`; ``paper()`` matches
 the published protocol, ``ci()`` and ``smoke()`` shrink seeds / epochs /
 datasets while exercising the identical code path.
+
+When executed inside a :class:`repro.telemetry.Run`, the harness emits
+one ``experiment`` event per table/figure cell as it is produced, so a
+long regeneration can be watched live with ``python -m repro runs tail``
+and post-mortemed from ``events.jsonl``.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import numpy as np
 from ..augment import AugmentationConfig, default_config, perturb
 from ..data import DATASET_INFO, dataset_names, load_dataset
 from ..utils.timing import time_callable
+from .. import telemetry
 from .evaluation import accuracy, evaluate_under_variation, select_top_k
 from .models import AdaptPNC, ElmanClassifier, PTPNC
 from .training import Trainer, TrainingConfig
@@ -136,7 +142,15 @@ def _train_one(
         augmentation=augmentation,
         seed=seed,
     )
-    trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+    # checkpoint_every=0: many fits share one experiment run — the
+    # single default checkpoint slot would just be overwritten.
+    trainer.fit(
+        dataset.x_train,
+        dataset.y_train,
+        dataset.x_val,
+        dataset.y_val,
+        checkpoint_every=0,
+    )
     if hasattr(model, "set_sampler"):
         from ..circuits import ideal_sampler
 
@@ -206,6 +220,15 @@ def run_table1(
             table[name][kind] = ModelResult(
                 mean=float(np.mean(robust)), std=float(np.std(robust))
             )
+            telemetry.emit(
+                "experiment",
+                artefact="table1",
+                dataset=name,
+                model=kind,
+                robust_mean=table[name][kind].mean,
+                robust_std=table[name][kind].std,
+                n_seeds=len(config.seeds),
+            )
             if verbose:
                 print(f"{name:<10} {kind:<6} {table[name][kind]}")
 
@@ -264,7 +287,17 @@ def run_table2(
             seed=0,
         )
         timings[kind] = time_callable(
-            lambda t=trainer, d=dataset: t.fit(d.x_train, d.y_train, d.x_val, d.y_val),
+            lambda t=trainer, d=dataset: t.fit(
+                d.x_train, d.y_train, d.x_val, d.y_val, checkpoint_every=0
+            ),
+            repeats=repeats,
+        )
+        telemetry.emit(
+            "experiment",
+            artefact="table2",
+            dataset=dataset_name,
+            model=kind,
+            seconds_per_step=timings[kind],
             repeats=repeats,
         )
     return timings
@@ -409,6 +442,15 @@ def run_fig7_ablation(
                 )
             per_config[cfg_name]["clean"].extend(accs_clean)
             per_config[cfg_name]["perturbed"].extend(accs_pert)
+            telemetry.emit(
+                "experiment",
+                artefact="fig7",
+                dataset=name,
+                ablation=cfg_name,
+                clean_mean=float(np.mean(accs_clean)),
+                perturbed_mean=float(np.mean(accs_pert)),
+                n_seeds=len(config.seeds),
+            )
             if verbose:
                 print(
                     f"{name:<10} {cfg_name:<9} clean {np.mean(accs_clean):.3f} "

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..utils.timing import Stopwatch, mc_counters
+from .. import telemetry
 from .models import AdaptPNC
 from .training import Trainer, TrainingConfig
 
@@ -135,7 +136,7 @@ def run_mc_benchmark(
                 "loss_delta": delta,
             }
         )
-    return {
+    record = {
         "rows": rows,
         "max_abs_loss_delta": max_delta,
         "equivalence_atol": EQUIVALENCE_ATOL,
@@ -146,6 +147,13 @@ def run_mc_benchmark(
         "scan_backend": scan_backend,
         "counters": mc_counters.snapshot(),
     }
+    # Benchmarks and training share one instrumentation sink: the same
+    # mc_counters gauge feeds the record above and, when a telemetry
+    # run is active, a structured ``gauges`` event in events.jsonl.
+    telemetry.emit(
+        "gauges", source="mc-bench", gauges=telemetry.gauges.snapshot()
+    )
+    return record
 
 
 def format_mc_benchmark(record: Dict) -> str:

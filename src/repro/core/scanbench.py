@@ -35,6 +35,7 @@ from ..circuits import (
     VariationSampler,
 )
 from ..utils.timing import Stopwatch
+from .. import telemetry
 from .models import AdaptPNC
 from .training import Trainer, TrainingConfig
 
@@ -175,7 +176,7 @@ def _bench_training(
         )
         trainer = Trainer(model, config, variation_aware=True, seed=seed)
         start = time.perf_counter()
-        history = trainer.fit(x_train, y_train, x_val, y_val)
+        history = trainer.fit(x_train, y_train, x_val, y_val, checkpoint_every=0)
         elapsed = time.perf_counter() - start
         out[backend] = {
             "total_s": elapsed,
@@ -232,6 +233,11 @@ def run_scan_benchmark(
         record["training"] = _bench_training(
             train_epochs, train_samples, train_seq_len, n_classes, seed
         )
+    # Same shared sink as mc-bench: the scan gauge inside mc_counters
+    # doubles as a telemetry gauge, snapshotted into the event stream.
+    telemetry.emit(
+        "gauges", source="scan-bench", gauges=telemetry.gauges.snapshot()
+    )
     return record
 
 

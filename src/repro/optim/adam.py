@@ -63,6 +63,35 @@ class Adam(Optimizer):
                 p.data = p.data - self.lr * self.weight_decay * p.data
             p.data = p.data - self.lr * update
 
+    def state_dict(self) -> dict:
+        """Serialisable snapshot: lr, step count and first/second moments.
+
+        Restoring via :meth:`load_state_dict` makes the next
+        :meth:`step` bit-identical to an uninterrupted run — the basis
+        of the trainer's checkpoint/resume guarantee.
+        """
+        state = super().state_dict()
+        state.update(
+            {
+                "t": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v],
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact)."""
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self.params) or len(state["v"]) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(state['m'])} moment arrays for "
+                f"{len(self.params)} parameters"
+            )
+        self._t = int(state["t"])
+        self._m = [np.asarray(m, dtype=np.float64).copy() for m in state["m"]]
+        self._v = [np.asarray(v, dtype=np.float64).copy() for v in state["v"]]
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2017).

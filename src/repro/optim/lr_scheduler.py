@@ -67,6 +67,15 @@ class ReduceLROnPlateau:
         """True once the LR has decayed below ``min_lr`` (paper's stop rule)."""
         return self.optimizer.lr < self.min_lr
 
+    def state_dict(self) -> dict:
+        """Serialisable snapshot of the plateau tracker (for checkpoints)."""
+        return {"best": self.best, "num_bad_epochs": self.num_bad_epochs}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact)."""
+        self.best = float(state["best"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])
+
 
 class StepLR:
     """Decay the LR by ``gamma`` every ``step_size`` epochs."""

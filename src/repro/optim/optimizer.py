@@ -32,3 +32,18 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update; must be overridden."""
         raise NotImplementedError
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialisable snapshot of optimiser state (for checkpoints).
+
+        The base class records the learning rate only; subclasses with
+        per-parameter state (momenta etc.) extend the dict.  Array
+        values are copied, so later steps cannot mutate a snapshot.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact)."""
+        self.lr = float(state["lr"])

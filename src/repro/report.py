@@ -4,15 +4,21 @@
 this module renders it as a self-contained markdown report (the format
 of EXPERIMENTS.md), so paper-vs-measured summaries regenerate from the
 recorded numbers rather than being hand-maintained.
+
+:func:`render_run` does the same for telemetry run directories
+(:class:`repro.telemetry.Run`): it reads ``run.json`` + ``events.jsonl``
+and renders the per-epoch loss/LR trajectory as sparkline tables, the
+span wall-clock breakdown and the final gauge snapshot — the backend of
+``python -m repro runs show``.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-__all__ = ["render_report", "render_report_file"]
+__all__ = ["render_report", "render_report_file", "render_run", "sparkline"]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -264,3 +270,167 @@ def render_report_file(results_json: PathLike, output_md: PathLike | None = None
     if output_md is not None:
         pathlib.Path(output_md).write_text(text)
     return text
+
+
+# -- telemetry run rendering ------------------------------------------------
+
+#: Eight-level unicode block ramp used by :func:`sparkline`.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-``width`` unicode sparkline.
+
+    Longer series are downsampled by striding; constant (or single
+    -point) series render as a flat baseline.  Non-finite values map to
+    the baseline block so a diverging run stays renderable.
+    """
+    import math
+
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return SPARK_BLOCKS[0] * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append(SPARK_BLOCKS[0])
+            continue
+        idx = int((v - lo) / span * (len(SPARK_BLOCKS) - 1))
+        out.append(SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def _epoch_series_section(epochs: List[Dict]) -> List[str]:
+    """Sparkline table over the per-epoch telemetry records."""
+    if not epochs:
+        return ["*(no epoch events recorded)*", ""]
+    series = {
+        "train loss": [e["train_loss"] for e in epochs],
+        "val loss": [e["val_loss"] for e in epochs],
+        "learning rate": [e["lr"] for e in epochs],
+    }
+    if any("mc_loss_std" in e for e in epochs):
+        series["MC loss σ"] = [e.get("mc_loss_std", 0.0) for e in epochs]
+    lines = [
+        "| Series | First | Last | Min | Trajectory |",
+        "|---|---|---|---|---|",
+    ]
+    for label, vals in series.items():
+        lines.append(
+            f"| {label} | {vals[0]:.4g} | {vals[-1]:.4g} | "
+            f"{min(vals):.4g} | `{sparkline(vals)}` |"
+        )
+    last = epochs[-1]
+    lines += [
+        "",
+        f"{len(epochs)} epochs recorded; best val loss "
+        f"{last.get('best_val_loss', float('nan')):.4g} at epoch "
+        f"{last.get('best_epoch', '?')}; mean epoch wall-clock "
+        f"{sum(e.get('epoch_s', 0.0) for e in epochs) / len(epochs) * 1e3:.1f} ms.",
+        "",
+    ]
+    return lines
+
+
+def _span_section(run_end: Optional[Dict]) -> List[str]:
+    """Span wall-clock and gauge tables from the ``run_end`` event."""
+    if not run_end:
+        return []
+    lines: List[str] = []
+    spans = run_end.get("span_totals") or {}
+    if spans:
+        lines += [
+            "## Span wall-clock",
+            "",
+            "| Span | Total | Calls |",
+            "|---|---|---|",
+        ]
+        for name, entry in sorted(spans.items()):
+            lines.append(
+                f"| `{name}` | {entry['seconds']*1e3:.1f} ms | {entry['calls']:.0f} |"
+            )
+        lines.append("")
+    gauges = run_end.get("gauges") or {}
+    mc = gauges.get("mc")
+    if mc:
+        lines += [
+            "## Monte-Carlo counters",
+            "",
+            f"* forwards: {mc.get('forward_calls', 0):.0f} "
+            f"({mc.get('forward_seconds', 0.0):.2f} s, "
+            f"{mc.get('draws', 0):.0f} draws, "
+            f"{mc.get('draws_per_second', 0.0):.1f} draws/s)",
+            f"* backwards: {mc.get('backward_calls', 0):.0f} "
+            f"({mc.get('backward_seconds', 0.0):.2f} s)",
+            "",
+        ]
+    return lines
+
+
+def render_run(run_dir: PathLike) -> str:
+    """Render one telemetry run directory as a markdown report.
+
+    Reads the manifest (``run.json``) and event stream
+    (``events.jsonl``) written by :class:`repro.telemetry.Run` and
+    produces the per-epoch sparkline table, evaluation summaries, span
+    wall-clock breakdown and Monte-Carlo counters.
+    """
+    from .telemetry import iter_events, load_manifest
+
+    run_dir = pathlib.Path(run_dir)
+    manifest = load_manifest(run_dir)
+    events = list(iter_events(run_dir / "events.jsonl"))
+    epochs = sorted(
+        (e for e in events if e["kind"] == "epoch"), key=lambda e: e["epoch"]
+    )
+    evaluations = [e for e in events if e["kind"] == "evaluation"]
+    run_end = next((e for e in events if e["kind"] == "run_end"), None)
+
+    lines = [
+        f"# Run `{manifest.get('run_id', run_dir.name)}`",
+        "",
+        f"* status: **{manifest.get('status', '?')}**",
+        f"* created: {manifest.get('created_iso', '?')}",
+        f"* git: `{manifest.get('git_sha') or 'unknown'}`",
+        f"* seed: {manifest.get('seed')}; dataset: {manifest.get('dataset')}",
+    ]
+    model = manifest.get("model")
+    if model:
+        backends = manifest.get("backends") or {}
+        lines.append(
+            f"* model: {model} (variation_aware={manifest.get('variation_aware')}, "
+            f"mc={backends.get('mc_backend', '?')}, "
+            f"scan={backends.get('scan_backend', '?')})"
+        )
+    if manifest.get("checkpoint"):
+        lines.append(f"* checkpoint: `{manifest['checkpoint']}`")
+    lines += ["", "## Training", ""]
+    lines += _epoch_series_section(epochs)
+    if evaluations:
+        lines += [
+            "## Evaluations",
+            "",
+            "| Model | Variation | Draws | Accuracy | Wall-clock |",
+            "|---|---|---|---|---|",
+        ]
+        for ev in evaluations:
+            lines.append(
+                f"| {ev.get('model', '?')} | {ev.get('variation', '?')} | "
+                f"{ev.get('mc_samples', 0)} | "
+                f"{ev.get('accuracy_mean', float('nan')):.3f} ± "
+                f"{ev.get('accuracy_std', float('nan')):.3f} | "
+                f"{ev.get('elapsed_s', 0.0)*1e3:.1f} ms |"
+            )
+        lines.append("")
+    lines += _span_section(run_end)
+    return "\n".join(lines)

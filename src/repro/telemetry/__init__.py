@@ -1,0 +1,79 @@
+"""Structured run telemetry: manifests, event streams, spans, gauges.
+
+The observability layer of the training/benchmark stack (see
+``docs/OBSERVABILITY.md`` for the full schema and worked examples).
+One :class:`Run` context manager owns a run directory containing a
+``run.json`` manifest (schema version, git SHA, seed, training config,
+backend switches) and an append-only, monotonic-clock ``events.jsonl``
+stream.  Instrumented code — :meth:`repro.core.Trainer.fit`, the
+``evaluate_under_*`` harness, the filter-scan kernel, the variation
+sampler — emits through the module-level hooks, which are strict
+no-ops when no run is active::
+
+    from repro.telemetry import Run
+
+    with Run(root="runs", name="powercons", seed=0) as run:
+        trainer.fit(x_tr, y_tr, x_va, y_va)          # emits epoch events
+    # runs/<id>/run.json + events.jsonl now exist
+
+    # python -m repro runs list / show / tail renders them back.
+
+Three instrument kinds, one sink:
+
+* **events** (:func:`emit`) — discrete JSONL records (per-epoch
+  losses, evaluations, checkpoints);
+* **spans** (:func:`span` / :func:`record_span`) — wall-clock of named
+  code regions, aggregated into the manifest's ``span_totals``;
+* **gauges** (:data:`gauges`) — process-wide aggregate counters
+  (Monte-Carlo draws/sec, per-backend scan seconds) registered once
+  and snapshotted into every run at close.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    SCHEMA_VERSION,
+    encode_event,
+    iter_events,
+    read_events,
+    validate_event,
+)
+from .gauges import Gauge, GaugeRegistry, gauges
+from .run import Run, active_run, emit, git_sha, record_span, span
+from .runs import (
+    RunSummary,
+    is_run_dir,
+    list_runs,
+    load_epochs,
+    load_manifest,
+    summarize_run,
+    tail_events,
+)
+
+__all__ = [
+    "Run",
+    "active_run",
+    "emit",
+    "span",
+    "record_span",
+    "git_sha",
+    "Gauge",
+    "GaugeRegistry",
+    "gauges",
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "EVENTS_FILENAME",
+    "MANIFEST_FILENAME",
+    "encode_event",
+    "iter_events",
+    "read_events",
+    "validate_event",
+    "RunSummary",
+    "is_run_dir",
+    "list_runs",
+    "load_epochs",
+    "load_manifest",
+    "summarize_run",
+    "tail_events",
+]

@@ -1,0 +1,122 @@
+"""Gauges — named, always-on aggregate counters with one shared sink.
+
+A :class:`Gauge` accumulates per-key wall-clock/count/quantity totals
+(e.g. seconds per scan backend).  The process-wide
+:data:`gauge registry <gauges>` is the single sink every instrumented
+subsystem registers its snapshot into: the Monte-Carlo counters of
+:mod:`repro.utils.timing` register as ``"mc"``, and every
+:class:`~repro.telemetry.run.Run` flushes the full registry snapshot
+into its manifest and final ``run_end`` event, so training, the
+``mc-bench``/``scan-bench`` harnesses and ``repro.report`` all read the
+same numbers instead of maintaining parallel counter dicts.
+
+Gauges are deliberately cheap (plain dict updates, no clocks, no I/O)
+and active whether or not a :class:`~repro.telemetry.run.Run` is open —
+they aggregate; the run merely snapshots them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["Gauge", "GaugeRegistry", "gauges"]
+
+
+class Gauge:
+    """Accumulates ``(seconds, calls, quantity)`` totals per string key.
+
+    ``quantity`` is an optional per-record payload count (e.g. Monte-
+    Carlo draws covered by one timed forward); it defaults to 0 so pure
+    timing gauges stay two-column.
+    """
+
+    __slots__ = ("_seconds", "_calls", "_quantity")
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._quantity: Dict[str, int] = {}
+
+    def add(self, key: str, seconds: float, quantity: int = 0) -> None:
+        """Record one observation under ``key``."""
+        self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+        self._calls[key] = self._calls.get(key, 0) + 1
+        if quantity:
+            self._quantity[key] = self._quantity.get(key, 0) + int(quantity)
+
+    def seconds(self, key: str) -> float:
+        """Total seconds recorded under ``key`` (0.0 if never seen)."""
+        return self._seconds.get(key, 0.0)
+
+    def calls(self, key: str) -> int:
+        """Number of observations recorded under ``key``."""
+        return self._calls.get(key, 0)
+
+    def quantity(self, key: str) -> int:
+        """Total quantity recorded under ``key``."""
+        return self._quantity.get(key, 0)
+
+    def total_seconds(self) -> float:
+        """Seconds summed over every key."""
+        return sum(self._seconds.values())
+
+    def total_calls(self) -> int:
+        """Calls summed over every key."""
+        return sum(self._calls.values())
+
+    def total_quantity(self) -> int:
+        """Quantity summed over every key."""
+        return sum(self._quantity.values())
+
+    def reset(self) -> None:
+        """Zero every key."""
+        self._seconds.clear()
+        self._calls.clear()
+        self._quantity.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-serialisable ``{key: {seconds, calls[, quantity]}}`` view."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, seconds in self._seconds.items():
+            entry: Dict[str, float] = {
+                "seconds": seconds,
+                "calls": float(self._calls.get(key, 0)),
+            }
+            if key in self._quantity:
+                entry["quantity"] = float(self._quantity[key])
+            out[key] = entry
+        return out
+
+
+class GaugeRegistry:
+    """Named snapshot providers — the process-wide telemetry sink.
+
+    Subsystems register a zero-argument callable returning a
+    JSON-serialisable snapshot; :meth:`snapshot` collects all of them.
+    Registration is idempotent by name (re-registering replaces).
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Callable[[], Dict]] = {}
+
+    def register(self, name: str, provider: Callable[[], Dict]) -> None:
+        """Install (or replace) the snapshot provider for ``name``."""
+        if not callable(provider):
+            raise TypeError("gauge provider must be callable")
+        self._providers[name] = provider
+
+    def unregister(self, name: str) -> None:
+        """Remove a provider; unknown names are ignored."""
+        self._providers.pop(name, None)
+
+    def names(self) -> list:
+        """Registered provider names, sorted."""
+        return sorted(self._providers)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Collect every registered provider's snapshot."""
+        return {name: provider() for name, provider in sorted(self._providers.items())}
+
+
+#: Process-wide gauge registry (the shared sink).
+gauges = GaugeRegistry()

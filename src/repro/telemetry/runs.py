@@ -1,0 +1,109 @@
+"""Reading saved runs back: discovery, summaries, history reconstruction.
+
+The write side lives in :mod:`repro.telemetry.run`; this module is the
+read side used by ``python -m repro runs list/show/tail`` and by
+:func:`repro.report.render_run`.  Everything here works on plain run
+directories — no live :class:`~repro.telemetry.run.Run` required.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from .events import EVENTS_FILENAME, MANIFEST_FILENAME, read_events
+
+__all__ = ["RunSummary", "is_run_dir", "load_manifest", "list_runs", "load_epochs", "tail_events"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One row of ``python -m repro runs list``."""
+
+    dir: pathlib.Path
+    run_id: str
+    status: str
+    created_iso: str
+    epochs: int
+    last_train_loss: Optional[float]
+    last_val_loss: Optional[float]
+    events: int
+
+
+def is_run_dir(path: PathLike) -> bool:
+    """Whether ``path`` holds a telemetry run (has a ``run.json``)."""
+    return (pathlib.Path(path) / MANIFEST_FILENAME).is_file()
+
+
+def load_manifest(run_dir: PathLike) -> Dict:
+    """Load and return a run directory's ``run.json``."""
+    path = pathlib.Path(run_dir) / MANIFEST_FILENAME
+    if not path.is_file():
+        raise FileNotFoundError(f"{run_dir} is not a run directory (no {MANIFEST_FILENAME})")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def load_epochs(run_dir: PathLike) -> List[Dict]:
+    """The per-epoch records of a run, ordered by epoch index."""
+    events_path = pathlib.Path(run_dir) / EVENTS_FILENAME
+    if not events_path.is_file():
+        return []
+    epochs = read_events(events_path, kind="epoch")
+    return sorted(epochs, key=lambda e: e.get("epoch", 0))
+
+
+def tail_events(run_dir: PathLike, n: int = 10) -> List[Dict]:
+    """The last ``n`` events of a run's stream (oldest first)."""
+    events_path = pathlib.Path(run_dir) / EVENTS_FILENAME
+    if not events_path.is_file():
+        return []
+    events = read_events(events_path)
+    return events[-n:] if n > 0 else []
+
+
+def summarize_run(run_dir: PathLike) -> RunSummary:
+    """Build the list-row summary for one run directory."""
+    run_dir = pathlib.Path(run_dir)
+    manifest = load_manifest(run_dir)
+    epochs = load_epochs(run_dir)
+    last = epochs[-1] if epochs else {}
+    return RunSummary(
+        dir=run_dir,
+        run_id=str(manifest.get("run_id", run_dir.name)),
+        status=str(manifest.get("status", "?")),
+        created_iso=str(manifest.get("created_iso", "?")),
+        epochs=len(epochs),
+        last_train_loss=last.get("train_loss"),
+        last_val_loss=last.get("val_loss"),
+        events=int(manifest.get("events", 0)) or _count_events(run_dir),
+    )
+
+
+def _count_events(run_dir: pathlib.Path) -> int:
+    events_path = run_dir / EVENTS_FILENAME
+    if not events_path.is_file():
+        return 0
+    return sum(1 for line in events_path.read_text(encoding="utf-8").splitlines() if line.strip())
+
+
+def list_runs(root: PathLike = "runs") -> List[RunSummary]:
+    """Summaries of every run directory under ``root``, newest first.
+
+    ``root`` itself may be a run directory; otherwise its immediate
+    children are scanned.  Missing roots yield an empty list.
+    """
+    root = pathlib.Path(root)
+    if is_run_dir(root):
+        return [summarize_run(root)]
+    if not root.is_dir():
+        return []
+    summaries = [summarize_run(child) for child in sorted(root.iterdir()) if is_run_dir(child)]
+    summaries.sort(key=lambda s: s.created_iso, reverse=True)
+    return summaries
+
+
+__all__.append("summarize_run")

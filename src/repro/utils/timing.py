@@ -1,13 +1,23 @@
 """Wall-clock timing helpers for the runtime comparison (Table II)
-and lightweight Monte-Carlo instrumentation (draws/sec, forward vs
-backward wall-clock, per-backend filter-scan timings) used by the
-vectorized variation engine and the fused filter-scan kernel."""
+and the Monte-Carlo instrumentation (draws/sec, forward vs backward
+wall-clock, per-backend filter-scan timings) used by the vectorized
+variation engine and the fused filter-scan kernel.
+
+Since the telemetry layer landed, :class:`MCCounters` is a thin facade
+over :class:`repro.telemetry.Gauge` accumulators, and the process-wide
+instance registers itself in the shared
+:data:`repro.telemetry.gauges` registry under the ``"mc"`` name — so
+training, ``mc-bench``/``scan-bench`` and every active
+:class:`repro.telemetry.Run` read one sink instead of maintaining
+parallel counter dicts.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Dict
+
+from ..telemetry.gauges import Gauge, gauges
 
 __all__ = ["Stopwatch", "time_callable", "MCCounters", "mc_counters"]
 
@@ -27,7 +37,6 @@ class Stopwatch:
         self.elapsed = time.perf_counter() - self._start
 
 
-@dataclass
 class MCCounters:
     """Aggregate counters for Monte-Carlo forward/backward passes.
 
@@ -36,56 +45,75 @@ class MCCounters:
     forward/backward wall-clock split without any profiler.  The filter
     banks additionally record per-``scan_backend`` wall-clock for the
     RC-recurrence forward (``fused`` kernel vs ``unfused`` node-per-step
-    oracle).  A single process-wide instance (:data:`mc_counters`) is
-    enough — training is single-threaded — but independent instances can
-    be created for scoped measurements (the MC-vectorization and
-    filter-scan benchmarks do).
+    oracle).
+
+    Internally each dimension is one :class:`repro.telemetry.Gauge`
+    (seconds/calls/quantity per key); :meth:`snapshot` renders the
+    historical JSON layout on top.  The single process-wide instance
+    (:data:`mc_counters`) is registered in the telemetry gauge registry
+    as ``"mc"`` — enough for single-threaded training — but independent
+    unregistered instances can be created for scoped measurements (the
+    MC-vectorization and filter-scan benchmarks do).
     """
 
-    forward_seconds: float = 0.0
-    backward_seconds: float = 0.0
-    forward_calls: int = 0
-    backward_calls: int = 0
-    draws: int = 0
-    _by_backend_seconds: Dict[str, float] = field(default_factory=dict)
-    _scan_seconds: Dict[str, float] = field(default_factory=dict)
-    _scan_calls: Dict[str, int] = field(default_factory=dict)
+    def __init__(self) -> None:
+        self._forward = Gauge()  # keyed by MC backend; quantity = draws
+        self._backward = Gauge()  # single "backward" key
+        self._scan = Gauge()  # keyed by scan backend
+
+    # -- recording ------------------------------------------------------
 
     def record_forward(self, seconds: float, draws: int, backend: str = "batched") -> None:
         """Record one MC objective evaluation covering ``draws`` draws."""
-        self.forward_seconds += seconds
-        self.forward_calls += 1
-        self.draws += int(draws)
-        self._by_backend_seconds[backend] = (
-            self._by_backend_seconds.get(backend, 0.0) + seconds
-        )
+        self._forward.add(backend, seconds, quantity=int(draws))
 
     def record_backward(self, seconds: float) -> None:
         """Record one backward pass through the MC objective."""
-        self.backward_seconds += seconds
-        self.backward_calls += 1
+        self._backward.add("backward", seconds)
 
     def record_scan(self, seconds: float, backend: str) -> None:
         """Record one filter-bank recurrence forward under ``backend``."""
-        self._scan_seconds[backend] = self._scan_seconds.get(backend, 0.0) + seconds
-        self._scan_calls[backend] = self._scan_calls.get(backend, 0) + 1
+        self._scan.add(backend, seconds)
+
+    # -- aggregate views ------------------------------------------------
+
+    @property
+    def forward_seconds(self) -> float:
+        """Total MC objective forward wall-clock across backends."""
+        return self._forward.total_seconds()
+
+    @property
+    def backward_seconds(self) -> float:
+        """Total MC objective backward wall-clock."""
+        return self._backward.total_seconds()
+
+    @property
+    def forward_calls(self) -> int:
+        """Number of recorded objective forwards."""
+        return self._forward.total_calls()
+
+    @property
+    def backward_calls(self) -> int:
+        """Number of recorded backward passes."""
+        return self._backward.total_calls()
+
+    @property
+    def draws(self) -> int:
+        """Total Monte-Carlo draws covered by the recorded forwards."""
+        return self._forward.total_quantity()
 
     def draws_per_second(self) -> float:
         """Monte-Carlo draw throughput of the recorded forwards."""
-        if self.forward_seconds <= 0.0:
+        seconds = self.forward_seconds
+        if seconds <= 0.0:
             return 0.0
-        return self.draws / self.forward_seconds
+        return self.draws / seconds
 
     def reset(self) -> None:
         """Zero every counter (start of an experiment/benchmark)."""
-        self.forward_seconds = 0.0
-        self.backward_seconds = 0.0
-        self.forward_calls = 0
-        self.backward_calls = 0
-        self.draws = 0
-        self._by_backend_seconds = {}
-        self._scan_seconds = {}
-        self._scan_calls = {}
+        self._forward.reset()
+        self._backward.reset()
+        self._scan.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-serialisable view (stored in ``results.json`` records).
@@ -94,6 +122,7 @@ class MCCounters:
         ``"by_backend"`` / ``"scan"`` sub-dicts so arbitrary backend
         names can never collide with the fixed top-level keys.
         """
+        forward = self._forward.snapshot()
         return {
             "forward_seconds": self.forward_seconds,
             "backward_seconds": self.backward_seconds,
@@ -101,19 +130,15 @@ class MCCounters:
             "backward_calls": float(self.backward_calls),
             "draws": float(self.draws),
             "draws_per_second": self.draws_per_second(),
-            "by_backend": dict(self._by_backend_seconds),
-            "scan": {
-                backend: {
-                    "seconds": seconds,
-                    "calls": float(self._scan_calls.get(backend, 0)),
-                }
-                for backend, seconds in self._scan_seconds.items()
-            },
+            "by_backend": {key: entry["seconds"] for key, entry in forward.items()},
+            "scan": self._scan.snapshot(),
         }
 
 
-#: Process-wide Monte-Carlo counters (reset between experiments).
+#: Process-wide Monte-Carlo counters (reset between experiments);
+#: registered as the ``"mc"`` gauge so runs snapshot it at close.
 mc_counters = MCCounters()
+gauges.register("mc", mc_counters.snapshot)
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:

@@ -1,0 +1,115 @@
+"""``python -m repro runs`` and :func:`repro.report.render_run`."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import AdaptPNC, Trainer, TrainingConfig
+from repro.data import load_dataset
+from repro.report import render_run, sparkline
+from repro.telemetry import Run, list_runs, load_epochs, summarize_run, tail_events
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """One real trained run shared by every test in this module."""
+    root = tmp_path_factory.mktemp("runs")
+    dataset = load_dataset("Slope", n_samples=40, seed=0)
+    cfg = replace(TrainingConfig.ci(), max_epochs=3, lr_patience=2)
+    with Run(root=root, name="cli-demo", seed=7, dataset="Slope") as run:
+        model = AdaptPNC(3, rng=np.random.default_rng(7))
+        Trainer(model, cfg, variation_aware=True, seed=7).fit(
+            dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val
+        )
+        out = run.dir
+    return out
+
+
+class TestSparkline:
+    def test_shape_and_extremes(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(list(range(1000)), width=20)) == 20
+
+    def test_nonfinite_values_render(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert len(line) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRunReaders:
+    def test_summarize(self, run_dir):
+        summary = summarize_run(run_dir)
+        assert summary.status == "completed"
+        assert summary.epochs == 3
+        assert summary.last_val_loss is not None
+
+    def test_list_runs_newest_first(self, run_dir):
+        summaries = list_runs(run_dir.parent)
+        assert [s.run_id for s in summaries] == [run_dir.name]
+
+    def test_list_runs_accepts_run_dir_itself(self, run_dir):
+        assert len(list_runs(run_dir)) == 1
+
+    def test_list_runs_missing_root(self, tmp_path):
+        assert list_runs(tmp_path / "nope") == []
+
+    def test_load_epochs_sorted(self, run_dir):
+        epochs = load_epochs(run_dir)
+        assert [e["epoch"] for e in epochs] == [0, 1, 2]
+
+    def test_tail_events(self, run_dir):
+        tail = tail_events(run_dir, n=2)
+        assert len(tail) == 2
+        assert tail[-1]["kind"] == "run_end"
+
+
+class TestRenderRun:
+    def test_render_contains_sections(self, run_dir):
+        text = render_run(run_dir)
+        assert f"# Run `{run_dir.name}`" in text
+        assert "status: **completed**" in text
+        assert "train loss" in text and "val loss" in text
+        assert "Span wall-clock" in text
+        assert "`forward`" in text and "`scan.fused`" in text
+        assert "Monte-Carlo counters" in text
+
+    def test_render_has_sparklines(self, run_dir):
+        text = render_run(run_dir)
+        assert any(block in text for block in "▂▃▄▅▆▇█")
+
+
+class TestRunsCli:
+    def test_list(self, run_dir, capsys):
+        assert main(["runs", "list", "--root", str(run_dir.parent)]) == 0
+        out = capsys.readouterr().out
+        assert run_dir.name in out and "completed" in out
+
+    def test_list_empty_root(self, tmp_path, capsys):
+        assert main(["runs", "list", "--root", str(tmp_path)]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_show(self, run_dir, capsys):
+        assert main(["runs", "show", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "## Training" in out
+
+    def test_show_rejects_non_run_dir(self, tmp_path, capsys):
+        assert main(["runs", "show", str(tmp_path)]) == 1
+        assert "not a run directory" in capsys.readouterr().out
+
+    def test_tail(self, run_dir, capsys):
+        assert main(["runs", "tail", str(run_dir), "-n", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert '"kind": "run_end"' in lines[-1]

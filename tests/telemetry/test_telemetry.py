@@ -1,0 +1,209 @@
+"""Telemetry core: event schema, gauges, Run lifecycle, off fast path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    Gauge,
+    GaugeRegistry,
+    Run,
+    active_run,
+    encode_event,
+    iter_events,
+    read_events,
+    validate_event,
+)
+
+
+class TestEventSchema:
+    def test_encode_round_trip(self):
+        line = encode_event("epoch", t=1.5, wall=2.0, fields={"train_loss": 0.25})
+        event = json.loads(line)
+        assert event["v"] == SCHEMA_VERSION
+        assert event["kind"] == "epoch"
+        assert event["t"] == 1.5 and event["wall"] == 2.0
+        assert event["train_loss"] == 0.25
+
+    def test_envelope_wins_over_payload(self):
+        line = encode_event("epoch", t=1.0, wall=2.0, fields={"kind": "spoofed", "v": 99})
+        event = json.loads(line)
+        assert event["kind"] == "epoch" and event["v"] == SCHEMA_VERSION
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2  # not representable prettily
+        line = encode_event("epoch", t=0.0, wall=0.0, fields={"x": value})
+        assert json.loads(line)["x"] == value
+
+    def test_numpy_payloads_coerced(self):
+        line = encode_event(
+            "epoch",
+            t=0.0,
+            wall=0.0,
+            fields={"a": np.float64(1.5), "b": np.int64(3), "c": np.arange(2)},
+        )
+        event = json.loads(line)
+        assert event["a"] == 1.5 and event["b"] == 3 and event["c"] == [0, 1]
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="required field"):
+            validate_event({"kind": "epoch"})
+
+    def test_validate_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="newer than supported"):
+            validate_event({"v": SCHEMA_VERSION + 1, "kind": "x", "t": 0, "wall": 0})
+
+    def test_known_kinds_listed(self):
+        for kind in ("fit_start", "epoch", "checkpoint", "evaluation", "run_end"):
+            assert kind in EVENT_KINDS
+
+    def test_iter_events_tolerates_trailing_partial_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = encode_event("epoch", t=0.0, wall=0.0, fields={"epoch": 0})
+        path.write_text(good + "\n" + '{"v": 1, "kind": "epo')  # killed mid-write
+        events = read_events(path)
+        assert len(events) == 1 and events[0]["epoch"] == 0
+
+    def test_iter_events_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = encode_event("epoch", t=0.0, wall=0.0, fields={})
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            read_events(path)
+
+    def test_iter_events_kind_filter(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            encode_event("epoch", t=0.0, wall=0.0, fields={"epoch": 0}),
+            encode_event("checkpoint", t=0.1, wall=0.1, fields={}),
+            encode_event("epoch", t=0.2, wall=0.2, fields={"epoch": 1}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert [e["epoch"] for e in iter_events(path, kind="epoch")] == [0, 1]
+
+
+class TestGauges:
+    def test_gauge_accumulates(self):
+        g = Gauge()
+        g.add("fused", 0.5, quantity=4)
+        g.add("fused", 0.25, quantity=4)
+        g.add("unfused", 1.0)
+        snap = g.snapshot()
+        assert snap["fused"]["seconds"] == pytest.approx(0.75)
+        assert snap["fused"]["calls"] == 2
+        assert snap["fused"]["quantity"] == 8
+        assert "quantity" not in snap["unfused"]
+
+    def test_gauge_reset(self):
+        g = Gauge()
+        g.add("k", 1.0)
+        g.reset()
+        assert g.snapshot() == {}
+
+    def test_registry_snapshot(self):
+        reg = GaugeRegistry()
+        g = Gauge()
+        g.add("x", 2.0)
+        reg.register("mine", g.snapshot)
+        snap = reg.snapshot()
+        assert snap["mine"]["x"]["seconds"] == 2.0
+        assert snap["mine"]["x"]["calls"] == 1
+        reg.unregister("mine")
+        assert "mine" not in reg.snapshot()
+
+    def test_mc_counters_registered_as_gauge(self):
+        from repro.utils.timing import mc_counters
+
+        snap = telemetry.gauges.snapshot()
+        assert "mc" in snap
+        assert snap["mc"].keys() == mc_counters.snapshot().keys()
+
+
+class TestRunLifecycle:
+    def test_manifest_written_and_finalised(self, tmp_path):
+        with Run(root=tmp_path, name="t", seed=3, dataset="Slope") as run:
+            run.emit("epoch", epoch=0, train_loss=1.0)
+            manifest_path = run.manifest_path
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["status"] == "completed"
+        assert manifest["seed"] == 3 and manifest["dataset"] == "Slope"
+        assert manifest["events"] == 2  # epoch + run_end
+        assert "git_sha" in manifest and "pid" in manifest
+
+    def test_failed_status_on_exception(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Run(root=tmp_path, name="f") as run:
+                raise RuntimeError("boom")
+        manifest = json.loads(run.manifest_path.read_text())
+        assert manifest["status"] == "failed"
+
+    def test_refuses_existing_run_dir(self, tmp_path):
+        with Run(dir=tmp_path / "r"):
+            pass
+        with pytest.raises(FileExistsError):
+            Run(dir=tmp_path / "r")
+
+    def test_emit_after_close_raises(self, tmp_path):
+        with Run(root=tmp_path) as run:
+            pass
+        with pytest.raises(RuntimeError, match="closed"):
+            run.emit("epoch")
+
+    def test_span_totals_aggregate(self, tmp_path):
+        with Run(root=tmp_path) as run:
+            with run.span("work"):
+                pass
+            run.record_span("work", 0.5)
+            totals = run.span_totals()
+        assert totals["work"]["calls"] == 2
+        assert totals["work"]["seconds"] >= 0.5
+
+    def test_run_end_carries_spans_and_gauges(self, tmp_path):
+        with Run(root=tmp_path) as run:
+            run.record_span("step", 0.1)
+        (end,) = read_events(run.events_path, kind="run_end")
+        assert end["span_totals"]["step"]["seconds"] == pytest.approx(0.1)
+        assert "mc" in end["gauges"]
+
+    def test_nested_runs_shadow(self, tmp_path):
+        with Run(root=tmp_path, name="outer") as outer:
+            with Run(root=tmp_path, name="inner") as inner:
+                assert active_run() is inner
+            assert active_run() is outer
+        assert active_run() is None
+
+
+class TestTelemetryOffFastPath:
+    def test_no_active_run_by_default(self):
+        assert active_run() is None
+
+    def test_module_hooks_are_noops(self):
+        telemetry.emit("epoch", train_loss=1.0)  # must not raise
+        telemetry.record_span("x", 1.0)
+        with telemetry.span("x"):
+            pass
+
+    def test_span_returns_shared_null_context(self):
+        # Zero-allocation guarantee: the same nullcontext every call.
+        assert telemetry.span("a") is telemetry.span("b")
+
+    def test_fit_without_run_writes_nothing(self, tmp_path, monkeypatch):
+        from dataclasses import replace
+
+        from repro.core import AdaptPNC, Trainer, TrainingConfig
+
+        monkeypatch.chdir(tmp_path)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(8, 8))
+        y = rng.integers(0, 2, size=8)
+        cfg = replace(TrainingConfig.ci(), max_epochs=2)
+        model = AdaptPNC(2, rng=np.random.default_rng(0))
+        trainer = Trainer(model, cfg, variation_aware=True, seed=0)
+        trainer.fit(x[2:], y[2:], x[:2], y[:2])
+        assert list(tmp_path.iterdir()) == []  # no runs/, no checkpoints
+        assert trainer._last_draw_losses is None

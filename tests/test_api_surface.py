@@ -28,6 +28,7 @@ class TestPackageSurface:
             "utils",
             "report",
             "cli",
+            "telemetry",
         ],
     )
     def test_subpackages_importable(self, module):
@@ -35,7 +36,7 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize(
         "module",
-        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw"],
+        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw", "telemetry"],
     )
     def test_all_exports_resolve(self, module):
         mod = __import__(f"repro.{module}", fromlist=["__all__"])

@@ -1,0 +1,126 @@
+"""``scripts/check_docs.py``: generated doc blocks stay in sync with the code."""
+
+import argparse
+import importlib.util
+import pathlib
+import shutil
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TUTORIAL = REPO_ROOT / "docs" / "TUTORIAL.md"
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    """The checker script, imported as a module."""
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenerators:
+    def test_cli_help_pins_width(self, check_docs):
+        # Importing the checker pins COLUMNS so argparse wraps
+        # deterministically regardless of the invoking terminal.
+        import os
+
+        assert os.environ["COLUMNS"] == "80"
+        text = check_docs.generate_cli_help()
+        assert "usage: repro" in text
+        assert text == check_docs.generate_cli_help()  # stable
+
+    def test_cli_help_subcommand(self, check_docs):
+        assert "list,show,tail" in check_docs.generate_cli_help("runs")
+
+    def test_cli_help_unknown_subcommand(self, check_docs):
+        with pytest.raises(KeyError, match="no such CLI subcommand"):
+            check_docs.generate_cli_help("nope")
+
+    def test_training_config_lists_every_field(self, check_docs):
+        import dataclasses
+
+        from repro.core import TrainingConfig
+
+        text = check_docs.generate_training_config()
+        for f in dataclasses.fields(TrainingConfig):
+            assert f"{f.name}:" in text
+
+    def test_event_kinds_lists_registry(self, check_docs):
+        from repro.telemetry import EVENT_KINDS
+
+        text = check_docs.generate_event_kinds()
+        assert all(f"- {kind}" in text for kind in EVENT_KINDS)
+
+    def test_unknown_block_kind_rejected(self, check_docs):
+        with pytest.raises(KeyError, match="unknown generated-block kind"):
+            check_docs.expected_body("no-such-kind")
+
+
+class TestCheckMode:
+    def test_repo_docs_are_consistent(self, check_docs, capsys):
+        assert check_docs.main([]) == 0
+        assert "match the code" in capsys.readouterr().out
+
+    def test_tampered_doc_fails(self, check_docs, tmp_path, capsys):
+        doc = tmp_path / "TUTORIAL.md"
+        text = TUTORIAL.read_text()
+        assert "mc_backend: str" in text
+        doc.write_text(text.replace("mc_backend: str", "mc_kernel: str"))
+        assert check_docs.main([str(doc)]) == 1
+        out = capsys.readouterr().out
+        assert "-mc_kernel" in out and "+mc_backend" in out
+
+    def test_cli_flag_rename_fails(self, check_docs, monkeypatch, capsys):
+        # The acceptance scenario: rename a CLI flag in the *code* and
+        # leave the docs untouched — the consistency check must fail.
+        import repro.cli
+
+        real_build_parser = repro.cli.build_parser
+
+        def renamed_build_parser():
+            parser = real_build_parser()
+            (sub,) = [
+                a
+                for a in parser._actions
+                if isinstance(a, argparse._SubParsersAction)
+            ]
+            bench = sub.choices["mc-bench"]
+            for action in bench._actions:
+                if "--scan-backend" in action.option_strings:
+                    action.option_strings = ["--scan-kernel"]
+            return parser
+
+        monkeypatch.setattr(repro.cli, "build_parser", renamed_build_parser)
+        assert check_docs.main([str(TUTORIAL)]) == 1
+        assert "--scan-kernel" in capsys.readouterr().out
+
+    def test_missing_doc_fails(self, check_docs, tmp_path, capsys):
+        assert check_docs.main([str(tmp_path / "nope.md")]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_doc_without_markers_fails(self, check_docs, tmp_path, capsys):
+        doc = tmp_path / "plain.md"
+        doc.write_text("# no generated blocks here\n")
+        assert check_docs.main([str(doc)]) == 1
+        assert "no generated blocks" in capsys.readouterr().out
+
+
+class TestFixMode:
+    def test_fix_rewrites_drifted_block(self, check_docs, tmp_path, capsys):
+        doc = tmp_path / "TUTORIAL.md"
+        shutil.copy(TUTORIAL, doc)
+        doc.write_text(doc.read_text().replace("mc_backend: str", "mc_kernel: str"))
+        assert check_docs.main(["--fix", str(doc)]) == 0
+        capsys.readouterr()
+        assert check_docs.main([str(doc)]) == 0
+        assert doc.read_text() == TUTORIAL.read_text()
+
+    def test_fix_is_idempotent(self, check_docs, tmp_path):
+        doc = tmp_path / "TUTORIAL.md"
+        shutil.copy(TUTORIAL, doc)
+        assert check_docs.main(["--fix", str(doc)]) == 0
+        assert doc.read_text() == TUTORIAL.read_text()

@@ -1,0 +1,150 @@
+"""Serial-oracle vs sharded-parallel sweep: speedup and bit-equality.
+
+The :mod:`repro.parallel` orchestrator shards the Table-I cell grid
+``dataset × model × seed`` across worker processes; because every cell
+derives all of its randomness from its own coordinates, the parallel
+executor must reproduce the serial oracle bit-for-bit while finishing
+in roughly ``1/min(workers, cells)`` of the wall-clock (training is
+CPU-bound, so the speedup only materialises on multi-core machines).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --max-workers 2
+    PYTHONPATH=src python benchmarks/bench_sweep.py --assert-speedup 1.5
+
+``--assert-speedup`` exits non-zero when the parallel campaign is not
+at least that many times faster than the serial oracle; on single-core
+runners (``os.cpu_count() == 1``) the assertion is skipped because no
+process-level speedup is physically available there.
+"""
+
+import argparse
+import json
+import os
+import time
+from dataclasses import replace
+
+from repro.core import ExperimentConfig, format_table1, run_table1
+from repro.core.training import TrainingConfig
+from repro.parallel import SweepOptions
+
+
+def make_config(scale: str) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "ci":
+        return ExperimentConfig.ci()
+    # Smoke: two datasets x three models x two seeds = 12 cells, enough
+    # to shard meaningfully while staying minutes-scale on one core.
+    return ExperimentConfig(
+        datasets=("Slope", "GPOVY"),
+        n_samples=60,
+        seeds=(0, 1),
+        training=replace(TrainingConfig.ci(), max_epochs=8, lr_patience=3),
+        eval_mc=2,
+        top_k=2,
+    )
+
+
+def run(scale: str = "smoke", max_workers: int = 2) -> dict:
+    config = make_config(scale)
+
+    t0 = time.perf_counter()
+    serial = run_table1(config, sweep=SweepOptions(executor="serial"))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_table1(
+        config,
+        sweep=SweepOptions(executor="parallel", max_workers=max_workers),
+    )
+    parallel_s = time.perf_counter() - t0
+
+    mismatches = []
+    for dataset, row in serial.items():
+        for kind, entry in row.items():
+            other = parallel[dataset][kind]
+            if (entry.mean, entry.std, entry.n_failed) != (
+                other.mean,
+                other.std,
+                other.n_failed,
+            ):
+                mismatches.append((dataset, kind, repr(entry), repr(other)))
+
+    return {
+        "scale": scale,
+        "max_workers": max_workers,
+        "cpu_count": os.cpu_count() or 1,
+        "n_cells": len(config.datasets) * 3 * len(config.seeds),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "bit_equal": not mismatches,
+        "mismatches": mismatches,
+        "table": format_table1(serial),
+    }
+
+
+def test_sweep_equivalence(benchmark):
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nserial {record['serial_s']:.1f}s  parallel {record['parallel_s']:.1f}s  "
+          f"speedup {record['speedup']:.2f}x on {record['cpu_count']} cores")
+    assert record["bit_equal"], record["mismatches"]
+    if record["cpu_count"] >= 2:
+        # Two workers over 12 cells should recover a real speedup; be
+        # lenient (1.3x) against noisy shared CI runners.
+        assert record["speedup"] >= 1.3, f"only {record['speedup']:.2f}x"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+    parser.add_argument("--max-workers", type=int, default=2)
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless parallel is >= X times faster (skipped on 1 core)",
+    )
+    parser.add_argument("--output", default=None, help="write the record as JSON here")
+    args = parser.parse_args()
+
+    record = run(scale=args.scale, max_workers=args.max_workers)
+    print(record["table"])
+    print(
+        f"serial {record['serial_s']:.1f}s  parallel {record['parallel_s']:.1f}s  "
+        f"speedup {record['speedup']:.2f}x  "
+        f"(workers={record['max_workers']}, cores={record['cpu_count']})"
+    )
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump({k: v for k, v in record.items() if k != "table"}, fh, indent=2)
+        print(f"wrote {args.output}")
+
+    if not record["bit_equal"]:
+        print("FAIL: parallel sweep diverged from the serial oracle:")
+        for mismatch in record["mismatches"]:
+            print("  ", mismatch)
+        return 1
+    print("parallel sweep is bit-equal to the serial oracle")
+
+    if args.assert_speedup is not None:
+        if record["cpu_count"] < 2:
+            print(
+                f"single-core machine: skipping the >= {args.assert_speedup:.1f}x "
+                "speedup assertion (no parallelism physically available)"
+            )
+        elif record["speedup"] < args.assert_speedup:
+            print(
+                f"FAIL: speedup {record['speedup']:.2f}x "
+                f"< required {args.assert_speedup:.1f}x"
+            )
+            return 1
+        else:
+            print(f"speedup {record['speedup']:.2f}x >= {args.assert_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

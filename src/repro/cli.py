@@ -5,6 +5,9 @@ Subcommands
 * ``table1|table2|table3|fig5|fig6|fig7|mu`` — regenerate one paper
   artefact at a chosen ``--scale``;
 * ``evaluate`` — run the whole suite and write ``results/<scale>/``;
+* ``sweep`` — run a whole table/figure campaign through the sharded
+  sweep orchestrator (worker processes, timeouts, retries, resumable
+  on-disk cell cache);
 * ``mc-bench`` — measure sequential-vs-batched Monte-Carlo training
   throughput and verify loss equivalence between the two backends;
 * ``scan-bench`` — measure the fused filter-scan kernel against the
@@ -217,6 +220,45 @@ def _cmd_scan_bench(args: argparse.Namespace) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from . import telemetry
+    from .core import format_fig7, format_table1, run_fig7_ablation, run_table1
+    from .parallel import SweepOptions
+
+    config = _config(args.config)
+    options = SweepOptions(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    run_ctx = (
+        nullcontext(None)
+        if args.no_telemetry
+        else telemetry.Run(root=args.run_root, name=f"sweep-{args.artefact}")
+    )
+    with run_ctx as run:
+        if args.artefact == "table1":
+            table = run_table1(config, verbose=args.verbose, sweep=options)
+            print(format_table1(table))
+            entries = [entry for row in table.values() for entry in row.values()]
+        else:
+            results = run_fig7_ablation(config, verbose=args.verbose, sweep=options)
+            print(format_fig7(results))
+            entries = [entry for row in results.values() for entry in row.values()]
+        n_failed = sum(entry.n_failed for entry in entries)
+        if run is not None:
+            print(f"telemetry: {run.dir}")
+    if n_failed:
+        print(f"WARNING: {n_failed} sweep cells failed after retries (see events.jsonl)")
+        return 1
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     # Delegates to the example script's logic without importing it.
     import subprocess
@@ -306,6 +348,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None, help="write the record as JSON here")
     p.set_defaults(func=_cmd_scan_bench)
+
+    p = sub.add_parser(
+        "sweep", help="run a sharded (or serial-oracle) experiment sweep"
+    )
+    p.add_argument(
+        "--artefact",
+        choices=("table1", "fig7"),
+        default="table1",
+        help="which cell grid to sweep",
+    )
+    p.add_argument(
+        "--config",
+        choices=("smoke", "ci", "paper"),
+        default="smoke",
+        help="experiment scale (same presets as the artefact commands)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("serial", "parallel"),
+        default="parallel",
+        help="serial oracle or sharded worker processes (bit-equal)",
+    )
+    p.add_argument("--max-workers", type=int, default=2, help="worker process budget")
+    p.add_argument(
+        "--timeout", type=float, default=None, help="per-cell timeout in seconds"
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, help="relaunch budget per failed cell"
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.1, help="base backoff before a retry (s)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        default="sweep_cache",
+        help="on-disk cell cache root (sweeps resume from it)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the resume cache entirely"
+    )
+    p.add_argument(
+        "--run-root", default="runs", help="telemetry root for the sweep run directory"
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true", help="do not open a telemetry run"
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("evaluate", help="run the full evaluation suite")
     p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")

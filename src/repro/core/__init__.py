@@ -2,6 +2,7 @@
 
 from .experiment import (
     ABLATION_CONFIGS,
+    TABLE1_RECIPES,
     ExperimentConfig,
     ModelResult,
     format_fig7,
@@ -67,6 +68,7 @@ __all__ = [
     "ExperimentConfig",
     "ModelResult",
     "ABLATION_CONFIGS",
+    "TABLE1_RECIPES",
     "run_table1",
     "run_table2",
     "run_table3",

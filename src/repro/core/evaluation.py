@@ -80,13 +80,18 @@ def _scan_backend(model: Module, backend: Optional[str]) -> Iterator[None]:
     ``None`` (the default) leaves whatever backend the model already
     uses; models without filter banks (no ``set_scan_backend``) ignore
     the request entirely, so the flag is inert for the Elman reference.
+
+    The previous backend is restored even when installing the override
+    (or the evaluated body) raises: ``set_scan_backend`` may validate
+    and reject its argument mid-mutation, and an evaluation helper must
+    never leak a half-switched backend into subsequent calls.
     """
     if backend is None or not hasattr(model, "set_scan_backend"):
         yield
         return
     original = model.scan_backend
-    model.set_scan_backend(backend)
     try:
+        model.set_scan_backend(backend)
         yield
     finally:
         model.set_scan_backend(original)

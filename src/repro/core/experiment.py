@@ -16,16 +16,27 @@ Every function takes an :class:`ExperimentConfig`; ``paper()`` matches
 the published protocol, ``ci()`` and ``smoke()`` shrink seeds / epochs /
 datasets while exercising the identical code path.
 
+The big grids (:func:`run_table1`, :func:`run_fig7_ablation`) are
+decomposed into independent ``(dataset × model × seed)`` **cells** and
+executed through the :mod:`repro.parallel` orchestrator: pass
+``executor="parallel"`` (or a full :class:`~repro.parallel.SweepOptions`
+via ``sweep=``) to shard the cells across worker processes with
+timeouts, retries and an on-disk resume cache.  The default
+``executor="serial"`` runs the identical cells in-process and is the
+bit-equal oracle — both executors produce identical tables because
+every cell derives all of its randomness from its own coordinates.
+
 When executed inside a :class:`repro.telemetry.Run`, the harness emits
-one ``experiment`` event per table/figure cell as it is produced, so a
-long regeneration can be watched live with ``python -m repro runs tail``
-and post-mortemed from ``events.jsonl``.
+one ``experiment`` event per table/figure cell as it is produced (plus
+``sweep.*`` events around sharded campaigns), so a long regeneration
+can be watched live with ``python -m repro runs tail`` and
+post-mortemed from ``events.jsonl``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +52,7 @@ from .training import Trainer, TrainingConfig
 __all__ = [
     "ExperimentConfig",
     "ModelResult",
+    "TABLE1_RECIPES",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -105,13 +117,35 @@ class ExperimentConfig:
 
 @dataclass
 class ModelResult:
-    """Mean ± std accuracy of one model on one dataset."""
+    """Mean ± std accuracy of one model on one dataset.
+
+    ``n_failed`` counts sweep cells that never produced a value (after
+    their retry budget); a result whose *every* cell failed carries NaN
+    statistics but still renders, so a partially degraded sweep always
+    yields a complete table with its failures annotated.
+    """
 
     mean: float
     std: float
+    n_failed: int = 0
+
+    @classmethod
+    def failed(cls, n_failed: int) -> "ModelResult":
+        """Placeholder for a table entry whose every cell failed."""
+        return cls(mean=math.nan, std=math.nan, n_failed=n_failed)
+
+    @property
+    def ok(self) -> bool:
+        """Whether at least one cell produced a value."""
+        return math.isfinite(self.mean)
 
     def __repr__(self) -> str:
-        return f"{self.mean:.3f} ± {self.std:.3f}"
+        if not self.ok:
+            return f"FAILED ({self.n_failed} cells)"
+        base = f"{self.mean:.3f} ± {self.std:.3f}"
+        if self.n_failed:
+            base += f" [{self.n_failed} failed]"
+        return base
 
 
 def _build_model(kind: str, n_classes: int, seed: int):
@@ -176,9 +210,81 @@ def _robust_accuracy(
     return result.mean
 
 
+#: The three Table-I training recipes, keyed by model kind.
+TABLE1_RECIPES: Dict[str, Dict[str, object]] = {
+    "elman": dict(augmentation=None, variation_aware=False),
+    "ptpnc": dict(augmentation=None, variation_aware=False),
+    "adapt": dict(augmentation="per-dataset", variation_aware=True),
+}
+
+
+def _resolve_sweep(executor: Optional[str], sweep):
+    """Coerce the ``executor``/``sweep`` pair into one SweepOptions."""
+    from ..parallel import SweepOptions
+
+    if sweep is not None:
+        if executor is not None and executor != sweep.executor:
+            raise ValueError(
+                f"conflicting executors: executor={executor!r} vs sweep.executor="
+                f"{sweep.executor!r}"
+            )
+        return sweep
+    return SweepOptions(executor=executor or "serial")
+
+
+def _table1_cell(
+    config: ExperimentConfig, dataset_name: str, kind: str, seed_index: int
+) -> Dict[str, float]:
+    """One Table-I sweep cell: train one (dataset, kind, seed) model.
+
+    A pure function of its arguments — every random draw (init,
+    augmentation, variation sampling, robust evaluation) derives from
+    the cell's own seeds through independent child streams, so the
+    value is identical whether the cell runs serially, in another
+    process, or in any order relative to its siblings.
+    """
+    dataset = load_dataset(dataset_name, n_samples=config.n_samples, seed=0)
+    recipe = TABLE1_RECIPES[kind]
+    aug = (
+        default_config(dataset_name) if recipe["augmentation"] == "per-dataset" else None
+    )
+    seed = config.seeds[seed_index]
+    model, clean_acc = _train_one(
+        kind, dataset, seed, config, aug, recipe["variation_aware"]
+    )
+    eval_aug = aug if aug is not None else default_config(dataset_name)
+    robust = _robust_accuracy(
+        model, dataset.x_test, dataset.y_test, config, eval_aug, seed=seed_index
+    )
+    return {"clean_acc": float(clean_acc), "robust_acc": float(robust)}
+
+
+def _table1_cells(config: ExperimentConfig):
+    """Submission-ordered sweep cells of the Table-I grid."""
+    from ..parallel import SweepCell
+
+    return [
+        SweepCell(
+            key=("table1", name, kind, str(i)), args=(config, name, kind, i)
+        )
+        for name in config.datasets
+        for kind in TABLE1_RECIPES
+        for i in range(len(config.seeds))
+    ]
+
+
+def _collect_seed_cells(outcomes, artefact: str, name: str, kind: str, n_seeds: int):
+    """Ordered (ok outcomes, failure count) of one table entry's seeds."""
+    outs = [outcomes[(artefact, name, kind, str(i))] for i in range(n_seeds)]
+    ok = [o for o in outs if o.ok]
+    return ok, len(outs) - len(ok)
+
+
 def run_table1(
     config: Optional[ExperimentConfig] = None,
     verbose: bool = False,
+    executor: Optional[str] = None,
+    sweep=None,
 ) -> Dict[str, Dict[str, ModelResult]]:
     """Regenerate Table I.
 
@@ -188,38 +294,44 @@ def run_table1(
     ±10 % component variation.  Returns
     ``{dataset: {"elman"|"ptpnc"|"adapt": ModelResult}}`` plus an
     ``"Average"`` entry.
+
+    ``executor`` selects the sweep executor (``"serial"`` oracle by
+    default, ``"parallel"`` for sharded worker processes); ``sweep``
+    accepts a full :class:`~repro.parallel.SweepOptions` (timeouts,
+    retries, resume cache).  Both executors are bit-equal.  Cells that
+    fail after their retry budget degrade into annotated
+    :class:`ModelResult` placeholders instead of aborting the run.
     """
+    from ..parallel import run_cells
+
     config = config or ExperimentConfig.paper()
+    options = _resolve_sweep(executor, sweep)
+    outcomes = run_cells(
+        _table1_cell,
+        _table1_cells(config),
+        options,
+        fingerprint={"artefact": "table1", "config": asdict(config)},
+    )
+
     table: Dict[str, Dict[str, ModelResult]] = {}
-
-    recipes = {
-        "elman": dict(augmentation=None, variation_aware=False),
-        "ptpnc": dict(augmentation=None, variation_aware=False),
-        "adapt": dict(augmentation="per-dataset", variation_aware=True),
-    }
-
     for name in config.datasets:
-        dataset = load_dataset(name, n_samples=config.n_samples, seed=0)
         table[name] = {}
-        for kind, recipe in recipes.items():
-            aug = (
-                default_config(name) if recipe["augmentation"] == "per-dataset" else None
+        for kind in TABLE1_RECIPES:
+            ok, n_failed = _collect_seed_cells(
+                outcomes, "table1", name, kind, len(config.seeds)
             )
-            trained = [
-                _train_one(kind, dataset, seed, config, aug, recipe["variation_aware"])
-                for seed in config.seeds
-            ]
-            top = select_top_k([acc for _, acc in trained], k=config.top_k)
-            eval_aug = aug if aug is not None else default_config(name)
-            robust = [
-                _robust_accuracy(
-                    trained[i][0], dataset.x_test, dataset.y_test, config, eval_aug, seed=i
+            if not ok:
+                table[name][kind] = ModelResult.failed(n_failed)
+            else:
+                top = select_top_k(
+                    [o.value["clean_acc"] for o in ok], k=config.top_k
                 )
-                for i in top
-            ]
-            table[name][kind] = ModelResult(
-                mean=float(np.mean(robust)), std=float(np.std(robust))
-            )
+                robust = [ok[i].value["robust_acc"] for i in top]
+                table[name][kind] = ModelResult(
+                    mean=float(np.mean(robust)),
+                    std=float(np.std(robust)),
+                    n_failed=n_failed,
+                )
             telemetry.emit(
                 "experiment",
                 artefact="table1",
@@ -228,18 +340,24 @@ def run_table1(
                 robust_mean=table[name][kind].mean,
                 robust_std=table[name][kind].std,
                 n_seeds=len(config.seeds),
+                n_failed=n_failed,
             )
             if verbose:
                 print(f"{name:<10} {kind:<6} {table[name][kind]}")
 
-    kinds = list(recipes)
-    table["Average"] = {
-        kind: ModelResult(
-            mean=float(np.mean([table[d][kind].mean for d in config.datasets])),
-            std=float(np.mean([table[d][kind].std for d in config.datasets])),
-        )
-        for kind in kinds
-    }
+    table["Average"] = {}
+    for kind in TABLE1_RECIPES:
+        entries = [table[d][kind] for d in config.datasets]
+        finite = [e for e in entries if e.ok]
+        n_failed = sum(e.n_failed for e in entries)
+        if not finite:
+            table["Average"][kind] = ModelResult.failed(n_failed)
+        else:
+            table["Average"][kind] = ModelResult(
+                mean=float(np.mean([e.mean for e in finite])),
+                std=float(np.mean([e.std for e in finite])),
+                n_failed=n_failed,
+            )
     return table
 
 
@@ -386,9 +504,66 @@ ABLATION_CONFIGS: Dict[str, Dict[str, bool]] = {
 }
 
 
+def _fig7_cell(
+    config: ExperimentConfig, dataset_name: str, cfg_name: str, seed_index: int
+) -> Dict[str, float]:
+    """One Fig.-7 sweep cell: train one (dataset, ablation, seed) model.
+
+    Like :func:`_table1_cell` this is a pure function of its
+    coordinates, so serial and parallel execution are bit-equal.
+    """
+    dataset = load_dataset(dataset_name, n_samples=config.n_samples, seed=0)
+    aug = default_config(dataset_name)
+    flags = ABLATION_CONFIGS[cfg_name]
+    kind = "adapt" if flags["so"] else "ptpnc"
+    seed = config.seeds[seed_index]
+    model, _ = _train_one(
+        kind,
+        dataset,
+        seed,
+        config,
+        aug if flags["at"] else None,
+        variation_aware=flags["va"],
+    )
+    clean = evaluate_under_variation(
+        model,
+        dataset.x_test,
+        dataset.y_test,
+        delta=config.eval_delta,
+        mc_samples=config.eval_mc,
+        seed=seed,
+    ).mean
+    x_pert = perturb(dataset.x_test, aug, seed=seed + 97)
+    perturbed = evaluate_under_variation(
+        model,
+        x_pert,
+        dataset.y_test,
+        delta=config.eval_delta,
+        mc_samples=config.eval_mc,
+        seed=seed,
+    ).mean
+    return {"clean_acc": float(clean), "perturbed_acc": float(perturbed)}
+
+
+def _fig7_cells(config: ExperimentConfig):
+    """Submission-ordered sweep cells of the Fig.-7 ablation grid."""
+    from ..parallel import SweepCell
+
+    return [
+        SweepCell(
+            key=("fig7", name, cfg_name, str(i)), args=(config, name, cfg_name, i)
+        )
+        for name in config.datasets
+        for cfg_name in ABLATION_CONFIGS
+        for i in range(len(config.seeds))
+    ]
+
+
 def run_fig7_ablation(
     config: Optional[ExperimentConfig] = None,
     verbose: bool = False,
+    executor: Optional[str] = None,
+    sweep=None,
 ) -> Dict[str, Dict[str, ModelResult]]:
     """Regenerate Fig. 7: mean accuracy of the five ablation configs.
 
@@ -398,69 +573,62 @@ def run_fig7_ablation(
     component variation (the paper's "10 % physical variation
     scenario").  Returns ``{config: {"clean"|"perturbed": ModelResult}}``
     averaged over datasets.
+
+    ``executor``/``sweep`` select the sweep executor exactly as in
+    :func:`run_table1` (serial oracle by default, bit-equal parallel
+    sharding on request); failed cells are dropped from the averages
+    and counted in ``ModelResult.n_failed``.
     """
+    from ..parallel import run_cells
+
     config = config or ExperimentConfig.ci()
+    options = _resolve_sweep(executor, sweep)
+    outcomes = run_cells(
+        _fig7_cell,
+        _fig7_cells(config),
+        options,
+        fingerprint={"artefact": "fig7", "config": asdict(config)},
+    )
+
     per_config: Dict[str, Dict[str, List[float]]] = {
         name: {"clean": [], "perturbed": []} for name in ABLATION_CONFIGS
     }
-
+    failed: Dict[str, int] = {name: 0 for name in ABLATION_CONFIGS}
     for name in config.datasets:
-        dataset = load_dataset(name, n_samples=config.n_samples, seed=0)
-        aug = default_config(name)
-        for cfg_name, flags in ABLATION_CONFIGS.items():
-            kind = "adapt" if flags["so"] else "ptpnc"
-            accs_clean, accs_pert = [], []
-            for seed in config.seeds:
-                model, _ = _train_one(
-                    kind,
-                    dataset,
-                    seed,
-                    config,
-                    aug if flags["at"] else None,
-                    variation_aware=flags["va"],
-                )
-                accs_clean.append(
-                    evaluate_under_variation(
-                        model,
-                        dataset.x_test,
-                        dataset.y_test,
-                        delta=config.eval_delta,
-                        mc_samples=config.eval_mc,
-                        seed=seed,
-                    ).mean
-                )
-                x_pert = perturb(dataset.x_test, aug, seed=seed + 97)
-                accs_pert.append(
-                    evaluate_under_variation(
-                        model,
-                        x_pert,
-                        dataset.y_test,
-                        delta=config.eval_delta,
-                        mc_samples=config.eval_mc,
-                        seed=seed,
-                    ).mean
-                )
+        for cfg_name in ABLATION_CONFIGS:
+            ok, n_failed = _collect_seed_cells(
+                outcomes, "fig7", name, cfg_name, len(config.seeds)
+            )
+            accs_clean = [o.value["clean_acc"] for o in ok]
+            accs_pert = [o.value["perturbed_acc"] for o in ok]
             per_config[cfg_name]["clean"].extend(accs_clean)
             per_config[cfg_name]["perturbed"].extend(accs_pert)
+            failed[cfg_name] += n_failed
             telemetry.emit(
                 "experiment",
                 artefact="fig7",
                 dataset=name,
                 ablation=cfg_name,
-                clean_mean=float(np.mean(accs_clean)),
-                perturbed_mean=float(np.mean(accs_pert)),
+                clean_mean=float(np.mean(accs_clean)) if accs_clean else math.nan,
+                perturbed_mean=float(np.mean(accs_pert)) if accs_pert else math.nan,
                 n_seeds=len(config.seeds),
+                n_failed=n_failed,
             )
             if verbose:
-                print(
-                    f"{name:<10} {cfg_name:<9} clean {np.mean(accs_clean):.3f} "
-                    f"pert {np.mean(accs_pert):.3f}"
-                )
+                clean_s = f"{np.mean(accs_clean):.3f}" if accs_clean else "FAILED"
+                pert_s = f"{np.mean(accs_pert):.3f}" if accs_pert else "FAILED"
+                print(f"{name:<10} {cfg_name:<9} clean {clean_s} pert {pert_s}")
 
     return {
         cfg_name: {
-            mode: ModelResult(
-                mean=float(np.mean(vals)), std=float(np.std(vals))
+            mode: (
+                ModelResult(
+                    mean=float(np.mean(vals)),
+                    std=float(np.std(vals)),
+                    n_failed=failed[cfg_name],
+                )
+                if vals
+                else ModelResult.failed(failed[cfg_name])
             )
             for mode, vals in modes.items()
         }

@@ -569,7 +569,9 @@ class Trainer:
         ckpt_path: Optional[pathlib.Path] = None
         if checkpoint_dir is not None:
             ckpt_path = pathlib.Path(checkpoint_dir) / CHECKPOINT_FILENAME
-        elif run is not None and checkpoint_every > 0:
+        elif run is not None and checkpoint_every > 0 and getattr(run, "dir", None) is not None:
+            # ``getattr`` guard: sweep workers install a directory-less
+            # telemetry shim (repro.parallel.WorkerTelemetry, dir=None).
             ckpt_path = run.dir / "checkpoints" / CHECKPOINT_FILENAME
 
         start_epoch = 0

@@ -1,0 +1,46 @@
+"""Sharded parallel experiment sweeps with a bit-equal serial oracle.
+
+The experiment harness's table/figure grids (``dataset × model ×
+seed``) are embarrassingly parallel: every cell derives its randomness
+from its own coordinates through independent ``SeedSequence``-spawned
+streams, so cells can execute in any order, on any worker process, and
+produce bit-identical values.  This package provides:
+
+* :func:`run_cells` — the orchestrator: ``"serial"`` oracle or
+  ``"parallel"`` process-pool execution with per-task timeouts,
+  bounded retry-with-backoff and graceful degradation;
+* :class:`SweepOptions` / :class:`SweepCell` / :class:`CellOutcome` —
+  the policy/work/result triple;
+* :class:`SweepCache` — the fingerprint-keyed on-disk cell cache that
+  makes interrupted sweeps resumable;
+* ``sweep.*`` telemetry events streamed into the active
+  :class:`repro.telemetry.Run` (see ``docs/OBSERVABILITY.md``).
+
+Entry points: ``repro.core.run_table1`` / ``run_fig7_ablation`` accept
+``executor=``/``sweep=`` and the ``python -m repro sweep`` CLI drives a
+whole campaign (see ``EXPERIMENTS.md``).
+"""
+
+from .cache import CACHE_VERSION, SweepCache, sweep_fingerprint
+from .orchestrator import (
+    EXECUTORS,
+    CellOutcome,
+    SweepCell,
+    SweepOptions,
+    run_cells,
+    summarize_outcomes,
+)
+from .worker import WorkerTelemetry
+
+__all__ = [
+    "CACHE_VERSION",
+    "EXECUTORS",
+    "CellOutcome",
+    "SweepCache",
+    "SweepCell",
+    "SweepOptions",
+    "WorkerTelemetry",
+    "run_cells",
+    "summarize_outcomes",
+    "sweep_fingerprint",
+]

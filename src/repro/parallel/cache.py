@@ -1,0 +1,143 @@
+"""On-disk sweep cache: one JSON file per completed experiment cell.
+
+A sweep campaign (e.g. the Table I grid of ``dataset × model × seed``
+training cells) can take hours at paper scale; an interrupted run must
+resume without recomputing finished cells.  The cache is keyed by a
+**protocol fingerprint** — a SHA-256 digest of the canonical JSON of
+everything that determines a cell's value (experiment config, cell
+function identity, cache schema version) — following the trainer's
+checkpoint-fingerprint approach: a silently different protocol could
+never be bit-equal, so it gets a different cache directory instead of a
+poisoned hit.
+
+Layout::
+
+    <cache_root>/<fingerprint>/
+    ├── protocol.json            # the full protocol the digest covers
+    └── cells/<cell-key>.json    # one completed CellOutcome value each
+
+Writes are atomic (temp file + rename), so a sweep killed mid-store
+never leaves a truncated cell behind; unreadable cell files are treated
+as misses, not errors.  Only *successful* cells are stored — failed
+cells are retried on the next resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+import time
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+__all__ = ["CACHE_VERSION", "SweepCache", "sweep_fingerprint"]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Version of the cache layout; bumped on breaking changes so stale
+#: caches become misses instead of corrupt hits.
+CACHE_VERSION = 1
+
+#: Characters allowed verbatim inside a cell-key path component.
+_SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def sweep_fingerprint(protocol: Dict) -> str:
+    """Hex digest identifying a sweep protocol (stable across processes).
+
+    ``protocol`` must be JSON-serialisable; key order is normalised so
+    logically equal protocols always map to the same fingerprint.
+    """
+    blob = json.dumps(protocol, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _cell_filename(key: Sequence[str]) -> str:
+    """Filesystem-safe file name for one cell key.
+
+    Components are sanitised then joined with ``__``; a short digest of
+    the raw key is appended so sanitisation collisions cannot alias two
+    distinct cells onto one file.
+    """
+    parts = [_SAFE_COMPONENT.sub("-", str(part)) for part in key]
+    digest = hashlib.sha256("\x1f".join(str(p) for p in key).encode()).hexdigest()[:8]
+    return "__".join(parts) + f".{digest}.json"
+
+
+class SweepCache:
+    """Cell-level result cache for one sweep protocol.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (e.g. ``sweep_cache/``); the fingerprinted
+        sweep directory is created beneath it.
+    protocol:
+        JSON-serialisable description of everything determining cell
+        values.  :data:`CACHE_VERSION` is mixed in automatically.
+    """
+
+    def __init__(self, root: PathLike, protocol: Dict) -> None:
+        self.protocol = {"cache_version": CACHE_VERSION, **protocol}
+        self.fingerprint = sweep_fingerprint(self.protocol)
+        self.dir = pathlib.Path(root) / self.fingerprint
+        self.cells_dir = self.dir / "cells"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        protocol_path = self.dir / "protocol.json"
+        if not protocol_path.exists():
+            self._atomic_write(
+                protocol_path,
+                json.dumps(self.protocol, indent=2, sort_keys=True, default=str) + "\n",
+            )
+
+    # -- io ----------------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+
+    def _cell_path(self, key: Sequence[str]) -> pathlib.Path:
+        return self.cells_dir / _cell_filename(key)
+
+    # -- cell access ---------------------------------------------------------
+
+    def load(self, key: Sequence[str]) -> Optional[Dict]:
+        """Cached value dict for ``key``, or ``None`` on miss/corruption."""
+        path = self._cell_path(key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or "value" not in record:
+            return None
+        return record["value"]
+
+    def store(self, key: Sequence[str], value: Dict) -> pathlib.Path:
+        """Atomically persist one completed cell's value dict."""
+        path = self._cell_path(key)
+        record = {
+            "key": [str(part) for part in key],
+            "value": value,
+            "stored_unix": time.time(),
+        }
+        self._atomic_write(path, json.dumps(record, sort_keys=True, default=str) + "\n")
+        return path
+
+    def keys(self) -> Iterator[Tuple[str, ...]]:
+        """Keys of every readable cached cell (unspecified order)."""
+        for path in self.cells_dir.glob("*.json"):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict) and "key" in record:
+                yield tuple(record["key"])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:
+        return f"SweepCache(dir={str(self.dir)!r}, cells={len(self)})"

@@ -377,13 +377,65 @@ def _span_section(run_end: Optional[Dict]) -> List[str]:
     return lines
 
 
+def _sweep_section(events: List[Dict]) -> List[str]:
+    """Sweep-campaign summary from ``sweep.*`` events, if any were emitted.
+
+    Renders the campaign totals from ``sweep.end``, the execution policy
+    from ``sweep.start``, and — because failed cells are the thing an
+    operator needs to act on — one line per non-``ok`` ``sweep.cell_end``
+    with its error, attempt count and any recorded timeouts/retries.
+    """
+    start = next((e for e in events if e["kind"] == "sweep.start"), None)
+    end = next((e for e in events if e["kind"] == "sweep.end"), None)
+    if start is None and end is None:
+        return []
+    lines = ["## Sweep", ""]
+    if start:
+        lines.append(
+            f"* executor: **{start.get('executor', '?')}** "
+            f"(max_workers={start.get('max_workers', '?')}, "
+            f"timeout_s={start.get('timeout_s')}, "
+            f"retries={start.get('retries', '?')})"
+        )
+        if start.get("cache_dir"):
+            lines.append(
+                f"* cache: `{start['cache_dir']}` "
+                f"(fingerprint `{start.get('cache_fingerprint', '?')}`, "
+                f"{start.get('n_cached', 0)} cells resumed)"
+            )
+    if end:
+        lines.append(
+            f"* cells: {end.get('n_ok', '?')}/{end.get('n_cells', '?')} ok, "
+            f"{end.get('n_failed', 0)} failed, "
+            f"{end.get('n_cached', 0)} from cache "
+            f"({end.get('elapsed_s', 0.0):.1f} s)"
+        )
+    n_retries = sum(1 for e in events if e["kind"] == "sweep.retry")
+    n_timeouts = sum(1 for e in events if e["kind"] == "sweep.timeout")
+    if n_retries or n_timeouts:
+        lines.append(f"* retries: {n_retries}; timeouts: {n_timeouts}")
+    failed = [
+        e for e in events if e["kind"] == "sweep.cell_end" and e.get("status") != "ok"
+    ]
+    if failed:
+        lines += ["", "| Failed cell | Attempts | Error |", "|---|---|---|"]
+        for e in failed:
+            error = (e.get("error") or "?").splitlines()[0]
+            lines.append(
+                f"| `{e.get('cell', '?')}` | {e.get('attempts', '?')} | {error} |"
+            )
+    lines.append("")
+    return lines
+
+
 def render_run(run_dir: PathLike) -> str:
     """Render one telemetry run directory as a markdown report.
 
     Reads the manifest (``run.json``) and event stream
     (``events.jsonl``) written by :class:`repro.telemetry.Run` and
-    produces the per-epoch sparkline table, evaluation summaries, span
-    wall-clock breakdown and Monte-Carlo counters.
+    produces the per-epoch sparkline table, evaluation summaries, sweep
+    campaign summary (when the run wraps a ``repro.parallel`` sweep),
+    span wall-clock breakdown and Monte-Carlo counters.
     """
     from .telemetry import iter_events, load_manifest
 
@@ -395,6 +447,7 @@ def render_run(run_dir: PathLike) -> str:
     )
     evaluations = [e for e in events if e["kind"] == "evaluation"]
     run_end = next((e for e in events if e["kind"] == "run_end"), None)
+    sweep_lines = _sweep_section(events)
 
     lines = [
         f"# Run `{manifest.get('run_id', run_dir.name)}`",
@@ -432,5 +485,6 @@ def render_run(run_dir: PathLike) -> str:
                 f"{ev.get('elapsed_s', 0.0)*1e3:.1f} ms |"
             )
         lines.append("")
+    lines += sweep_lines
     lines += _span_section(run_end)
     return "\n".join(lines)

@@ -38,6 +38,26 @@ Well-known kinds
 ``gauges``
     Snapshot of the process-wide gauge registry, emitted by the
     benchmark harnesses (``source``, ``gauges``).
+``sweep.start`` / ``sweep.end``
+    Emitted by :func:`repro.parallel.run_cells` around a sweep
+    campaign: executor, cell counts (total/cached), worker budget and
+    cache fingerprint; the end event adds ``n_ok`` / ``n_failed`` /
+    ``n_cached`` and the campaign wall-clock.
+``sweep.cell_start`` / ``sweep.cell_end``
+    One pair per cell attempt/completion: ``cell`` (``"/"``-joined
+    key), ``attempt``, ``worker_pid``; the end event carries
+    ``status`` (``ok``/``failed``), ``attempts``, ``cached``,
+    ``elapsed_s`` and the cell's ``values`` dict (``error`` when it
+    failed).
+``sweep.retry`` / ``sweep.timeout``
+    Fault-handling markers: which cell failed/overran, the attempt
+    number, the error string and the backoff before the relaunch
+    (``timeout_s`` for timeouts).
+``sweep.worker``
+    A telemetry event a worker process emitted mid-cell (epoch losses,
+    evaluations, …), forwarded by the orchestrator: ``cell``,
+    ``worker_pid``, ``worker_kind`` and the original payload under
+    ``fields``.
 ``span``
     Optional per-span records when the run was opened with
     ``emit_span_events=True``: ``name``, ``dur_s``; aggregated span
@@ -78,6 +98,13 @@ EVENT_KINDS = (
     "fit_end",
     "evaluation",
     "experiment",
+    "sweep.start",
+    "sweep.cell_start",
+    "sweep.cell_end",
+    "sweep.retry",
+    "sweep.timeout",
+    "sweep.worker",
+    "sweep.end",
     "span",
     "gauges",
     "run_end",

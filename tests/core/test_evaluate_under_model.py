@@ -78,3 +78,78 @@ class TestEvaluateUnderModel:
             model, *data, GMMVariation(), mc_samples=5, seed=11, vectorized=False
         )
         assert np.array_equal(fast.samples, slow.samples)
+
+
+class TestBackendRestoredOnException:
+    """Regression: backend/sampler overrides must unwind on *any* exit.
+
+    ``_scan_backend`` used to install the override before entering its
+    try block, so a ``set_scan_backend`` that mutated state and then
+    raised — or an evaluation body that raised — could leak a
+    half-switched backend into every subsequent call on the model.
+    """
+
+    def test_scan_backend_restored_after_forward_raises(self, model, data):
+        original = model.scan_backend
+
+        x_bad = data[0].reshape(-1)  # 1-D: the forward rejects it
+        from repro.core import evaluate_under_variation
+
+        with pytest.raises(ValueError):
+            evaluate_under_variation(
+                model, x_bad, data[1], delta=0.1, mc_samples=2, scan_backend="unfused"
+            )
+        assert model.scan_backend == original
+
+    def test_scan_backend_restored_when_install_raises(self, model, data):
+        """A validating setter that raises mid-switch must be unwound."""
+        original = model.scan_backend
+        real_setter = type(model).set_scan_backend
+
+        calls = []
+
+        def flaky_setter(self, backend):
+            calls.append(backend)
+            if len(calls) == 1:
+                # Simulate a setter that mutated state before rejecting
+                # its argument (e.g. per-layer switch failing halfway).
+                real_setter(self, backend)
+                raise RuntimeError("backend rejected after partial switch")
+            return real_setter(self, backend)
+
+        from repro.core import evaluate_under_variation
+
+        type(model).set_scan_backend = flaky_setter
+        try:
+            with pytest.raises(RuntimeError, match="partial switch"):
+                evaluate_under_variation(
+                    model,
+                    *data,
+                    delta=0.1,
+                    mc_samples=2,
+                    scan_backend="unfused",
+                )
+        finally:
+            type(model).set_scan_backend = real_setter
+        # The finally-restore ran: the original backend is back even
+        # though installing the override blew up.
+        assert calls == ["unfused", original]
+        assert model.scan_backend == original
+
+    def test_sampler_restored_after_forward_raises(self, model, data):
+        before = model.sampler
+        x_bad = np.full(10, 0.5)  # 1-D: the forward rejects it
+        with pytest.raises(ValueError):
+            evaluate_under_model(
+                model, x_bad, data[1], UniformVariation(0.1), mc_samples=2
+            )
+        assert model.sampler is before
+
+    def test_scan_backend_restored_on_success(self, model, data):
+        from repro.core import evaluate_under_variation
+
+        original = model.scan_backend
+        evaluate_under_variation(
+            model, *data, delta=0.1, mc_samples=2, scan_backend="unfused"
+        )
+        assert model.scan_backend == original

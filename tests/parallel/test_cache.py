@@ -1,0 +1,77 @@
+"""Unit tests of the fingerprint-keyed on-disk sweep cell cache."""
+
+import json
+
+import pytest
+
+from repro.parallel import CACHE_VERSION, SweepCache, sweep_fingerprint
+from repro.parallel.cache import _cell_filename
+
+
+def test_fingerprint_is_order_insensitive():
+    a = sweep_fingerprint({"x": 1, "y": {"b": 2, "a": 3}})
+    b = sweep_fingerprint({"y": {"a": 3, "b": 2}, "x": 1})
+    assert a == b
+    assert a != sweep_fingerprint({"x": 2, "y": {"a": 3, "b": 2}})
+
+
+def test_round_trip(tmp_path):
+    cache = SweepCache(tmp_path, {"fn": "f", "cfg": {"seeds": [0, 1]}})
+    assert cache.load(("table1", "Slope", "adapt", "0")) is None
+    cache.store(("table1", "Slope", "adapt", "0"), {"acc": 0.5})
+    assert cache.load(("table1", "Slope", "adapt", "0")) == {"acc": 0.5}
+    assert len(cache) == 1
+    assert list(cache.keys()) == [("table1", "Slope", "adapt", "0")]
+
+
+def test_distinct_protocols_do_not_alias(tmp_path):
+    a = SweepCache(tmp_path, {"cfg": "A"})
+    b = SweepCache(tmp_path, {"cfg": "B"})
+    a.store(("k",), {"v": 1})
+    assert b.load(("k",)) is None
+    assert a.dir != b.dir
+    # Protocol files record what each fingerprint covers.
+    proto = json.loads((a.dir / "protocol.json").read_text())
+    assert proto["cfg"] == "A" and proto["cache_version"] == CACHE_VERSION
+
+
+def test_cache_version_in_fingerprint(tmp_path):
+    cache = SweepCache(tmp_path, {"cfg": "A"})
+    assert cache.fingerprint == sweep_fingerprint(
+        {"cache_version": CACHE_VERSION, "cfg": "A"}
+    )
+
+
+def test_corrupt_cell_is_a_miss(tmp_path):
+    cache = SweepCache(tmp_path, {"cfg": "A"})
+    path = cache.store(("k",), {"v": 1})
+    path.write_text("{ truncated", encoding="utf-8")
+    assert cache.load(("k",)) is None  # miss, not an exception
+    path.write_text(json.dumps({"no_value_field": 1}), encoding="utf-8")
+    assert cache.load(("k",)) is None
+
+
+def test_sanitisation_collisions_cannot_alias(tmp_path):
+    # Both keys sanitise to the same visible stem but carry distinct
+    # digests, so the cells land in different files.
+    assert _cell_filename(("a/b",)) != _cell_filename(("a:b",))
+    cache = SweepCache(tmp_path, {"cfg": "A"})
+    cache.store(("a/b",), {"v": 1})
+    cache.store(("a:b",), {"v": 2})
+    assert cache.load(("a/b",)) == {"v": 1}
+    assert cache.load(("a:b",)) == {"v": 2}
+
+
+def test_atomic_store_leaves_no_tmp_files(tmp_path):
+    cache = SweepCache(tmp_path, {"cfg": "A"})
+    for i in range(5):
+        cache.store((str(i),), {"v": i})
+    assert not list(cache.cells_dir.glob("*.tmp"))
+    assert len(cache) == 5
+
+
+@pytest.mark.parametrize("key", [("x",), ("a", "b"), ("with space", "ünicode")])
+def test_unusual_keys_round_trip(tmp_path, key):
+    cache = SweepCache(tmp_path, {"cfg": "A"})
+    cache.store(key, {"v": 42})
+    assert cache.load(key) == {"v": 42}

@@ -1,0 +1,113 @@
+"""Cross-process determinism: parallel sweeps are bit-equal to serial.
+
+The orchestrator's central promise is that sharding experiment cells
+across worker processes changes *nothing* about the produced values:
+every cell derives its randomness from its own coordinates, so the
+2-worker parallel campaign must reproduce the in-process serial oracle
+bit-for-bit — in the returned tables AND in the per-cell telemetry
+payloads written to ``events.jsonl``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.core import ExperimentConfig, run_table1
+from repro.core.experiment import _table1_cell, _table1_cells
+from repro.core.training import TrainingConfig
+from repro.parallel import SweepOptions, run_cells
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """2 seeds x 3 models on one dataset: 6 cells, < 1 min serial."""
+    return ExperimentConfig(
+        datasets=("Slope",),
+        n_samples=50,
+        seeds=(0, 1),
+        training=replace(TrainingConfig.ci(), max_epochs=6, lr_patience=2),
+        eval_mc=2,
+        top_k=2,
+    )
+
+
+def _flatten(table):
+    return {
+        (dataset, kind): (entry.mean, entry.std, entry.n_failed)
+        for dataset, row in table.items()
+        for kind, entry in row.items()
+    }
+
+
+def _cell_end_payloads(run_dir):
+    """Order-normalised {cell: (status, values)} from a run's events."""
+    events = telemetry.read_events(run_dir / "events.jsonl", kind="sweep.cell_end")
+    return {e["cell"]: (e["status"], e["values"]) for e in events}
+
+
+@pytest.mark.slow
+def test_table1_parallel_bit_equal_to_serial(tiny, tmp_path):
+    with telemetry.Run(dir=tmp_path / "serial"):
+        serial = run_table1(tiny, executor="serial")
+    with telemetry.Run(dir=tmp_path / "parallel"):
+        parallel = run_table1(
+            tiny, sweep=SweepOptions(executor="parallel", max_workers=2)
+        )
+
+    # 1. The returned tables are bit-identical.
+    assert _flatten(serial) == _flatten(parallel)
+
+    # 2. The per-cell telemetry payloads are identical once order is
+    # normalised (parallel completion order is scheduling-dependent).
+    cells_serial = _cell_end_payloads(tmp_path / "serial")
+    cells_parallel = _cell_end_payloads(tmp_path / "parallel")
+    assert set(cells_serial) == set(cells_parallel)
+    assert len(cells_serial) == len(tiny.datasets) * 3 * len(tiny.seeds)
+    assert cells_serial == cells_parallel  # bit-equal float values
+
+    # 3. Every cell succeeded in both campaigns.
+    assert all(status == "ok" for status, _ in cells_serial.values())
+
+
+@pytest.mark.slow
+def test_table1_cells_independent_of_execution_order(tiny):
+    """Running the same cell in isolation reproduces its sweep value."""
+    cells = _table1_cells(tiny)
+    sweep = run_cells(_table1_cell, cells, SweepOptions(executor="serial"))
+    # Recompute two cells out of order, standalone.
+    for cell in (cells[-1], cells[0]):
+        assert _table1_cell(*cell.args) == sweep[cell.key].value
+
+
+@pytest.mark.slow
+def test_parallel_resume_after_interrupt_is_bit_equal(tiny, tmp_path):
+    """A campaign killed mid-sweep resumes from cache to identical values."""
+    cache_dir = str(tmp_path / "cache")
+    cells = _table1_cells(tiny)
+
+    # Oracle: one uninterrupted serial campaign (no cache).
+    oracle = run_cells(_table1_cell, cells, SweepOptions(executor="serial"))
+
+    # "Interrupted" campaign: only the first half of the grid ran
+    # before the kill — simulated by submitting half the cells.
+    half = SweepOptions(executor="serial", cache_dir=cache_dir)
+    run_cells(
+        _table1_cell, cells[: len(cells) // 2], half,
+        fingerprint={"artefact": "table1", "config": "tiny"},
+    )
+
+    # Resume: full grid, parallel, same cache. Finished cells are
+    # served from disk; the rest compute fresh — values bit-equal.
+    resumed = run_cells(
+        _table1_cell,
+        cells,
+        SweepOptions(executor="parallel", max_workers=2, cache_dir=cache_dir),
+        fingerprint={"artefact": "table1", "config": "tiny"},
+    )
+    assert [resumed[c.key].cached for c in cells[: len(cells) // 2]] == [True] * (
+        len(cells) // 2
+    )
+    assert {k: o.value for k, o in resumed.items()} == {
+        k: o.value for k, o in oracle.items()
+    }

@@ -89,6 +89,48 @@ class TestRenderRun:
         assert any(block in text for block in "▂▃▄▅▆▇█")
 
 
+class TestRenderSweepRun:
+    @pytest.fixture()
+    def sweep_run_dir(self, tmp_path):
+        """A run dir holding sweep.* events (one failed cell)."""
+        with Run(root=tmp_path, name="sweep-demo") as run:
+            run.emit(
+                "sweep.start", executor="parallel", n_cells=3, n_cached=1,
+                max_workers=2, timeout_s=5.0, retries=1,
+                cache_dir="sweep_cache", cache_fingerprint="abc123",
+            )
+            run.emit(
+                "sweep.cell_end", cell="table1/Slope/adapt/0", status="ok",
+                attempts=1, cached=False, elapsed_s=0.5, values={}, error=None,
+            )
+            run.emit("sweep.retry", cell="t/1", attempt=1, error="boom", backoff_s=0.1)
+            run.emit(
+                "sweep.cell_end", cell="table1/Slope/adapt/1", status="failed",
+                attempts=2, cached=False, elapsed_s=1.0, values=None,
+                error="ValueError: boom\n  deep traceback",
+            )
+            run.emit(
+                "sweep.end", n_cells=3, n_ok=2, n_failed=1, n_cached=1,
+                elapsed_s=2.5,
+            )
+            out = run.dir
+        return out
+
+    def test_sweep_section_rendered(self, sweep_run_dir):
+        text = render_run(sweep_run_dir)
+        assert "## Sweep" in text
+        assert "executor: **parallel**" in text
+        assert "cells: 2/3 ok, 1 failed, 1 from cache" in text
+        assert "`sweep_cache`" in text and "abc123" in text
+        assert "retries: 1" in text
+        # Failed-cell table: first line of the error only.
+        assert "| `table1/Slope/adapt/1` | 2 | ValueError: boom |" in text
+        assert "deep traceback" not in text
+
+    def test_no_sweep_section_without_sweep_events(self, run_dir):
+        assert "## Sweep" not in render_run(run_dir)
+
+
 class TestRunsCli:
     def test_list(self, run_dir, capsys):
         assert main(["runs", "list", "--root", str(run_dir.parent)]) == 0

@@ -29,6 +29,7 @@ class TestPackageSurface:
             "report",
             "cli",
             "telemetry",
+            "parallel",
         ],
     )
     def test_subpackages_importable(self, module):
@@ -36,7 +37,7 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize(
         "module",
-        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw", "telemetry"],
+        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw", "telemetry", "parallel"],
     )
     def test_all_exports_resolve(self, module):
         mod = __import__(f"repro.{module}", fromlist=["__all__"])

@@ -28,6 +28,26 @@ class TestParser:
         assert args.output == "adapt_pnc.cir"
         assert not args.coupled
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.artefact == "table1"
+        assert args.executor == "parallel"
+        assert args.max_workers == 2
+        assert args.cache_dir == "sweep_cache"
+        assert not args.no_cache and not args.no_telemetry
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "--artefact", "fig7", "--executor", "serial",
+                "--timeout", "30", "--retries", "2", "--no-cache",
+            ]
+        )
+        assert args.artefact == "fig7"
+        assert args.executor == "serial"
+        assert args.timeout == 30.0 and args.retries == 2
+        assert args.no_cache
+
 
 class TestExecution:
     def test_mu_command_runs(self, capsys):

@@ -1,0 +1,94 @@
+"""Precision-policy speedups against the float64 oracle.
+
+The engine computes in the process-level precision policy
+(:mod:`repro.autograd.precision`): ``float64`` is the bit-equal
+reference path, ``float32`` halves every array and ``mixed`` adds
+float64 master weights inside AdamW (AMP-style).  This benchmark runs
+the fused SO-LF kernel and an end-to-end variation-aware + augmented
+``Trainer.fit`` under each policy and asserts:
+
+* ≥ 1.5× fused-scan forward+backward speedup at float32 (and mixed,
+  whose compute path is identical) over the float64 oracle;
+* ≥ 1.5× end-to-end ``Trainer.fit`` epoch speedup at float32;
+* the float64 oracle is bit-equal across reruns (deltas exactly 0);
+* float32/mixed losses agree with the oracle to rtol 1e-4 and the
+  post-training Monte-Carlo accuracy within 0.5 pp.
+"""
+
+from repro.core import (
+    DTYPE_ACCURACY_TOL_PP,
+    DTYPE_LOSS_RTOL,
+    format_dtype_benchmark,
+    run_dtype_benchmark,
+)
+
+#: Acceptance floor for the float32-over-float64 speedups (both the
+#: fused SO-LF kernel and the end-to-end training epoch).
+SPEEDUP_FLOOR = 1.5
+
+
+def run() -> dict:
+    return run_dtype_benchmark(
+        seq_len=96, batch=48, draws=12, num_filters=8, repeats=5, seed=0,
+        train_epochs=3, train_samples=128, train_seq_len=192,
+    )
+
+
+def _check(record: dict) -> None:
+    solf = record["solf"]
+    training = record["training"]
+    assert record["equivalent"], (
+        f"precision policies diverged beyond tolerance "
+        f"(loss rtol {DTYPE_LOSS_RTOL:.0e}, "
+        f"accuracy tol {DTYPE_ACCURACY_TOL_PP} pp)"
+    )
+    # The float64 policy is the oracle: reruns must be bit-equal.
+    assert record["oracle"]["bit_equal"], (
+        f"float64 oracle rerun diverged: |Δloss| = "
+        f"{record['oracle']['loss_delta']:.2e}"
+    )
+    # Acceptance: ≥ 1.5× fused-scan fwd+bwd at float32.
+    assert solf["speedup_float32"] >= SPEEDUP_FLOOR, (
+        f"float32 SO-LF speedup is only {solf['speedup_float32']:.2f}x "
+        f"(need >= {SPEEDUP_FLOOR}x)"
+    )
+    assert solf["speedup_mixed"] >= SPEEDUP_FLOOR, (
+        f"mixed SO-LF speedup is only {solf['speedup_mixed']:.2f}x "
+        f"(need >= {SPEEDUP_FLOOR}x)"
+    )
+    # Acceptance: ≥ 1.5× end-to-end Trainer.fit epoch at float32.
+    assert training["epoch_speedup_float32"] >= SPEEDUP_FLOOR, (
+        f"float32 training epoch speedup is only "
+        f"{training['epoch_speedup_float32']:.2f}x (need >= {SPEEDUP_FLOOR}x)"
+    )
+    # Mixed pays for master-weight upkeep in the optimizer, so its bar
+    # is "faster than the oracle", not the full kernel factor.
+    assert training["epoch_speedup_mixed"] > 1.0, (
+        f"mixed training epoch is not faster: "
+        f"{training['epoch_speedup_mixed']:.2f}x"
+    )
+    # Paper-protocol accuracy must survive the precision cut.
+    assert training["accuracy_delta_pp_float32"] <= DTYPE_ACCURACY_TOL_PP
+    assert training["accuracy_delta_pp_mixed"] <= DTYPE_ACCURACY_TOL_PP
+
+
+def test_precision(benchmark):
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_dtype_benchmark(record))
+    _check(record)
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None, help="write the record as JSON")
+    args = parser.parse_args()
+    rec = run()
+    print(format_dtype_benchmark(rec))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump({"precision": rec}, fh, indent=2)
+        print(f"wrote {args.output}")
+    _check(rec)

@@ -20,10 +20,30 @@ from .functional import (
     where,
 )
 from .grad_check import check_gradients, numerical_gradient
+from .precision import (
+    PRECISION_POLICIES,
+    PrecisionPolicy,
+    compute_dtype,
+    default_tolerances,
+    get_precision,
+    master_dtype,
+    resolve_policy,
+    set_precision,
+    use_precision,
+)
 from .tensor import Tensor
 
 __all__ = [
     "Tensor",
+    "PRECISION_POLICIES",
+    "PrecisionPolicy",
+    "get_precision",
+    "set_precision",
+    "use_precision",
+    "resolve_policy",
+    "compute_dtype",
+    "master_dtype",
+    "default_tolerances",
     "Function",
     "FunctionContext",
     "FilterScan",

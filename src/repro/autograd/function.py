@@ -115,7 +115,9 @@ class Function:
             for tensor, g in zip(tensors, grads):
                 if tensor.requires_grad and g is not None:
                     tensor._accumulate_grad(
-                        _unbroadcast(np.asarray(g, dtype=np.float64), tensor.shape)
+                        _unbroadcast(
+                            np.asarray(g, dtype=tensor.data.dtype), tensor.shape
+                        )
                     )
 
         return Tensor._from_op(np.asarray(data), tensors, backward_fn, cls.__name__)
@@ -178,7 +180,8 @@ class FilterScan(Function):
             if pad > 0
             else x_tm
         )
-        buf = np.empty((steps,) + step_shape)
+        dtype = np.result_type(x, a, b, v0)
+        buf = np.empty((steps,) + step_shape, dtype=dtype)
         # Pre-fill every step's b ⊙ x_k term in ONE vectorized multiply
         # (b_e gains a leading time axis so it broadcasts against the
         # stacked x); the loop then only carries the irreducibly
@@ -194,7 +197,7 @@ class FilterScan(Function):
             if a_e.shape != step_shape
             else a_e
         )
-        tmp = np.empty(step_shape)
+        tmp = np.empty(step_shape, dtype=dtype)
         v: np.ndarray = v0
         for k in range(steps):
             vk = buf[k]
@@ -231,14 +234,14 @@ class FilterScan(Function):
         # input/coefficient gradients as whole-tensor vectorized ops
         # afterwards.  At the hot sizes the per-step ufunc dispatch
         # overhead, not the FLOPs, is the bottleneck.
-        G = np.empty((steps,) + step_shape)
+        G = np.empty((steps,) + step_shape, dtype=buf.dtype)
         a_d = (
             np.ascontiguousarray(np.broadcast_to(a_e, step_shape))
             if a_e.shape != step_shape
             else a_e
         )
-        g = np.zeros(step_shape)
-        tmp = np.empty(step_shape)
+        g = np.zeros(step_shape, dtype=buf.dtype)
+        tmp = np.empty(step_shape, dtype=buf.dtype)
         for k in range(steps - 1, -1, -1):
             np.multiply(a_d, g, out=tmp)
             g = G[k]

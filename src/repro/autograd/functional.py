@@ -10,6 +10,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from .precision import compute_dtype
 from .tensor import ArrayLike, Tensor
 
 __all__ = [
@@ -118,7 +119,7 @@ def one_hot(labels: Union[np.ndarray, Sequence[int]], num_classes: int) -> np.nd
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError("label outside [0, num_classes)")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=compute_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 

@@ -3,24 +3,60 @@
 Used by the test suite to certify every differentiable op against
 central finite differences — the reproduction's equivalent of trusting
 PyTorch's battle-tested backward implementations.
+
+Dtype awareness
+---------------
+Finite differences degrade with the working precision: at float32 the
+optimal central-difference step is near ``cbrt(machine eps) ~ 5e-3``
+and the achievable agreement is a few per cent, while float64 supports
+``eps = 1e-6`` with ``atol = 1e-5``.  Both :func:`numerical_gradient`
+and :func:`check_gradients` therefore accept a ``dtype`` and resolve
+any tolerance left as ``None`` from
+:func:`repro.autograd.precision.default_tolerances`, so the float32
+suites don't have to hand-tune numbers per test.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .precision import default_tolerances, use_precision
 from .tensor import Tensor
 
 __all__ = ["numerical_gradient", "check_gradients"]
+
+
+def _resolve_dtype(dtype, inputs: Sequence[np.ndarray]) -> np.dtype:
+    """``dtype`` if given, else the numpy result type of ``inputs``."""
+    if dtype is not None:
+        return np.dtype(dtype)
+    resolved = np.result_type(*[np.asarray(x) for x in inputs])
+    if resolved.kind != "f":
+        resolved = np.dtype(np.float64)
+    return resolved
+
+
+def _policy_scope(work: np.dtype):
+    """Precision-policy context matching the working dtype.
+
+    :class:`~repro.autograd.Tensor` coerces raw arrays to the *active*
+    policy's compute dtype, so a float32 gradient check under the
+    default float64 policy would silently upcast its evaluations.
+    Activating the matching pure policy keeps the evaluations honest;
+    for float64 (and anything unrecognised) this re-activates the
+    float64 policy, a numerical no-op on the historical suites.
+    """
+    return use_precision("float32" if work == np.dtype(np.float32) else "float64")
 
 
 def numerical_gradient(
     fn: Callable[..., Tensor],
     inputs: Sequence[np.ndarray],
     index: int,
-    eps: float = 1e-6,
+    eps: Optional[float] = None,
+    dtype=None,
 ) -> np.ndarray:
     """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
 
@@ -33,45 +69,71 @@ def numerical_gradient(
     index:
         Which argument to differentiate.
     eps:
-        Finite-difference step.
+        Finite-difference step; defaults to the working dtype's entry in
+        :func:`~repro.autograd.precision.default_tolerances`.
+    dtype:
+        Working dtype for the perturbed evaluations (default: inferred
+        from ``inputs``, float64 for non-float inputs).
+
+    The difference quotient itself is always accumulated in float64 —
+    only the function evaluations run at the working precision.
     """
-    base = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
-    grad = np.zeros_like(base[index])
+    work = _resolve_dtype(dtype, inputs)
+    if eps is None:
+        eps = default_tolerances(work)["eps"]
+    base = [np.asarray(x, dtype=work).copy() for x in inputs]
+    grad = np.zeros(base[index].shape, dtype=np.float64)
     flat = grad.reshape(-1)
     target = base[index].reshape(-1)
-    for i in range(target.size):
-        original = target[i]
-        target[i] = original + eps
-        plus = float(fn(*[Tensor(b) for b in base]).sum().item())
-        target[i] = original - eps
-        minus = float(fn(*[Tensor(b) for b in base]).sum().item())
-        target[i] = original
-        flat[i] = (plus - minus) / (2.0 * eps)
+    with _policy_scope(work):
+        for i in range(target.size):
+            original = target[i]
+            target[i] = original + work.type(eps)
+            plus = float(fn(*[Tensor(b) for b in base]).sum().item())
+            target[i] = original - work.type(eps)
+            minus = float(fn(*[Tensor(b) for b in base]).sum().item())
+            target[i] = original
+            flat[i] = (plus - minus) / (2.0 * eps)
     return grad
 
 
 def check_gradients(
     fn: Callable[..., Tensor],
     inputs: Sequence[np.ndarray],
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
-    eps: float = 1e-6,
+    atol: Optional[float] = None,
+    rtol: Optional[float] = None,
+    eps: Optional[float] = None,
+    dtype=None,
 ) -> bool:
     """Compare analytic and numerical gradients for every input.
+
+    Tolerances left as ``None`` resolve from the working dtype (see
+    :func:`~repro.autograd.precision.default_tolerances`); under the
+    default float64 policy that reproduces the historical
+    ``atol=1e-5, rtol=1e-4, eps=1e-6``.
 
     Returns ``True`` on success; raises ``AssertionError`` with a
     diagnostic message on mismatch.
     """
-    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
-    out = fn(*tensors)
-    out.sum().backward()
+    work = _resolve_dtype(dtype, inputs)
+    defaults = default_tolerances(work)
+    atol = defaults["atol"] if atol is None else atol
+    rtol = defaults["rtol"] if rtol is None else rtol
+    eps = defaults["eps"] if eps is None else eps
+    with _policy_scope(work):
+        tensors = [
+            Tensor(np.asarray(x, dtype=work), requires_grad=True) for x in inputs
+        ]
+        out = fn(*tensors)
+        out.sum().backward()
     for i, t in enumerate(tensors):
         analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
-        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps, dtype=work)
         if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
             worst = np.max(np.abs(analytic - numeric))
             raise AssertionError(
-                f"gradient mismatch on input {i}: max abs error {worst:.3e}\n"
+                f"gradient mismatch on input {i} (dtype {work}): "
+                f"max abs error {worst:.3e}\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
     return True

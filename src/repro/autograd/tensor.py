@@ -8,11 +8,15 @@ products, reductions, indexing and a handful of nonlinearities.
 
 Design
 ------
-Every :class:`Tensor` wraps a float64 ``numpy.ndarray``.  An operation on
-tensors produces a new tensor holding references to its parents and a
-closure that, given the gradient of the loss w.r.t. the output,
-accumulates gradients into the parents.  :meth:`Tensor.backward` runs the
-closures in reverse topological order.
+Every :class:`Tensor` wraps a floating-point ``numpy.ndarray`` whose
+dtype is resolved from the process-level precision policy
+(:mod:`repro.autograd.precision`; ``float64`` by default — the
+bit-equal oracle — with ``float32``/``mixed`` compute policies for the
+bandwidth-bound hot path).  An operation on tensors produces a new
+tensor holding references to its parents and a closure that, given the
+gradient of the loss w.r.t. the output, accumulates gradients into the
+parents.  :meth:`Tensor.backward` runs the closures in reverse
+topological order; gradients are kept in each tensor's own dtype.
 
 Broadcasting follows numpy semantics; gradients flowing into a
 broadcast operand are reduced back to its shape by
@@ -26,6 +30,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .context import is_grad_enabled
+from .precision import compute_dtype
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -33,10 +38,10 @@ __all__ = ["Tensor", "ArrayLike"]
 
 
 def _as_array(data: ArrayLike) -> np.ndarray:
-    """Coerce input data to a float64 numpy array."""
+    """Coerce input data to a numpy array in the policy compute dtype."""
     if isinstance(data, Tensor):
         return data.data
-    return np.asarray(data, dtype=np.float64)
+    return np.asarray(data, dtype=compute_dtype())
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -80,7 +85,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a numpy array in the active policy's
+        compute dtype (``float64`` under the default policy).
     requires_grad:
         Whether the tensor should accumulate gradients in
         :attr:`grad` when :meth:`backward` is called on a descendant.
@@ -106,22 +112,25 @@ class Tensor:
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
         """Tensor of zeros with the given shape."""
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=compute_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
         """Tensor of ones with the given shape."""
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=compute_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def full(shape: Sequence[int], value: float, requires_grad: bool = False) -> "Tensor":
         """Tensor filled with ``value``."""
-        return Tensor(np.full(tuple(shape), float(value)), requires_grad=requires_grad)
+        return Tensor(
+            np.full(tuple(shape), float(value), dtype=compute_dtype()),
+            requires_grad=requires_grad,
+        )
 
     @staticmethod
     def eye(n: int, requires_grad: bool = False) -> "Tensor":
         """Identity matrix of size ``n``."""
-        return Tensor(np.eye(n), requires_grad=requires_grad)
+        return Tensor(np.eye(n, dtype=compute_dtype()), requires_grad=requires_grad)
 
     @classmethod
     def _from_op(
@@ -200,7 +209,7 @@ class Tensor:
         """
         if self.grad is None:
             if grad.shape == self.data.shape:
-                self.grad = np.array(grad, dtype=np.float64)
+                self.grad = np.array(grad, dtype=self.data.dtype)
                 return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
@@ -224,7 +233,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
             grad = np.ones_like(self.data)
-        grad = np.broadcast_to(_as_array(grad), self.data.shape).astype(np.float64)
+        grad = np.broadcast_to(_as_array(grad), self.data.shape).astype(self.data.dtype)
 
         # Topological order via iterative DFS (recursion-free: RNN graphs
         # over long sequences would overflow Python's stack otherwise).
@@ -470,7 +479,7 @@ class Tensor:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate_grad(np.broadcast_to(g, self.shape).astype(np.float64))
+            self._accumulate_grad(np.broadcast_to(g, self.shape).astype(self.data.dtype))
 
         return Tensor._from_op(np.asarray(data), (self,), backward_fn, "sum")
 
@@ -492,7 +501,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             # The stride-0 broadcast view is densified (one copy) by
             # _accumulate_grad itself; no eager astype copy needed.
-            g = np.asarray(g, dtype=np.float64)
+            g = np.asarray(g, dtype=self.data.dtype)
             self._accumulate_grad(np.broadcast_to(g, self.shape))
 
         return Tensor._from_op(np.asarray(data), (self,), backward_fn, "mean")
@@ -509,7 +518,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
                 d = np.expand_dims(d, axis=axis)
-            mask = (self.data == d).astype(np.float64)
+            mask = (self.data == d).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate_grad(mask * g)
 
@@ -520,10 +529,15 @@ class Tensor:
         return (-self).max(axis=axis, keepdims=keepdims).__neg__()
 
     def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        """Population variance built from differentiable primitives."""
+        """Population variance built from differentiable primitives.
+
+        A single ``diff = self - mu`` node is squared as ``diff * diff``
+        — building ``(self - mu)`` twice would add a redundant graph
+        node and a second full-size temporary per call.
+        """
         mu = self.mean(axis=axis, keepdims=True)
-        sq = (self - mu) * (self - mu)
-        return sq.mean(axis=axis, keepdims=keepdims)
+        diff = self - mu
+        return (diff * diff).mean(axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------
     # Shape manipulation

@@ -88,7 +88,7 @@ class PrintedCrossbar(Module):
         at the printable maximum.
         """
         mag = self.theta.abs()
-        mask = (np.abs(self.theta.data) >= THETA_MIN).astype(np.float64)
+        mask = (np.abs(self.theta.data) >= THETA_MIN).astype(self.theta.data.dtype)
         g = mag.clip(0.0, THETA_MAX) * mask
         g_b = self.theta_b.abs().clip(0.0, THETA_MAX)
         g_d = self.theta_d.abs().clip(THETA_MIN, THETA_MAX)

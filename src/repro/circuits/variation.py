@@ -21,6 +21,16 @@ sampler's parent generator (:meth:`spawn_streams`).  Draw ``d`` then
 consumes *its own* stream in module-call order, which is exactly the
 stream a sequential forward pass for draw ``d`` would consume — so the
 sampled ε/μ/V₀ values are bit-identical between the two paths.
+
+Precision policy
+----------------
+Random draws are always *generated* in float64 — numpy's Generator
+produces float64 streams, and keeping the generation dtype fixed means
+every precision policy consumes the identical random sequence — and
+then cast once to the active policy's compute dtype at the draw-method
+boundary (a no-op under the default float64 policy).  A float32 run
+therefore sees exactly ``float64_draw.astype(float32)`` of what the
+float64 oracle sees.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..autograd.precision import compute_dtype
 from ..telemetry import record_span
 
 __all__ = [
@@ -222,6 +233,7 @@ class VariationSampler:
             out = self._per_draw(lambda rng: self.model.sample(shape, rng))
         else:
             out = self.model.sample(shape, self.rng)
+        out = np.asarray(out, dtype=compute_dtype())
         record_span("sampler.draw", time.perf_counter() - start)
         return out
 
@@ -229,21 +241,27 @@ class VariationSampler:
         """Draw coupling factors μ ∈ [mu_low, mu_high] (batched-aware)."""
         shape = tuple(shape)
         if self._draw_streams is not None:
-            return self._per_draw(
+            out = self._per_draw(
                 lambda rng: rng.uniform(self.mu_low, self.mu_high, size=shape)
             )
-        return self.rng.uniform(self.mu_low, self.mu_high, size=shape)
+        else:
+            out = self.rng.uniform(self.mu_low, self.mu_high, size=shape)
+        return np.asarray(out, dtype=compute_dtype())
 
     def initial_voltage(self, shape: Sequence[int]) -> np.ndarray:
         """Draw filter initial voltages V₀ ∈ [0, v0_max] (batched-aware)."""
         shape = tuple(shape)
         if self.v0_max == 0:
             if self._draw_streams is not None:
-                return np.zeros((len(self._draw_streams),) + shape)
-            return np.zeros(shape)
+                return np.zeros((len(self._draw_streams),) + shape, dtype=compute_dtype())
+            return np.zeros(shape, dtype=compute_dtype())
         if self._draw_streams is not None:
-            return self._per_draw(lambda rng: rng.uniform(0.0, self.v0_max, size=shape))
-        return self.rng.uniform(0.0, self.v0_max, size=shape)
+            out = self._per_draw(
+                lambda rng: rng.uniform(0.0, self.v0_max, size=shape)
+            )
+        else:
+            out = self.rng.uniform(0.0, self.v0_max, size=shape)
+        return np.asarray(out, dtype=compute_dtype())
 
     def reseed(self, seed: int) -> None:
         """Reset the internal generator (per-experiment reproducibility)."""

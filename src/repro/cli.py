@@ -13,6 +13,10 @@ Subcommands
 * ``scan-bench`` — measure the fused filter-scan kernel against the
   node-per-step oracle (SO-LF forward+backward and end-to-end epoch
   wall-clock) and verify loss/gradient equivalence;
+* ``dtype-bench`` — measure each precision policy (float64 oracle,
+  float32, mixed) through the fused SO-LF kernel and end-to-end
+  training, and verify the float64 path is bit-equal across reruns
+  while the reduced-precision policies stay within tolerance;
 * ``report`` — render a saved ``results.json`` as markdown;
 * ``runs`` — inspect telemetry run directories written by
   :class:`repro.telemetry.Run` (``list`` / ``show`` / ``tail``);
@@ -30,14 +34,19 @@ from typing import List, Optional
 __all__ = ["build_parser", "main"]
 
 
-def _config(scale: str):
+def _config(scale: str, precision: Optional[str] = None):
+    from dataclasses import replace
+
     from .core import ExperimentConfig
 
-    return {
+    config = {
         "paper": ExperimentConfig.paper,
         "ci": ExperimentConfig.ci,
         "smoke": ExperimentConfig.smoke,
     }[scale]()
+    if precision is not None:
+        config = replace(config, training=replace(config.training, precision=precision))
+    return config
 
 
 def _cmd_artifact(args: argparse.Namespace) -> int:
@@ -55,7 +64,7 @@ def _cmd_artifact(args: argparse.Namespace) -> int:
     from .hw import format_hardware_table
     from .utils import render_table
 
-    config = _config(args.scale)
+    config = _config(args.scale, precision=args.precision)
     name = args.command
     if name == "table1":
         print(format_table1(run_table1(config, verbose=args.verbose)))
@@ -220,6 +229,30 @@ def _cmd_scan_bench(args: argparse.Namespace) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_dtype_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import format_dtype_benchmark, run_dtype_benchmark
+
+    record = run_dtype_benchmark(
+        seq_len=args.seq_len,
+        batch=args.batch,
+        draws=args.draws,
+        num_filters=args.filters,
+        repeats=args.repeats,
+        seed=args.seed,
+        train_epochs=args.epochs,
+        include_training=not args.no_training,
+        policies=args.policies,
+    )
+    print(format_dtype_benchmark(record))
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump({"precision": record}, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if record["equivalent"] else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -227,7 +260,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core import format_fig7, format_table1, run_fig7_ablation, run_table1
     from .parallel import SweepOptions
 
-    config = _config(args.config)
+    config = _config(args.config, precision=args.precision)
     options = SweepOptions(
         executor=args.executor,
         max_workers=args.max_workers,
@@ -274,9 +307,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .autograd.precision import PRECISION_POLICIES
+
     for name in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "mu"):
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+        p.add_argument(
+            "--precision",
+            choices=PRECISION_POLICIES,
+            default=None,
+            help="training precision policy (default: the config preset's)",
+        )
         p.add_argument("--verbose", action="store_true")
         p.add_argument("--samples", type=int, default=10, help="mu-study sample count")
         p.set_defaults(func=_cmd_artifact)
@@ -350,6 +391,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_scan_bench)
 
     p = sub.add_parser(
+        "dtype-bench",
+        help="benchmark precision policies (float64 oracle vs float32/mixed)",
+    )
+    p.add_argument("--seq-len", type=int, default=96, help="sequence length T")
+    p.add_argument("--batch", type=int, default=48)
+    p.add_argument("--draws", type=int, default=12, help="Monte-Carlo draws")
+    p.add_argument("--filters", type=int, default=8, help="filter-bank width")
+    p.add_argument("--repeats", type=int, default=5, help="timed repeats per policy")
+    p.add_argument("--epochs", type=int, default=4, help="end-to-end training epochs")
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        choices=PRECISION_POLICIES,
+        default=None,
+        help="precision policies to benchmark (default: all; float64 required)",
+    )
+    p.add_argument(
+        "--no-training", action="store_true", help="skip the Trainer.fit comparison"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write the record as JSON here")
+    p.set_defaults(func=_cmd_dtype_bench)
+
+    p = sub.add_parser(
         "sweep", help="run a sharded (or serial-oracle) experiment sweep"
     )
     p.add_argument(
@@ -363,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "ci", "paper"),
         default="smoke",
         help="experiment scale (same presets as the artefact commands)",
+    )
+    p.add_argument(
+        "--precision",
+        choices=PRECISION_POLICIES,
+        default=None,
+        help="training precision policy (default: the config preset's)",
     )
     p.add_argument(
         "--executor",

@@ -30,6 +30,12 @@ from .models import (
     PTPNC,
 )
 from .calibration import CalibrationResult, calibrate_instance, calibration_study
+from .dtypebench import (
+    DTYPE_ACCURACY_TOL_PP,
+    DTYPE_LOSS_RTOL,
+    format_dtype_benchmark,
+    run_dtype_benchmark,
+)
 from .mcbench import EQUIVALENCE_ATOL, format_mc_benchmark, run_mc_benchmark
 from .scanbench import (
     SCAN_EQUIVALENCE_ATOL,
@@ -96,4 +102,8 @@ __all__ = [
     "format_scan_benchmark",
     "SCAN_EQUIVALENCE_ATOL",
     "SCAN_GRAD_ATOL",
+    "run_dtype_benchmark",
+    "format_dtype_benchmark",
+    "DTYPE_LOSS_RTOL",
+    "DTYPE_ACCURACY_TOL_PP",
 ]

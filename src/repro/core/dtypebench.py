@@ -1,0 +1,433 @@
+"""Precision-policy throughput and equivalence measurement.
+
+One shared harness behind ``benchmarks/bench_precision.py`` and the
+``python -m repro dtype-bench`` CLI subcommand.  Three measurements per
+precision policy (:mod:`repro.autograd.precision`):
+
+1. **SO-LF kernel** — forward+backward through one fused
+   :class:`~repro.circuits.SecondOrderLearnableFilter` bank under each
+   policy, with the *same* ε/μ/V₀ random streams (variation draws are
+   generated in float64 and cast once, so every policy sees the rounded
+   view of one stream).  Reported as per-policy wall-clock plus the
+   float32-over-float64 speedup.
+2. **End-to-end training** — a short variation-aware + augmented
+   ``Trainer.fit`` run per policy on identical data/seeds, recording
+   epoch wall-clock and post-training accuracy under ±10 % Monte-Carlo
+   variation (the paper's measurement protocol).
+3. **Oracle / equivalence checks** — the float64 policy is the
+   bit-equal reference: two independent float64 constructions must
+   produce *exactly* identical losses and parameter gradients (delta
+   0.0, not merely small).  float32 and mixed must agree with the
+   float64 oracle within :data:`DTYPE_LOSS_RTOL` on losses and within
+   :data:`DTYPE_ACCURACY_TOL_PP` percentage points on smoke-dataset
+   accuracy.
+
+The record is JSON-serialisable; ``equivalent`` summarises all three
+checks and drives the CLI exit code.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..augment import AugmentationConfig
+from ..autograd import Tensor
+from ..autograd.precision import PRECISION_POLICIES, resolve_policy, use_precision
+from ..circuits import (
+    SecondOrderLearnableFilter,
+    UniformVariation,
+    VariationSampler,
+)
+from ..utils.timing import Stopwatch, mc_counters
+from .. import telemetry
+from .evaluation import evaluate_under_variation
+from .models import AdaptPNC
+from .training import Trainer, TrainingConfig
+
+__all__ = [
+    "run_dtype_benchmark",
+    "format_dtype_benchmark",
+    "DTYPE_LOSS_RTOL",
+    "DTYPE_ACCURACY_TOL_PP",
+]
+
+#: Relative loss-agreement tolerance for the reduced-precision policies
+#: against the float64 oracle (single forward and first training epoch;
+#: float32 rounding is ~1e-7 per element, summation keeps it well under
+#: this).
+DTYPE_LOSS_RTOL = 1e-4
+
+#: Maximum admissible Monte-Carlo accuracy drop (percentage points) of
+#: a reduced-precision policy against the float64 oracle on the smoke
+#: workload — the paper-level "no accuracy cost" acceptance bound.
+DTYPE_ACCURACY_TOL_PP = 0.5
+
+
+def _make_filter(num_filters: int, seed: int) -> SecondOrderLearnableFilter:
+    sampler = VariationSampler(
+        model=UniformVariation(0.10), rng=np.random.default_rng(seed + 7)
+    )
+    return SecondOrderLearnableFilter(
+        num_filters,
+        sampler=sampler,
+        rng=np.random.default_rng(seed),
+        scan_backend="fused",
+    )
+
+
+def _solf_pass(
+    flt: SecondOrderLearnableFilter, x: Tensor, draws: int, seed: int
+) -> Dict[str, object]:
+    """One forward+backward through the SO-LF bank with reseeded draws."""
+    flt.zero_grad()
+    flt.sampler.reseed(seed + 31)
+    with Stopwatch() as fw:
+        with flt.sampler.batched(draws):
+            out = flt(x)
+    loss = float(np.mean(np.asarray(out.data, dtype=np.float64) ** 2))
+    grad_seed = (2.0 * out.data / out.data.size).astype(out.data.dtype)
+    with Stopwatch() as bw:
+        out.backward(grad_seed)
+    grads = {name: p.grad.copy() for name, p in flt.named_parameters()}
+    return {
+        "forward_s": fw.elapsed,
+        "backward_s": bw.elapsed,
+        "loss": loss,
+        "grads": grads,
+    }
+
+
+def _bench_solf(
+    seq_len: int,
+    batch: int,
+    draws: int,
+    num_filters: int,
+    repeats: int,
+    seed: int,
+    policies: Sequence[str],
+) -> Tuple[Dict, Dict[str, Dict[str, np.ndarray]]]:
+    """Best-of-``repeats`` SO-LF forward+backward per precision policy.
+
+    The input series is generated once in float64 and recast per policy,
+    so every policy classifies the rounded view of one dataset.  Returns
+    the timing record plus the per-policy gradient dict (consumed by the
+    oracle check).
+    """
+    rng = np.random.default_rng(seed)
+    x64 = rng.uniform(-1.0, 1.0, size=(batch, seq_len, num_filters))
+
+    per_policy: Dict[str, Dict] = {}
+    grads: Dict[str, Dict[str, np.ndarray]] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for name in policies:
+            with use_precision(name) as policy:
+                flt = _make_filter(num_filters, seed)
+                x = Tensor(x64)  # cast to the policy's compute dtype
+                _solf_pass(flt, x, draws, seed)  # warm-up
+                best_f: List[float] = []
+                best_b: List[float] = []
+                last: Dict[str, object] = {}
+                for _ in range(repeats):
+                    last = _solf_pass(flt, x, draws, seed)
+                    best_f.append(last["forward_s"])
+                    best_b.append(last["backward_s"])
+                per_policy[name] = {
+                    "forward_s": min(best_f),
+                    "backward_s": min(best_b),
+                    "step_s": min(best_f) + min(best_b),
+                    "loss": last["loss"],
+                    "compute_dtype": str(np.dtype(policy.compute)),
+                }
+                grads[name] = last["grads"]
+                mc_counters.record_precision(
+                    str(np.dtype(policy.compute)), min(best_f) + min(best_b), draws
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    record: Dict = {
+        "seq_len": int(seq_len),
+        "batch": int(batch),
+        "draws": int(draws),
+        "num_filters": int(num_filters),
+        "repeats": int(repeats),
+        "by_policy": per_policy,
+    }
+    if "float64" in per_policy:
+        base = per_policy["float64"]["step_s"]
+        for name in policies:
+            if name != "float64":
+                record[f"speedup_{name}"] = base / max(
+                    per_policy[name]["step_s"], 1e-12
+                )
+    return record, grads
+
+
+def _oracle_check(
+    seq_len: int, batch: int, draws: int, num_filters: int, seed: int
+) -> Dict:
+    """Bit-equality of two independent float64 constructions.
+
+    The float64 policy *is* the historical default path, so rebuilding
+    the filter bank and replaying the pass must reproduce every bit:
+    loss delta exactly 0.0 and every parameter gradient exactly equal.
+    Any nonzero delta means the policy threading changed the oracle's
+    arithmetic — the hard failure mode this benchmark exists to catch.
+    """
+    rng = np.random.default_rng(seed)
+    x64 = rng.uniform(-1.0, 1.0, size=(batch, seq_len, num_filters))
+    passes = []
+    for _ in range(2):
+        with use_precision("float64"):
+            flt = _make_filter(num_filters, seed)
+            passes.append(_solf_pass(flt, Tensor(x64), draws, seed))
+    first, second = passes
+    loss_delta = abs(first["loss"] - second["loss"])
+    grad_delta = max(
+        float(np.max(np.abs(first["grads"][name] - second["grads"][name])))
+        for name in first["grads"]
+    )
+    return {
+        "loss_delta": loss_delta,
+        "max_abs_grad_delta": grad_delta,
+        "bit_equal": bool(loss_delta == 0.0 and grad_delta == 0.0),
+    }
+
+
+def _bench_training(
+    epochs: int,
+    n_samples: int,
+    seq_len: int,
+    n_classes: int,
+    seed: int,
+    policies: Sequence[str],
+    mc_eval_samples: int = 5,
+) -> Dict:
+    """Variation-aware + augmented ``Trainer.fit`` per precision policy.
+
+    Identical synthetic smoke data and seeds for every policy; the data
+    is generated once in float64 (``Trainer.fit`` recasts it to each
+    policy's compute dtype).  Post-training accuracy is measured under
+    ±10 % Monte-Carlo variation via :func:`evaluate_under_variation`,
+    evaluated under the same policy the model was trained with.
+    """
+    rng = np.random.default_rng(seed + 1)
+    x = rng.uniform(-1.0, 1.0, size=(n_samples, seq_len))
+    y = rng.integers(0, n_classes, size=n_samples)
+    split = max(1, n_samples // 5)
+    x_train, y_train = x[split:], y[split:]
+    x_val, y_val = x[:split], y[:split]
+
+    per_policy: Dict[str, Dict] = {}
+    for name in policies:
+        model = AdaptPNC(n_classes, rng=np.random.default_rng(seed))
+        config = replace(TrainingConfig.ci(), max_epochs=epochs, precision=name)
+        trainer = Trainer(
+            model,
+            config,
+            variation_aware=True,
+            augmentation=AugmentationConfig(),
+            seed=seed,
+        )
+        start = time.perf_counter()
+        history = trainer.fit(x_train, y_train, x_val, y_val, checkpoint_every=0)
+        elapsed = time.perf_counter() - start
+        result = evaluate_under_variation(
+            model,
+            x_val,
+            y_val,
+            mc_samples=mc_eval_samples,
+            seed=seed,
+            precision=name,
+        )
+        per_policy[name] = {
+            "total_s": elapsed,
+            "epochs": history.epochs_run,
+            "epoch_s": elapsed / max(history.epochs_run, 1),
+            "first_epoch_loss": history.train_loss[0],
+            "final_train_loss": history.train_loss[-1],
+            "mc_accuracy": result.mean,
+        }
+
+    record: Dict = {
+        "epochs": int(epochs),
+        "n_samples": int(n_samples),
+        "seq_len": int(seq_len),
+        "mc_eval_samples": int(mc_eval_samples),
+        "by_policy": per_policy,
+    }
+    if "float64" in per_policy:
+        base = per_policy["float64"]
+        for name in policies:
+            if name == "float64":
+                continue
+            entry = per_policy[name]
+            record[f"epoch_speedup_{name}"] = base["epoch_s"] / max(
+                entry["epoch_s"], 1e-12
+            )
+            record[f"accuracy_delta_pp_{name}"] = 100.0 * abs(
+                entry["mc_accuracy"] - base["mc_accuracy"]
+            )
+            denom = max(abs(base["first_epoch_loss"]), 1e-12)
+            record[f"first_epoch_rel_loss_delta_{name}"] = (
+                abs(entry["first_epoch_loss"] - base["first_epoch_loss"]) / denom
+            )
+    return record
+
+
+def run_dtype_benchmark(
+    seq_len: int = 96,
+    batch: int = 48,
+    draws: int = 12,
+    num_filters: int = 8,
+    repeats: int = 5,
+    seed: int = 0,
+    train_epochs: int = 4,
+    train_samples: int = 32,
+    train_seq_len: int = 48,
+    n_classes: int = 3,
+    include_training: bool = True,
+    policies: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Measure per-precision-policy throughput and verify equivalence.
+
+    Returns a record with a ``solf`` section (fused SO-LF kernel per
+    policy), an ``oracle`` section (float64 bit-equality), optional
+    ``training`` section (end-to-end epoch wall-clock + Monte-Carlo
+    accuracy per policy), the tolerance constants, and an
+    ``equivalent`` verdict:
+
+    * the float64 oracle is bit-equal across reruns (deltas exactly 0),
+    * every reduced-precision policy agrees with the oracle to
+      :data:`DTYPE_LOSS_RTOL` on the SO-LF loss and the first training
+      epoch loss, and within :data:`DTYPE_ACCURACY_TOL_PP` percentage
+      points on post-training Monte-Carlo accuracy.
+    """
+    if policies is None:
+        policies = PRECISION_POLICIES
+    policies = tuple(resolve_policy(name).name for name in policies)
+    if "float64" not in policies:
+        raise ValueError("the float64 oracle policy must be benchmarked")
+
+    solf, _ = _bench_solf(
+        seq_len, batch, draws, num_filters, repeats, seed, policies
+    )
+    oracle = _oracle_check(seq_len, batch, draws, num_filters, seed)
+
+    base_loss = solf["by_policy"]["float64"]["loss"]
+    checks: List[bool] = [oracle["bit_equal"]]
+    for name in policies:
+        if name == "float64":
+            continue
+        rel = abs(solf["by_policy"][name]["loss"] - base_loss) / max(
+            abs(base_loss), 1e-12
+        )
+        solf[f"rel_loss_delta_{name}"] = rel
+        checks.append(rel <= DTYPE_LOSS_RTOL)
+
+    record: Dict = {
+        "policies": list(policies),
+        "solf": solf,
+        "oracle": oracle,
+        "loss_rtol": DTYPE_LOSS_RTOL,
+        "accuracy_tol_pp": DTYPE_ACCURACY_TOL_PP,
+    }
+    if include_training:
+        training = _bench_training(
+            train_epochs, train_samples, train_seq_len, n_classes, seed, policies
+        )
+        record["training"] = training
+        for name in policies:
+            if name == "float64":
+                continue
+            checks.append(
+                training[f"first_epoch_rel_loss_delta_{name}"] <= DTYPE_LOSS_RTOL
+            )
+            checks.append(
+                training[f"accuracy_delta_pp_{name}"] <= DTYPE_ACCURACY_TOL_PP
+            )
+    record["equivalent"] = bool(all(checks))
+    telemetry.emit(
+        "gauges", source="dtype-bench", gauges=telemetry.gauges.snapshot()
+    )
+    return record
+
+
+def format_dtype_benchmark(record: Dict) -> str:
+    """ASCII summary of a :func:`run_dtype_benchmark` record."""
+    from ..utils.tables import render_table
+
+    solf = record["solf"]
+    rows = []
+    for name in record["policies"]:
+        entry = solf["by_policy"][name]
+        rows.append(
+            [
+                name,
+                entry["compute_dtype"],
+                f"{entry['forward_s'] * 1e3:.2f} ms",
+                f"{entry['backward_s'] * 1e3:.2f} ms",
+                f"{entry['step_s'] * 1e3:.2f} ms",
+            ]
+        )
+    lines = [
+        f"SO-LF bank (fused): T={solf['seq_len']}, batch={solf['batch']}, "
+        f"draws={solf['draws']}, n={solf['num_filters']}",
+        render_table(["policy", "compute", "forward", "backward", "fwd+bwd"], rows),
+    ]
+    for name in record["policies"]:
+        if name == "float64":
+            continue
+        speed = solf.get(f"speedup_{name}")
+        rel = solf.get(f"rel_loss_delta_{name}")
+        if speed is not None:
+            lines.append(
+                f"{name}: {speed:.2f}x over float64, rel |Δloss| = {rel:.2e} "
+                f"(tol {record['loss_rtol']:.0e})"
+            )
+    oracle = record["oracle"]
+    verdict = "bit-equal" if oracle["bit_equal"] else "DIVERGED"
+    lines.append(
+        f"float64 oracle rerun: |Δloss| = {oracle['loss_delta']:.1e}, "
+        f"max |Δgrad| = {oracle['max_abs_grad_delta']:.1e} — {verdict}"
+    )
+    training = record.get("training")
+    if training:
+        rows = []
+        for name in record["policies"]:
+            entry = training["by_policy"][name]
+            rows.append(
+                [
+                    name,
+                    f"{entry['epoch_s'] * 1e3:.1f} ms",
+                    f"{entry['final_train_loss']:.4f}",
+                    f"{entry['mc_accuracy']:.3f}",
+                ]
+            )
+        lines.append(
+            f"Trainer.fit (VA+AT, CI config, {training['epochs']} epochs, "
+            f"{training['n_samples']} samples):"
+        )
+        lines.append(
+            render_table(["policy", "epoch", "final loss", "MC accuracy"], rows)
+        )
+        for name in record["policies"]:
+            if name == "float64":
+                continue
+            lines.append(
+                f"{name}: epoch speedup {training[f'epoch_speedup_{name}']:.2f}x, "
+                f"accuracy Δ {training[f'accuracy_delta_pp_{name}']:.2f} pp "
+                f"(tol {record['accuracy_tol_pp']} pp)"
+            )
+    lines.append(
+        "equivalence: OK" if record["equivalent"] else "equivalence: FAILED"
+    )
+    return "\n".join(lines)

@@ -33,6 +33,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..autograd import no_grad
+from ..autograd.precision import get_precision, use_precision
 from ..circuits import (
     NoVariation,
     UniformVariation,
@@ -97,6 +98,32 @@ def _scan_backend(model: Module, backend: Optional[str]) -> Iterator[None]:
         model.set_scan_backend(original)
 
 
+@contextmanager
+def _precision_scope(model: Module, precision: Optional[str]) -> Iterator[None]:
+    """Temporarily evaluate ``model`` under a precision policy.
+
+    ``None`` (the default) keeps the process-level policy and the
+    model's current parameter dtypes untouched.  Otherwise the policy is
+    activated for the scope and the parameters are cast to its compute
+    dtype; the *original parameter arrays* are re-installed afterwards
+    (restoration is by reference, so the pre-evaluation float64 values
+    survive a float32 evaluation bit-exactly).
+    """
+    if precision is None:
+        yield
+        return
+    params = list(model.parameters())
+    saved = [p.data for p in params]
+    with use_precision(precision) as policy:
+        try:
+            model.cast_(policy.compute)
+            yield
+        finally:
+            for p, data in zip(params, saved):
+                p.data = data
+                p.grad = None
+
+
 def _deterministic_result(model: Module, x: np.ndarray, y: np.ndarray) -> EvaluationResult:
     """Nominal (no-variation) evaluation: one ideal-sampler forward."""
     original = model.sampler
@@ -127,6 +154,9 @@ def _mc_accuracy_samples(
             with no_grad(), sampler.batched(mc_samples):
                 logits = model(x)  # (draws, batch, classes)
         mc_counters.record_forward(sw.elapsed, mc_samples, backend="batched")
+        mc_counters.record_precision(
+            str(get_precision().compute), sw.elapsed, mc_samples
+        )
         pred = np.argmax(logits.data, axis=-1)  # (draws, batch)
         return (pred == np.asarray(y)).mean(axis=1)
     streams = sampler.spawn_streams(mc_samples)
@@ -140,6 +170,7 @@ def _mc_accuracy_samples(
         finally:
             sampler.rng = parent
     mc_counters.record_forward(sw.elapsed, mc_samples, backend="sequential")
+    mc_counters.record_precision(str(get_precision().compute), sw.elapsed, mc_samples)
     return np.array(accs)
 
 
@@ -199,6 +230,7 @@ def evaluate_under_variation(
     seed: int = 0,
     vectorized: bool = True,
     scan_backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> EvaluationResult:
     """Mean accuracy over ``mc_samples`` fabricated-instance draws.
 
@@ -212,14 +244,19 @@ def evaluate_under_variation(
 
     ``scan_backend`` temporarily selects the filter-recurrence backend
     (``"fused"``/``"unfused"``) for the duration of the evaluation;
-    ``None`` keeps the model's current backend.
+    ``None`` keeps the model's current backend.  ``precision``
+    temporarily evaluates under a precision policy (casting parameters
+    to its compute dtype and restoring the original arrays afterwards);
+    ``None`` keeps the active policy and parameter dtypes.
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    with Stopwatch() as sw, _scan_backend(model, scan_backend):
+    with Stopwatch() as sw, _precision_scope(model, precision), _scan_backend(
+        model, scan_backend
+    ):
         if mc_samples == 0 or delta == 0.0:
             # Deterministic fast path: no variation context is entered at
             # all — one nominal forward under the ideal sampler.
@@ -250,6 +287,7 @@ def evaluate_under_model(
     seed: int = 0,
     vectorized: bool = True,
     scan_backend: Optional[str] = None,
+    precision: Optional[str] = None,
 ) -> EvaluationResult:
     """Mean accuracy under an arbitrary variation distribution.
 
@@ -258,16 +296,18 @@ def evaluate_under_model(
     device-level model of Rasheed et al. [24] — so robustness can be
     compared across printing-process assumptions.  ``mc_samples=0`` or
     a :class:`~repro.circuits.NoVariation` model short-circuit to the
-    deterministic nominal evaluation.  ``scan_backend`` temporarily
-    selects the filter-recurrence backend, as in
-    :func:`evaluate_under_variation`.
+    deterministic nominal evaluation.  ``scan_backend`` and
+    ``precision`` temporarily select the filter-recurrence backend and
+    the precision policy, as in :func:`evaluate_under_variation`.
     """
     if not hasattr(model, "set_sampler"):
         acc = accuracy(model, x, y)
         return EvaluationResult(mean=acc, std=0.0, samples=np.array([acc]))
     if mc_samples < 0:
         raise ValueError("mc_samples must be >= 0")
-    with Stopwatch() as sw, _scan_backend(model, scan_backend):
+    with Stopwatch() as sw, _precision_scope(model, precision), _scan_backend(
+        model, scan_backend
+    ):
         if mc_samples == 0 or isinstance(variation, NoVariation):
             result = _deterministic_result(model, x, y)
             draws = 0

@@ -310,7 +310,13 @@ def run_table1(
         _table1_cell,
         _table1_cells(config),
         options,
-        fingerprint={"artefact": "table1", "config": asdict(config)},
+        fingerprint={
+            "artefact": "table1",
+            "config": asdict(config),
+            # Explicit so a precision-policy change can never silently
+            # reuse cached cells, even if the config layout evolves.
+            "precision": config.training.precision,
+        },
     )
 
     table: Dict[str, Dict[str, ModelResult]] = {}
@@ -587,7 +593,11 @@ def run_fig7_ablation(
         _fig7_cell,
         _fig7_cells(config),
         options,
-        fingerprint={"artefact": "fig7", "config": asdict(config)},
+        fingerprint={
+            "artefact": "fig7",
+            "config": asdict(config),
+            "precision": config.training.precision,
+        },
     )
 
     per_config: Dict[str, Dict[str, List[float]]] = {

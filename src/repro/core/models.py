@@ -49,7 +49,8 @@ def _coerce_sequences(x, channels: int = 1) -> Tensor:
     must already carry the expected channel count (multivariate
     sensors, Fig. 4's multi-input pTPB).
     """
-    t = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))
+    # Tensor() resolves the active precision policy's compute dtype.
+    t = x if isinstance(x, Tensor) else Tensor(np.asarray(x))
     if t.ndim == 2 and channels == 1:
         t = t.unsqueeze(2)
     if t.ndim != 3 or t.shape[2] != channels:

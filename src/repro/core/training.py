@@ -62,6 +62,12 @@ import numpy as np
 from .. import telemetry
 from ..augment import AugmentationConfig, augment_dataset
 from ..autograd import Tensor, no_grad
+from ..autograd.precision import (
+    PRECISION_POLICIES,
+    get_precision,
+    resolve_policy,
+    use_precision,
+)
 from ..circuits import SCAN_BACKENDS, UniformVariation, VariationSampler, ideal_sampler
 from ..nn import cross_entropy
 from ..nn.module import Module
@@ -115,6 +121,11 @@ class TrainingConfig:
     #: custom autograd node with an analytic adjoint backward;
     #: "unfused" is the node-per-step reference oracle.
     scan_backend: str = "fused"
+    #: Precision policy: "float64" is the bit-equal reference oracle;
+    #: "float32" runs compute, weights and optimizer moments in single
+    #: precision; "mixed" runs float32 compute against float64 master
+    #: weights/moments inside AdamW (AMP-style).
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         """Validate hyper-parameter ranges and backend names."""
@@ -130,6 +141,8 @@ class TrainingConfig:
             raise ValueError(f"mc_backend must be one of {MC_BACKENDS}")
         if self.scan_backend not in SCAN_BACKENDS:
             raise ValueError(f"scan_backend must be one of {SCAN_BACKENDS}")
+        if self.precision not in PRECISION_POLICIES:
+            raise ValueError(f"precision must be one of {PRECISION_POLICIES}")
 
     @staticmethod
     def paper() -> "TrainingConfig":
@@ -335,6 +348,7 @@ class Trainer:
         """
         draws = self._mc_samples()
         backend = self.config.mc_backend
+        dtype_key = str(get_precision().compute)
         run = telemetry.active_run()
         self._last_draw_losses = None
         if not (self.variation_aware and self._is_printed):
@@ -343,6 +357,7 @@ class Trainer:
             with Stopwatch() as sw, telemetry.span("forward"):
                 loss = cross_entropy(self.model(x), y)
             mc_counters.record_forward(sw.elapsed, 1, backend="deterministic")
+            mc_counters.record_precision(dtype_key, sw.elapsed, 1)
             return loss
         sampler = self.model.sampler
         if backend == "batched":
@@ -351,6 +366,7 @@ class Trainer:
                     logits = self.model(x)  # (draws, batch, classes)
                 loss = mc_cross_entropy(logits, y)
             mc_counters.record_forward(sw.elapsed, draws, backend="batched")
+            mc_counters.record_precision(dtype_key, sw.elapsed, draws)
             if run is not None:
                 self._last_draw_losses = _per_draw_cross_entropy(logits.data, y)
             return loss
@@ -372,6 +388,7 @@ class Trainer:
             finally:
                 sampler.rng = parent
         mc_counters.record_forward(sw.elapsed, draws, backend="sequential")
+        mc_counters.record_precision(dtype_key, sw.elapsed, draws)
         if run is not None:
             self._last_draw_losses = np.asarray(per_draw)
         assert total is not None
@@ -430,12 +447,28 @@ class Trainer:
             arrays[f"optim/m/{i}"] = m
         for i, v in enumerate(optim_state["v"]):
             arrays[f"optim/v/{i}"] = v
+        masters = optim_state.get("master")
+        if masters is not None:
+            # Mixed policy: the float64 master weights are training
+            # state — without them a resumed run could not be bit-equal.
+            for i, w in enumerate(masters):
+                arrays[f"optim/master/{i}"] = w
+        policy = resolve_policy(self.config.precision)
         meta: Dict = {
             "checkpoint_version": CHECKPOINT_VERSION,
             "fingerprint": self._checkpoint_fingerprint(),
             "stopped": bool(stopped),
             "has_best_state": best_state is not None,
-            "optimizer": {"lr": optim_state["lr"], "t": optim_state["t"]},
+            "precision": {
+                "policy": self.config.precision,
+                "compute": str(policy.compute),
+                "master": str(policy.master),
+            },
+            "optimizer": {
+                "lr": optim_state["lr"],
+                "t": optim_state["t"],
+                "has_master": masters is not None,
+            },
             "scheduler": scheduler.state_dict(),
             "history": {
                 "train_loss": history.train_loss,
@@ -477,6 +510,29 @@ class Trainer:
                 f"different training setup:\n  saved:   {meta['fingerprint']}\n"
                 f"  current: {fingerprint}"
             )
+        precision_meta = meta.get("precision")
+        if precision_meta is not None:
+            expected = resolve_policy(self.config.precision)
+            if (
+                precision_meta.get("policy") != self.config.precision
+                or precision_meta.get("compute") != str(expected.compute)
+            ):
+                raise ValueError(
+                    "checkpoint precision mismatch — saved "
+                    f"{precision_meta!r}, this trainer uses policy "
+                    f"{self.config.precision!r} (compute {expected.compute})"
+                )
+            recorded = np.dtype(precision_meta["compute"])
+            bad = {
+                name: str(value.dtype)
+                for name, value in arrays.items()
+                if name.startswith("model/") and value.dtype != recorded
+            }
+            if bad:
+                raise ValueError(
+                    "checkpoint arrays disagree with their recorded compute "
+                    f"dtype {recorded}: {bad}"
+                )
         model_state = {
             name[len("model/"):]: value
             for name, value in arrays.items()
@@ -491,14 +547,17 @@ class Trainer:
                 if name.startswith("best/")
             }
         n_params = len(optimizer.params)
-        optimizer.load_state_dict(
-            {
-                "lr": meta["optimizer"]["lr"],
-                "t": meta["optimizer"]["t"],
-                "m": [arrays[f"optim/m/{i}"] for i in range(n_params)],
-                "v": [arrays[f"optim/v/{i}"] for i in range(n_params)],
-            }
-        )
+        optim_load = {
+            "lr": meta["optimizer"]["lr"],
+            "t": meta["optimizer"]["t"],
+            "m": [arrays[f"optim/m/{i}"] for i in range(n_params)],
+            "v": [arrays[f"optim/v/{i}"] for i in range(n_params)],
+        }
+        if meta["optimizer"].get("has_master"):
+            optim_load["master"] = [
+                arrays[f"optim/master/{i}"] for i in range(n_params)
+            ]
+        optimizer.load_state_dict(optim_load)
         scheduler.load_state_dict(meta["scheduler"])
         if "sampler_rng" in meta and self._is_printed:
             self.model.sampler.rng = _restore_rng(meta["sampler_rng"])
@@ -528,6 +587,14 @@ class Trainer:
     ) -> TrainingHistory:
         """Run the full protocol; the model ends loaded with its best state.
 
+        The whole run executes inside the config's precision-policy
+        scope: parameters are cast to the policy's compute dtype on
+        entry (and the model is *left* in that dtype afterwards), input
+        arrays are cast once up front, and under ``mixed`` the AdamW
+        master weights live in float64.  Under the default ``float64``
+        policy every cast is a no-op and the run is bit-equal to the
+        pre-policy implementation.
+
         Parameters
         ----------
         x_train, y_train, x_val, y_val:
@@ -545,6 +612,33 @@ class Trainer:
             any) and continue the epoch loop bit-equally from where it
             stopped.
         """
+        with use_precision(self.config.precision) as policy:
+            self.model.cast_(policy.compute)
+            x_train = np.asarray(x_train, dtype=policy.compute)
+            x_val = np.asarray(x_val, dtype=policy.compute)
+            return self._fit_inner(
+                x_train,
+                y_train,
+                x_val,
+                y_val,
+                verbose=verbose,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+
+    def _fit_inner(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+        verbose: bool,
+        checkpoint_dir: Optional[PathLike],
+        checkpoint_every: int,
+        resume: bool,
+    ) -> TrainingHistory:
+        """Epoch loop of :meth:`fit` (runs inside the precision scope)."""
         if self.augmentation is not None:
             x_train, y_train = augment_dataset(
                 x_train, y_train, self.augmentation, seed=self.seed + 7, copies=1
@@ -590,6 +684,7 @@ class Trainer:
                 model=type(self.model).__name__,
                 seed=self.seed,
                 variation_aware=self.variation_aware,
+                precision=self.config.precision,
                 backends={
                     "mc_backend": self.config.mc_backend,
                     "scan_backend": self.config.scan_backend,
@@ -605,6 +700,7 @@ class Trainer:
             variation_aware=self.variation_aware,
             mc_backend=self.config.mc_backend,
             scan_backend=self.config.scan_backend,
+            precision=self.config.precision,
             n_train=int(np.asarray(x_train).shape[0]),
             n_val=int(np.asarray(x_val).shape[0]),
         )

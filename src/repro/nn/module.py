@@ -109,6 +109,25 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    # -- precision ---------------------------------------------------------
+
+    def cast_(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (recursively).
+
+        The precision-policy entry point: ``Trainer.fit`` and the
+        evaluation helpers call this so a model built under one policy
+        can run under another.  Parameters whose data already has the
+        target dtype are left untouched (their array identity is
+        preserved); gradients are dropped on any parameter that
+        actually changes dtype.
+        """
+        target = np.dtype(dtype)
+        for p in self.parameters():
+            if p.data.dtype != target:
+                p.data = p.data.astype(target)
+                p.grad = None
+        return self
+
     # -- state dict --------------------------------------------------------
 
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -127,7 +146,10 @@ class Module:
             )
         for name, value in state.items():
             param = own[name]
-            value = np.asarray(value, dtype=np.float64)
+            # Load in the *parameter's* dtype: a float32-cast model
+            # stays float32 even when restoring a float64 snapshot
+            # (and vice versa for the float64 oracle).
+            value = np.asarray(value, dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {param.shape}"

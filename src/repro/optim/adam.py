@@ -3,14 +3,37 @@
 The paper trains every model "with the AdamW optimizer [31] with default
 settings" — :class:`AdamW` implements the decoupled weight-decay update
 of Loshchilov & Hutter with PyTorch's default hyper-parameters.
+
+Precision policy
+----------------
+Moments follow the *master* dtype of the active precision policy
+(:mod:`repro.autograd.precision`).  Under the ``mixed`` policy the
+optimizer additionally keeps a float64 **master copy** of every
+parameter (built lazily on the first :meth:`step` so the policy active
+at training time, not construction time, decides): gradients arrive in
+float32, are cast up once, the Adam update runs entirely in float64
+against the master weights, and the result is cast back to the
+parameter's compute dtype at the step boundary — the PyTorch-AMP
+recipe, keeping long-horizon update numerics stable at float32 compute
+cost.  Under the pure policies (``float64`` — the bit-equal oracle —
+and ``float32``) no master copy exists and the update path is
+unchanged.
+
+The moment updates run **in place** (``np.multiply(..., out=)`` /
+``+=``) through one reusable scratch buffer per parameter instead of
+rebinding freshly allocated arrays each step; elementwise this performs
+the identical sequence of IEEE operations, so the result is bit-equal
+to the historical rebinding implementation (asserted by the
+checkpoint-resume suite).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
+from ..autograd.precision import get_precision
 from ..nn.module import Parameter
 from .optimizer import Optimizer
 
@@ -39,36 +62,87 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
         self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        #: float64 master copies of the parameters (``mixed`` policy
+        #: only); built lazily on the first step.
+        self._master: Optional[List[np.ndarray]] = None
+        #: Per-parameter scratch buffers reused across steps by the
+        #: in-place moment updates.
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(self.params)
         self._t = 0
 
     def _decay_into_grad(self) -> bool:
         return True
 
+    def _ensure_master(self) -> None:
+        """Build the master-weight store if the active policy is mixed."""
+        policy = get_precision()
+        if not policy.is_mixed or self._master is not None:
+            return
+        # float32 -> float64 casts are exact, so promoting mid-run
+        # moments (e.g. after a policy switch) loses nothing.
+        self._master = [p.data.astype(policy.master) for p in self.params]
+        self._m = [m.astype(policy.master, copy=False) for m in self._m]
+        self._v = [v.astype(policy.master, copy=False) for v in self._v]
+
     def step(self) -> None:
+        self._ensure_master()
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
+            master = self._master[i] if self._master is not None else None
+            weights = p.data if master is None else master
             grad = p.grad
+            if grad.dtype != weights.dtype:
+                # Mixed policy: cast the float32 gradient up once; the
+                # whole update then runs at master precision.
+                grad = grad.astype(weights.dtype)
             if self.weight_decay and self._decay_into_grad():
-                grad = grad + self.weight_decay * p.data
-            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
-            m_hat = self._m[i] / bias1
-            v_hat = self._v[i] / bias2
+                grad = grad + self.weight_decay * weights
+            m, v = self._m[i], self._v[i]
+            scratch = self._scratch[i]
+            if (
+                scratch is None
+                or scratch.shape != grad.shape
+                or scratch.dtype != grad.dtype
+            ):
+                scratch = self._scratch[i] = np.empty_like(grad)
+            # In-place moment updates — elementwise the identical IEEE
+            # operation sequence as the historical
+            # ``m = beta1*m + (1-beta1)*grad`` rebinding, so bit-equal,
+            # but with zero fresh allocations (the ``grad**2``
+            # temporary of the old second-moment update included).
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            m_hat = m / bias1
+            v_hat = v / bias2
             update = m_hat / (np.sqrt(v_hat) + self.eps)
-            if self.weight_decay and not self._decay_into_grad():
-                p.data = p.data - self.lr * self.weight_decay * p.data
-            p.data = p.data - self.lr * update
+            if master is None:
+                if self.weight_decay and not self._decay_into_grad():
+                    p.data = p.data - self.lr * self.weight_decay * p.data
+                p.data = p.data - self.lr * update
+            else:
+                if self.weight_decay and not self._decay_into_grad():
+                    master -= self.lr * self.weight_decay * master
+                master -= self.lr * update
+                # Cast-on-step boundary: the compute-side parameter is
+                # always the rounded view of the float64 master.
+                p.data = master.astype(p.data.dtype)
 
     def state_dict(self) -> dict:
         """Serialisable snapshot: lr, step count and first/second moments.
 
         Restoring via :meth:`load_state_dict` makes the next
         :meth:`step` bit-identical to an uninterrupted run — the basis
-        of the trainer's checkpoint/resume guarantee.
+        of the trainer's checkpoint/resume guarantee.  Under the mixed
+        policy the float64 master weights are part of the snapshot.
         """
         state = super().state_dict()
         state.update(
@@ -78,10 +152,16 @@ class Adam(Optimizer):
                 "v": [v.copy() for v in self._v],
             }
         )
+        if self._master is not None:
+            state["master"] = [w.copy() for w in self._master]
         return state
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot (bit-exact)."""
+        """Restore a :meth:`state_dict` snapshot (bit-exact).
+
+        Array dtypes are preserved as stored, so a float64-oracle
+        checkpoint restores float64 moments and a float32 one float32.
+        """
         super().load_state_dict(state)
         if len(state["m"]) != len(self.params) or len(state["v"]) != len(self.params):
             raise ValueError(
@@ -89,8 +169,19 @@ class Adam(Optimizer):
                 f"{len(self.params)} parameters"
             )
         self._t = int(state["t"])
-        self._m = [np.asarray(m, dtype=np.float64).copy() for m in state["m"]]
-        self._v = [np.asarray(v, dtype=np.float64).copy() for v in state["v"]]
+        self._m = [np.asarray(m).copy() for m in state["m"]]
+        self._v = [np.asarray(v).copy() for v in state["v"]]
+        masters = state.get("master")
+        if masters is not None:
+            if len(masters) != len(self.params):
+                raise ValueError(
+                    f"optimizer state holds {len(masters)} master arrays for "
+                    f"{len(self.params)} parameters"
+                )
+            self._master = [np.asarray(w).copy() for w in masters]
+        else:
+            self._master = None
+        self._scratch = [None] * len(self.params)
 
 
 class AdamW(Adam):

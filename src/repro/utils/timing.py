@@ -60,12 +60,22 @@ class MCCounters:
         self._forward = Gauge()  # keyed by MC backend; quantity = draws
         self._backward = Gauge()  # single "backward" key
         self._scan = Gauge()  # keyed by scan backend
+        self._precision = Gauge()  # keyed by compute dtype; quantity = draws
 
     # -- recording ------------------------------------------------------
 
     def record_forward(self, seconds: float, draws: int, backend: str = "batched") -> None:
         """Record one MC objective evaluation covering ``draws`` draws."""
         self._forward.add(backend, seconds, quantity=int(draws))
+
+    def record_precision(self, dtype: str, seconds: float, draws: int = 0) -> None:
+        """Record objective wall-clock under compute dtype ``dtype``.
+
+        Keyed by numpy dtype name (``"float64"`` / ``"float32"``), so
+        mixed-policy runs show up under their float32 compute dtype —
+        the per-dtype split the precision benches report.
+        """
+        self._precision.add(str(dtype), seconds, quantity=int(draws))
 
     def record_backward(self, seconds: float) -> None:
         """Record one backward pass through the MC objective."""
@@ -114,13 +124,15 @@ class MCCounters:
         self._forward.reset()
         self._backward.reset()
         self._scan.reset()
+        self._precision.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-serialisable view (stored in ``results.json`` records).
 
-        MC-backend and scan-backend timings are namespaced under the
-        ``"by_backend"`` / ``"scan"`` sub-dicts so arbitrary backend
-        names can never collide with the fixed top-level keys.
+        MC-backend, scan-backend and compute-dtype timings are
+        namespaced under the ``"by_backend"`` / ``"scan"`` /
+        ``"precision"`` sub-dicts so arbitrary backend names can never
+        collide with the fixed top-level keys.
         """
         forward = self._forward.snapshot()
         return {
@@ -132,6 +144,7 @@ class MCCounters:
             "draws_per_second": self.draws_per_second(),
             "by_backend": {key: entry["seconds"] for key, entry in forward.items()},
             "scan": self._scan.snapshot(),
+            "precision": self._precision.snapshot(),
         }
 
 

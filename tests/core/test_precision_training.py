@@ -1,0 +1,165 @@
+"""Precision policy through the training/evaluation/caching stack.
+
+The float64 policy is the bit-equal oracle; float32 and mixed must
+track it within the dtype tolerances while actually computing in
+single precision.  Checkpoints record their precision (and refuse to
+resume under a different one), and both the sweep cache and the
+checkpoint fingerprint key on the policy so a precision change can
+never silently reuse stale artefacts.
+"""
+
+import json
+from dataclasses import asdict, replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptPNC,
+    DTYPE_LOSS_RTOL,
+    ExperimentConfig,
+    Trainer,
+    TrainingConfig,
+    evaluate_under_variation,
+)
+from repro.data import load_dataset
+from repro.parallel import sweep_fingerprint
+from repro.telemetry import Run
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("Slope", n_samples=40, seed=0)
+
+
+def tiny_config(**overrides):
+    merged = {"max_epochs": 4, **overrides}
+    return replace(TrainingConfig.ci(), **merged)
+
+
+def make_trainer(precision, seed=7, **overrides):
+    model = AdaptPNC(3, rng=np.random.default_rng(seed))
+    config = tiny_config(precision=precision, **overrides)
+    return Trainer(model, config, variation_aware=True, seed=seed)
+
+
+def fit(trainer, dataset, **kwargs):
+    return trainer.fit(
+        dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val, **kwargs
+    )
+
+
+class TestPolicyEquivalence:
+    def test_float64_oracle_is_deterministic(self, dataset):
+        """Two float64 runs are bit-identical — the oracle contract."""
+        a, b = make_trainer("float64"), make_trainer("float64")
+        ha, hb = fit(a, dataset), fit(b, dataset)
+        assert ha.train_loss == hb.train_loss
+        assert ha.val_loss == hb.val_loss
+        for (na, pa), (nb, pb) in zip(
+            a.model.named_parameters(), b.model.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+            assert pa.data.dtype == np.float64
+
+    @pytest.mark.parametrize("precision", ["float32", "mixed"])
+    def test_reduced_precision_tracks_oracle(self, dataset, precision):
+        oracle = make_trainer("float64")
+        reduced = make_trainer(precision)
+        h64 = fit(oracle, dataset)
+        hr = fit(reduced, dataset)
+        # Same stream of variation draws, rounded — first-epoch losses
+        # agree to the dtype tolerance.
+        rel = abs(hr.train_loss[0] - h64.train_loss[0]) / abs(h64.train_loss[0])
+        assert rel <= DTYPE_LOSS_RTOL
+        # The model really computed (and remains) in float32.
+        for _, p in reduced.model.named_parameters():
+            assert p.data.dtype == np.float32
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            tiny_config(precision="float16")
+
+    def test_fit_records_precision_in_manifest(self, dataset, tmp_path):
+        trainer = make_trainer("mixed")
+        with Run(root=tmp_path, name="precision") as run:
+            fit(trainer, dataset, checkpoint_every=0)
+            run_dir = run.dir
+        manifest = json.loads((run_dir / "run.json").read_text())
+        assert manifest["precision"] == "mixed"
+
+
+class TestCheckpointPrecision:
+    @pytest.mark.parametrize("precision", ["float32", "mixed"])
+    def test_resume_is_bit_equal(self, dataset, tmp_path, precision):
+        uninterrupted = make_trainer(precision)
+        expected = fit(uninterrupted, dataset)
+
+        partial = make_trainer(precision, max_epochs=2)
+        fit(partial, dataset, checkpoint_dir=tmp_path)
+
+        resumed = make_trainer(precision)
+        history = fit(resumed, dataset, checkpoint_dir=tmp_path, resume=True)
+        assert history.train_loss == expected.train_loss
+        assert history.val_loss == expected.val_loss
+        for (_, pa), (_, pb) in zip(
+            uninterrupted.model.named_parameters(),
+            resumed.model.named_parameters(),
+        ):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_resume_refuses_other_precision(self, dataset, tmp_path):
+        writer = make_trainer("float32", max_epochs=2)
+        fit(writer, dataset, checkpoint_dir=tmp_path)
+        reader = make_trainer("float64")
+        with pytest.raises(ValueError, match="mismatch"):
+            fit(reader, dataset, checkpoint_dir=tmp_path, resume=True)
+
+    def test_checkpoint_fingerprint_keys_on_precision(self):
+        a = make_trainer("float64")._checkpoint_fingerprint()
+        b = make_trainer("float32")._checkpoint_fingerprint()
+        assert a != b
+        assert a["config"]["precision"] == "float64"
+        assert b["config"]["precision"] == "float32"
+
+
+class TestSweepCachePrecision:
+    def test_sweep_fingerprint_keys_on_precision(self):
+        config = ExperimentConfig.smoke()
+        recast = replace(
+            config, training=replace(config.training, precision="float32")
+        )
+        a = sweep_fingerprint({"artefact": "table1", "config": asdict(config)})
+        b = sweep_fingerprint({"artefact": "table1", "config": asdict(recast)})
+        assert a != b  # same config, different dtype -> cache miss
+
+
+class TestEvaluationPrecision:
+    def test_precision_scope_restores_original_arrays(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        before = [p.data for p in model.parameters()]
+        result = evaluate_under_variation(
+            model,
+            dataset.x_val,
+            dataset.y_val,
+            mc_samples=3,
+            precision="float32",
+        )
+        assert result.samples.shape == (3,)
+        after = [p.data for p in model.parameters()]
+        # Restoration is by reference: the pre-evaluation float64
+        # arrays themselves come back, bit-exactly.
+        assert all(a is b for a, b in zip(before, after))
+        assert all(p.data.dtype == np.float64 for p in model.parameters())
+
+    def test_reduced_precision_accuracy_close_to_oracle(self, dataset):
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        r64 = evaluate_under_variation(
+            model, dataset.x_val, dataset.y_val, mc_samples=5
+        )
+        r32 = evaluate_under_variation(
+            model, dataset.x_val, dataset.y_val, mc_samples=5, precision="float32"
+        )
+        # Identical (rounded) draws; a few borderline samples may flip.
+        assert abs(r32.mean - r64.mean) <= 0.1

@@ -1,0 +1,176 @@
+"""Adam/AdamW under the precision policies.
+
+Two contracts:
+
+* the in-place moment updates (scratch-buffer reuse instead of fresh
+  ``grad**2`` temporaries per step) are **bit-equal** to the historical
+  rebinding implementation — elementwise the identical IEEE operation
+  sequence;
+* under the ``mixed`` policy the optimizer keeps float64 master
+  weights: compute-side parameters stay float32, the update runs in
+  float64, and the snapshot round-trips the master store bit-exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import use_precision
+from repro.nn.module import Parameter
+from repro.optim import Adam, AdamW
+
+
+def _reference_adam_steps(params0, grads, lr, betas, eps, weight_decay, decoupled, steps):
+    """The historical rebinding Adam/AdamW update, replayed verbatim."""
+    beta1, beta2 = betas
+    p = [w.copy() for w in params0]
+    m = [np.zeros_like(w) for w in p]
+    v = [np.zeros_like(w) for w in p]
+    for t in range(1, steps + 1):
+        bias1 = 1.0 - beta1**t
+        bias2 = 1.0 - beta2**t
+        for i in range(len(p)):
+            grad = grads[t - 1][i]
+            if weight_decay and not decoupled:
+                grad = grad + weight_decay * p[i]
+            m[i] = beta1 * m[i] + (1.0 - beta1) * grad
+            v[i] = beta2 * v[i] + (1.0 - beta2) * grad**2
+            m_hat = m[i] / bias1
+            v_hat = v[i] / bias2
+            update = m_hat / (np.sqrt(v_hat) + eps)
+            if weight_decay and decoupled:
+                p[i] = p[i] - lr * weight_decay * p[i]
+            p[i] = p[i] - lr * update
+    return p, m, v
+
+
+@pytest.mark.parametrize("cls,decoupled", [(Adam, False), (AdamW, True)])
+def test_inplace_moments_bit_equal_to_rebinding(rng, cls, decoupled):
+    """Scratch-buffer moment updates reproduce the historical update
+    bit-for-bit over many steps (not merely approximately)."""
+    shapes = [(4, 3), (7,), ()]
+    params0 = [rng.normal(size=s) for s in shapes]
+    steps = 25
+    grads = [[rng.normal(size=s) for s in shapes] for _ in range(steps)]
+
+    params = [Parameter(w.copy()) for w in params0]
+    opt = cls(params, lr=3e-3, weight_decay=0.02)
+    for t in range(steps):
+        for p, g in zip(params, grads[t]):
+            p.grad = g.copy()
+        opt.step()
+
+    expected, m_ref, v_ref = _reference_adam_steps(
+        params0, grads, lr=3e-3, betas=(0.9, 0.999), eps=1e-8,
+        weight_decay=0.02, decoupled=decoupled, steps=steps,
+    )
+    for p, w in zip(params, expected):
+        np.testing.assert_array_equal(p.data, w)
+    for m, v, mr, vr in zip(opt._m, opt._v, m_ref, v_ref):
+        np.testing.assert_array_equal(m, mr)
+        np.testing.assert_array_equal(v, vr)
+
+
+def test_scratch_buffers_are_reused(rng):
+    """After the first step no fresh per-step temporaries are bound."""
+    params = [Parameter(rng.normal(size=(5, 5)))]
+    opt = AdamW(params, lr=1e-3)
+    params[0].grad = rng.normal(size=(5, 5))
+    opt.step()
+    scratch = opt._scratch[0]
+    assert scratch is not None
+    for _ in range(3):
+        params[0].grad = rng.normal(size=(5, 5))
+        opt.step()
+        assert opt._scratch[0] is scratch
+
+
+class TestMixedMasterWeights:
+    def _param(self, rng, shape=(3, 2)):
+        # Tensor coercion follows the *active* compute dtype, so build
+        # the float32 parameter under a float32-compute policy.
+        with use_precision("mixed"):
+            return Parameter(rng.normal(size=shape))
+
+    def test_master_built_lazily_under_mixed(self, rng):
+        p = self._param(rng)
+        opt = AdamW([p], lr=1e-2)
+        assert opt._master is None  # construction does not decide
+        with use_precision("mixed"):
+            p.grad = rng.normal(size=p.shape).astype(np.float32)
+            opt.step()
+        assert opt._master is not None
+        assert opt._master[0].dtype == np.float64
+        assert opt._m[0].dtype == np.float64
+        # Compute-side parameter stays in the compute dtype.
+        assert p.data.dtype == np.float32
+
+    def test_pure_policies_keep_no_master(self, rng):
+        for policy in ("float64", "float32"):
+            p = self._param(rng)
+            opt = AdamW([p], lr=1e-2)
+            with use_precision(policy):
+                p.grad = rng.normal(size=p.shape).astype(p.data.dtype)
+                opt.step()
+            assert opt._master is None
+
+    def test_compute_param_is_rounded_master(self, rng):
+        p = self._param(rng)
+        opt = AdamW([p], lr=1e-2)
+        with use_precision("mixed"):
+            for _ in range(5):
+                p.grad = rng.normal(size=p.shape).astype(np.float32)
+                opt.step()
+        np.testing.assert_array_equal(p.data, opt._master[0].astype(np.float32))
+
+    def test_master_accumulates_below_float32_resolution(self):
+        """The AMP rationale: updates too small for float32 to resolve
+        still accumulate in the float64 master and eventually surface
+        in the compute weights."""
+        with use_precision("mixed"):
+            p = Parameter(np.array([1.0]))
+            opt = Adam([p], lr=1e-9, betas=(0.0, 0.0), eps=1e-300)
+            for _ in range(200):
+                p.grad = np.array([1.0], dtype=np.float32)
+                opt.step()
+        drift = 1.0 - float(opt._master[0][0])
+        assert 0 < drift < 1e-6  # resolved by the master...
+        with use_precision("float32"):
+            plain = Parameter(np.array([1.0]))
+            plain_opt = Adam([plain], lr=1e-9, betas=(0.0, 0.0), eps=1e-300)
+            for _ in range(200):
+                plain.grad = np.array([1.0], dtype=np.float32)
+                plain_opt.step()
+        assert float(plain.data[0]) == 1.0  # ...but lost at pure float32
+
+    def test_state_dict_round_trips_master(self, rng):
+        p = self._param(rng)
+        opt = AdamW([p], lr=1e-2)
+        with use_precision("mixed"):
+            p.grad = rng.normal(size=p.shape).astype(np.float32)
+            opt.step()
+            state = opt.state_dict()
+            assert "master" in state
+
+            q = Parameter(p.data.copy())
+            clone = AdamW([q], lr=1e-2)
+            clone.load_state_dict(state)
+            grad = rng.normal(size=p.shape).astype(np.float32)
+            p.grad = grad.copy()
+            q.grad = grad.copy()
+            opt.step()
+            clone.step()
+        np.testing.assert_array_equal(p.data, q.data)
+        np.testing.assert_array_equal(opt._master[0], clone._master[0])
+
+    def test_state_dict_without_master_restores_pure_path(self, rng):
+        p = self._param(rng)
+        opt = AdamW([p], lr=1e-2)
+        with use_precision("float32"):
+            p.grad = rng.normal(size=p.shape).astype(np.float32)
+            opt.step()
+        state = opt.state_dict()
+        assert "master" not in state
+        clone = AdamW([Parameter(p.data.copy())], lr=1e-2)
+        clone.load_state_dict(state)
+        assert clone._master is None
+        assert clone._m[0].dtype == np.float32

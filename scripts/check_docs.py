@@ -60,6 +60,7 @@ DOC_FILES = (
     "README.md",
     "docs/TUTORIAL.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVING.md",
     "EXPERIMENTS.md",
 )
 

@@ -18,7 +18,10 @@ Adaptive Learnable Filters" (DATE 2025), including its substrates:
   for every table and figure;
 * :mod:`repro.hw` — device counting and power estimation (Table III);
 * :mod:`repro.tuning` — augmentation hyper-parameter search (the Ray
-  Tune substitute).
+  Tune substitute);
+* :mod:`repro.serve` — trained models frozen into graph-free forward
+  plans (:func:`repro.compile.compile_plan`) behind a micro-batching
+  HTTP inference service (see ``docs/SERVING.md``).
 
 Quickstart::
 

@@ -153,6 +153,20 @@ class _RCStage(Module):
         inv = 1.0 / (rc + mu * dt)
         return rc * inv, inv * dt
 
+    def nominal_coefficients(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Ideal-instance recurrence coefficients ``(a, b)`` as plain arrays.
+
+        Performs the exact arithmetic of :meth:`coefficients` under
+        :func:`~repro.circuits.ideal_sampler` (ε ≡ 1, μ ≡ 1) — one
+        reciprocal, then ``a = rc·inv``, ``b = inv·dt`` — so consumers
+        that freeze the nominal instance (:class:`~repro.core.StreamingClassifier`,
+        :func:`repro.compile.compile_plan`) are bit-equal to the live
+        forward pass.  No autograd graph is built.
+        """
+        rc = np.exp(self.log_r.data) * np.exp(self.log_c.data)
+        inv = 1.0 / (rc + dt)
+        return rc * inv, inv * dt
+
     def nominal_values(self) -> Tuple[np.ndarray, np.ndarray]:
         """Nominal (R, C) values in Ω and F, clipped to the printable window."""
         r = np.exp(self.log_r.data)

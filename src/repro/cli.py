@@ -22,6 +22,9 @@ Subcommands
   :class:`repro.telemetry.Run` (``list`` / ``show`` / ``tail``);
 * ``export`` — train a model on a dataset and write its compiled
   netlist as a SPICE file;
+* ``serve`` — train a model and serve it over HTTP behind the
+  micro-batching inference tier (frozen forward plans, bounded queue,
+  optional crash-isolated worker processes; see ``docs/SERVING.md``);
 * ``tune`` — tune augmentation hyper-parameters for one dataset.
 """
 
@@ -292,6 +295,109 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_self_test(server, name: str, dataset, n: int) -> List[str]:
+    """Fire ``n`` local HTTP requests at a freshly started server and
+    return a list of failure descriptions (empty on success)."""
+    import http.client
+    import json
+
+    import numpy as np
+
+    host, port = server.server_address[:2]
+
+    def post(path, body):
+        conn = http.client.HTTPConnection(host, port, timeout=120.0)
+        try:
+            conn.request(
+                "POST", path, json.dumps(body), {"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    failures = []
+    for i in range(n):
+        series = np.asarray(dataset.x_val[i % len(dataset.x_val)]).tolist()
+        status, payload = post("/predict", {"model": name, "series": series})
+        if status != 200 or "prediction" not in payload:
+            failures.append(f"/predict #{i}: HTTP {status} {payload}")
+    series = np.asarray(dataset.x_val[0]).tolist()
+    status, payload = post(
+        "/predict_mc", {"model": name, "series": series, "draws": 8}
+    )
+    if status != 200 or "confidence" not in payload:
+        failures.append(f"/predict_mc: HTTP {status} {payload}")
+    status, payload = post("/predict", {"model": name, "series": "not a series"})
+    if status != 400:
+        failures.append(f"malformed payload: expected HTTP 400, got {status}")
+    return failures
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+    from dataclasses import replace
+
+    import numpy as np
+
+    from . import telemetry
+    from .augment import default_config
+    from .core import AdaptPNC, Trainer, TrainingConfig
+    from .data import load_dataset
+    from .serve import MicroBatchService, ServeHTTPServer, ServeOptions
+
+    dataset = load_dataset(args.dataset, n_samples=args.samples, seed=args.seed)
+    model = AdaptPNC(dataset.info.n_classes, rng=np.random.default_rng(args.seed))
+    trainer = Trainer(
+        model,
+        replace(TrainingConfig.ci(), max_epochs=args.epochs),
+        variation_aware=True,
+        augmentation=default_config(args.dataset),
+        seed=args.seed,
+    )
+    trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+
+    options = ServeOptions(
+        window_s=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        precision=args.precision,
+    )
+    run_ctx = (
+        nullcontext(None)
+        if args.no_telemetry
+        else telemetry.Run(root=args.run_root, name=f"serve-{args.dataset}")
+    )
+    with run_ctx as run:
+        with MicroBatchService(options) as service:
+            service.register(args.dataset, model)
+            with ServeHTTPServer(service, host=args.host, port=args.port) as server:
+                print(f"serving {args.dataset!r} at {server.url}")
+                if run is not None:
+                    print(f"telemetry: {run.dir}")
+                if args.self_test:
+                    server.start_background()
+                    failures = _serve_self_test(
+                        server, args.dataset, dataset, args.self_test
+                    )
+                    snapshot = service.emit_stats()
+                    print(
+                        f"self-test: {snapshot['requests']} requests, "
+                        f"p50 {snapshot['latency_ms']['p50']:.2f} ms, "
+                        f"p99 {snapshot['latency_ms']['p99']:.2f} ms, "
+                        f"mean batch {snapshot['mean_batch_size']:.1f}"
+                    )
+                    for failure in failures:
+                        print(f"FAIL: {failure}")
+                    return 1 if failures else 0
+                try:
+                    server.serve_forever()
+                except KeyboardInterrupt:
+                    print("\nshutting down")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     # Delegates to the example script's logic without importing it.
     import subprocess
@@ -467,6 +573,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="train a model and serve it over HTTP (micro-batched)"
+    )
+    p.add_argument("--dataset", default="Slope")
+    p.add_argument("--samples", type=int, default=60, help="dataset size")
+    p.add_argument("--epochs", type=int, default=8, help="training epochs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
+    p.add_argument(
+        "--window-ms", type=float, default=2.0, help="micro-batching window"
+    )
+    p.add_argument("--max-batch", type=int, default=32, help="largest coalesced batch")
+    p.add_argument("--queue-size", type=int, default=128, help="bounded request queue")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="crash-isolated plan worker processes (0 = in-process)",
+    )
+    p.add_argument(
+        "--precision",
+        choices=PRECISION_POLICIES,
+        default=None,
+        help="plan compilation precision (default: the active policy)",
+    )
+    p.add_argument(
+        "--run-root", default="runs", help="telemetry root for the serve run directory"
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true", help="do not open a telemetry run"
+    )
+    p.add_argument(
+        "--self-test",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve in the background, fire N local requests, report and exit",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("evaluate", help="run the full evaluation suite")
     p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")

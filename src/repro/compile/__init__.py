@@ -1,6 +1,16 @@
 """Model-to-netlist compilation and circuit-level inference."""
 
 from .model_compiler import CompiledModel, compile_model
+from .plan import ForwardPlan, PlanInputError, PlanLayer, compile_plan
 from .simulate import classify_series, simulate_series
 
-__all__ = ["CompiledModel", "compile_model", "simulate_series", "classify_series"]
+__all__ = [
+    "CompiledModel",
+    "compile_model",
+    "ForwardPlan",
+    "PlanLayer",
+    "PlanInputError",
+    "compile_plan",
+    "simulate_series",
+    "classify_series",
+]

@@ -35,13 +35,24 @@ def simulate_series(
     -------
     Output-node voltages over time, shape ``(steps, n_classes)``.
     """
-    series = np.asarray(series, dtype=np.float64)
+    try:
+        series = np.asarray(series, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            "series must be a numeric array (or nested list with uniform "
+            f"row lengths): {exc}"
+        ) from exc
+    n_inputs = len(compiled.input_nodes)
     if series.ndim == 1:
         series = series[:, None]
-    n_inputs = len(compiled.input_nodes)
-    if series.ndim != 2 or series.shape[0] < 2 or series.shape[1] != n_inputs:
+    if series.ndim != 2 or series.shape[1] != n_inputs:
         raise ValueError(
-            f"series must be (steps>=2,) or (steps>=2, {n_inputs}), got {series.shape}"
+            f"series must be 1-D (univariate) or (steps, {n_inputs}), "
+            f"got shape {series.shape}"
+        )
+    if series.shape[0] < 2:
+        raise ValueError(
+            f"series must contain at least 2 samples, got {series.shape[0]}"
         )
     dt = dt if dt is not None else compiled.dt
     steps = series.shape[0]

@@ -50,9 +50,7 @@ class _StreamingFilterBank:
             raise TypeError(f"unsupported filter bank {type(filters).__name__}")
         self.stages: List[_StreamingStage] = []
         for stage in stages:
-            rc = np.exp(stage.log_r.data) * np.exp(stage.log_c.data)
-            a = rc / (rc + dt)
-            b = dt / (rc + dt)
+            a, b = stage.nominal_coefficients(dt)
             self.stages.append(_StreamingStage(a, b))
 
     def push(self, x: np.ndarray) -> np.ndarray:

@@ -30,7 +30,7 @@ from .orchestrator import (
     run_cells,
     summarize_outcomes,
 )
-from .worker import WorkerTelemetry
+from .worker import WorkerTelemetry, reset_inherited_telemetry
 
 __all__ = [
     "CACHE_VERSION",
@@ -40,6 +40,7 @@ __all__ = [
     "SweepCell",
     "SweepOptions",
     "WorkerTelemetry",
+    "reset_inherited_telemetry",
     "run_cells",
     "summarize_outcomes",
     "sweep_fingerprint",

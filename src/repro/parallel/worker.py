@@ -37,7 +37,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..telemetry.gauges import Gauge
 
-__all__ = ["WorkerTelemetry", "worker_main"]
+__all__ = ["WorkerTelemetry", "reset_inherited_telemetry", "worker_main"]
 
 
 class _ShimSpan:
@@ -120,16 +120,22 @@ class WorkerTelemetry:
         return f"WorkerTelemetry(run_id={self.run_id!r})"
 
 
-def _reset_inherited_telemetry() -> None:
+def reset_inherited_telemetry() -> None:
     """Drop any Run state forked from the parent process.
 
     The inherited ``events.jsonl`` handle is *not* closed — closing a
     dup'd append-mode descriptor is harmless but the Run object still
     belongs to the parent; the child simply stops routing into it.
+    Every forked worker (sweep cells, serving plan workers) calls this
+    before doing anything observable.
     """
     from ..telemetry import run as _run_module
 
     _run_module._ACTIVE.clear()
+
+
+#: Backwards-compatible private alias (pre-serving name).
+_reset_inherited_telemetry = reset_inherited_telemetry
 
 
 def worker_main(
@@ -148,7 +154,7 @@ def worker_main(
     """
     from ..telemetry import run as _run_module
 
-    _reset_inherited_telemetry()
+    reset_inherited_telemetry()
     shim = WorkerTelemetry(conn if forward_events else None)
     _run_module._ACTIVE.append(shim)
     failed = False

@@ -428,6 +428,76 @@ def _sweep_section(events: List[Dict]) -> List[str]:
     return lines
 
 
+def _serve_section(events: List[Dict]) -> List[str]:
+    """Serving-tier summary from ``serve.*`` events, if any were emitted.
+
+    Renders the service configuration from ``serve.start``, the final
+    traffic totals (preferring ``serve.end``, falling back to the last
+    ``serve.stats`` snapshot), the achieved batch-size histogram, and
+    the degradation counters an operator acts on: queue-full
+    rejections, request timeouts and worker restarts.
+    """
+    start = next((e for e in events if e["kind"] == "serve.start"), None)
+    final = next(
+        (
+            e
+            for e in reversed(events)
+            if e["kind"] in ("serve.end", "serve.stats")
+        ),
+        None,
+    )
+    if start is None and final is None:
+        return []
+    lines = ["## Serving", ""]
+    if start:
+        lines.append(
+            f"* micro-batching: window {start.get('window_s', 0.0)*1e3:.1f} ms, "
+            f"max batch {start.get('max_batch', '?')}, "
+            f"queue {start.get('queue_size', '?')}, "
+            f"workers {start.get('workers', 0)}, "
+            f"precision {start.get('precision', 'inherit')}"
+        )
+    if final:
+        by_status = final.get("by_status") or {}
+        latency = final.get("latency_ms") or {}
+        lines += [
+            f"* requests: {final.get('requests', 0)} "
+            f"({by_status.get('ok', 0)} ok) at {final.get('qps', 0.0):.1f} qps",
+            f"* latency: p50 {latency.get('p50', 0.0):.2f} ms, "
+            f"p99 {latency.get('p99', 0.0):.2f} ms, "
+            f"mean {latency.get('mean', 0.0):.2f} ms",
+            f"* batches: {final.get('batches', 0)} "
+            f"(mean size {final.get('mean_batch_size', 0.0):.1f}, "
+            f"max queue depth {final.get('max_queue_depth', 0)})",
+        ]
+        plan_cache = final.get("plan_cache") or {}
+        if plan_cache:
+            lines.append(
+                f"* plan cache: {plan_cache.get('hits', 0)} hits, "
+                f"{plan_cache.get('misses', 0)} misses, "
+                f"{plan_cache.get('evictions', 0)} evictions"
+            )
+        degraded = []
+        if by_status.get("queue_full"):
+            degraded.append(f"{by_status['queue_full']} queue-full rejections")
+        if by_status.get("timeout"):
+            degraded.append(f"{by_status['timeout']} request timeouts")
+        if final.get("worker_restarts"):
+            degraded.append(f"{final['worker_restarts']} worker restarts")
+        if by_status.get("error"):
+            degraded.append(f"{by_status['error']} errors")
+        lines.append(
+            "* degradation: " + ("; ".join(degraded) if degraded else "none")
+        )
+        histogram = final.get("batch_size_histogram") or {}
+        if histogram:
+            lines += ["", "| Batch size | Batches |", "|---|---|"]
+            for size, count in sorted(histogram.items(), key=lambda kv: int(kv[0])):
+                lines.append(f"| {size} | {count} |")
+    lines.append("")
+    return lines
+
+
 def render_run(run_dir: PathLike) -> str:
     """Render one telemetry run directory as a markdown report.
 
@@ -435,6 +505,7 @@ def render_run(run_dir: PathLike) -> str:
     (``events.jsonl``) written by :class:`repro.telemetry.Run` and
     produces the per-epoch sparkline table, evaluation summaries, sweep
     campaign summary (when the run wraps a ``repro.parallel`` sweep),
+    serving summary (when the run wraps a ``repro.serve`` service),
     span wall-clock breakdown and Monte-Carlo counters.
     """
     from .telemetry import iter_events, load_manifest
@@ -448,6 +519,7 @@ def render_run(run_dir: PathLike) -> str:
     evaluations = [e for e in events if e["kind"] == "evaluation"]
     run_end = next((e for e in events if e["kind"] == "run_end"), None)
     sweep_lines = _sweep_section(events)
+    serve_lines = _serve_section(events)
 
     lines = [
         f"# Run `{manifest.get('run_id', run_dir.name)}`",
@@ -486,5 +558,6 @@ def render_run(run_dir: PathLike) -> str:
             )
         lines.append("")
     lines += sweep_lines
+    lines += serve_lines
     lines += _span_section(run_end)
     return "\n".join(lines)

@@ -1,0 +1,425 @@
+"""Micro-batching inference service (transport-agnostic core).
+
+:class:`MicroBatchService` owns the whole serving pipeline behind the
+HTTP layer:
+
+* a **bounded request queue** — when it is full, :meth:`submit` raises
+  :class:`~repro.serve.errors.QueueFullError` immediately
+  (backpressure; the HTTP layer maps it to 503) instead of letting
+  latency grow without bound;
+* a **dispatcher thread** that coalesces compatible queued requests
+  (same model, same ``(time, features)`` shape) into one
+  ``(batch, time, features)`` plan forward.  A batch closes when it
+  reaches ``max_batch``, the batching ``window_s`` expires, or an
+  incompatible request arrives (which immediately starts the next
+  batch — it is never reordered past);
+* a :class:`~repro.serve.registry.PlanRegistry` LRU of frozen
+  :class:`~repro.compile.ForwardPlan` artifacts;
+* optionally a :class:`~repro.serve.workers.PlanWorkerPool` executing
+  batches in crash-isolated worker processes (``workers=0`` executes
+  in-process — the bit-stable oracle configuration the fault tests
+  compare against).
+
+Determinism contract: a request's **prediction** is independent of the
+batch companions it happens to be coalesced with; logits agree to
+floating-point accumulation tolerance (BLAS may select a different
+GEMM kernel per batch shape — see ``docs/SERVING.md``).
+
+All ``serve.*`` telemetry flows through the active
+:class:`repro.telemetry.Run` (no-op when none is active), serialised by
+an internal lock because dispatcher/executor threads emit concurrently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..telemetry import emit as telemetry_emit
+from .errors import QueueFullError, RequestTimeoutError, ServeError
+from .registry import PlanRegistry
+from .stats import ServeStats
+from .workers import PlanWorkerPool
+
+__all__ = ["MicroBatchService", "ServeOptions"]
+
+#: Dispatcher shutdown sentinel.
+_STOP = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeOptions:
+    """Tuning knobs of the micro-batching service.
+
+    ``window_s = 0`` (or ``max_batch = 1``) disables coalescing — every
+    request runs alone, which is the unbatched baseline the serving
+    benchmark measures speedup against.
+    """
+
+    window_s: float = 0.002
+    max_batch: int = 32
+    queue_size: int = 128
+    request_timeout_s: float = 10.0
+    batch_timeout_s: float = 30.0
+    workers: int = 0
+    worker_restart_limit: int = 8
+    plan_capacity: int = 4
+    precision: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if self.max_batch < 1 or self.queue_size < 1 or self.plan_capacity < 1:
+            raise ValueError("max_batch, queue_size and plan_capacity must be >= 1")
+        if self.request_timeout_s <= 0 or self.batch_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+
+
+class _Request:
+    __slots__ = ("name", "series", "future", "submitted")
+
+    def __init__(self, name: str, series: np.ndarray) -> None:
+        self.name = name
+        self.series = series
+        self.future: Future = Future()
+        self.submitted = time.perf_counter()
+
+
+class MicroBatchService:
+    """The serving core: registry + queue + dispatcher (+ worker pool)."""
+
+    def __init__(self, options: Optional[ServeOptions] = None) -> None:
+        self.options = options if options is not None else ServeOptions()
+        self.stats = ServeStats()
+        self._emit_lock = threading.Lock()
+        self._mc_lock = threading.Lock()
+        self._closed = False
+
+        self._pool: Optional[PlanWorkerPool] = (
+            PlanWorkerPool(
+                self.options.workers,
+                restart_limit=self.options.worker_restart_limit,
+                on_restart=self._on_worker_restart,
+            )
+            if self.options.workers > 0
+            else None
+        )
+        self.registry = PlanRegistry(
+            capacity=self.options.plan_capacity,
+            precision=self.options.precision,
+            on_compile=self._on_plan_compile,
+            on_evict=self._on_plan_evict,
+        )
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.options.queue_size)
+        # In-process plans share scratch arenas -> exactly one executor
+        # thread then; with a worker pool, one thread per worker keeps
+        # every process busy.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.options.workers),
+            thread_name_prefix="serve-batch",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        self._emit(
+            "serve.start",
+            window_s=self.options.window_s,
+            max_batch=self.options.max_batch,
+            queue_size=self.options.queue_size,
+            workers=self.options.workers,
+            precision=self.options.precision or "inherit",
+        )
+
+    # -- telemetry hooks -------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        with self._emit_lock:
+            telemetry_emit(kind, **fields)
+
+    def _on_plan_compile(self, name, plan, compile_s) -> None:
+        if self._pool is not None:
+            self._pool.load(name, plan)
+        self._emit(
+            "serve.plan_compile",
+            model=name,
+            compile_ms=compile_s * 1e3,
+            nbytes=plan.nbytes(),
+        )
+
+    def _on_plan_evict(self, name, plan) -> None:
+        if self._pool is not None:
+            self._pool.unload(name)
+        self._emit("serve.plan_evict", model=name)
+
+    def _on_worker_restart(self, pid, reason) -> None:
+        self.stats.record_worker_restart()
+        self._emit("serve.worker_restart", pid=pid, reason=reason)
+
+    # -- model hosting ---------------------------------------------------
+
+    def register(self, name: str, model, warm: bool = True) -> None:
+        """Host ``model`` under ``name``; ``warm`` pre-compiles its plan."""
+        self.registry.register(name, model)
+        if warm:
+            self.registry.plan(name)
+
+    # -- request path ----------------------------------------------------
+
+    def submit(self, name: str, series) -> Future:
+        """Validate and enqueue one request; resolves to a result dict.
+
+        Raises :class:`UnknownModelError` / :class:`PlanInputError`
+        synchronously (the request never reaches the queue) and
+        :class:`QueueFullError` when the bounded queue rejects it.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        plan, hit = self.registry.plan(name)
+        self.stats.record_plan(hit)
+        request = _Request(name, plan.coerce_series(series))
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.record_request(0.0, status="queue_full")
+            self._emit("serve.queue_full", model=name)
+            raise QueueFullError(
+                f"request queue full ({self.options.queue_size} pending)"
+            ) from None
+        return request.future
+
+    def predict(self, name: str, series, timeout: Optional[float] = None) -> Dict:
+        """Blocking request: submit, await the micro-batched result.
+
+        Returns ``{model, prediction, logits, latency_ms, batch_size}``.
+        """
+        budget = timeout if timeout is not None else self.options.request_timeout_s
+        t0 = time.perf_counter()
+        future = self.submit(name, series)
+        try:
+            outcome = future.result(timeout=budget)
+        except FutureTimeoutError:
+            future.cancel()
+            self.stats.record_request(0.0, status="timeout")
+            self._emit("serve.timeout", model=name)
+            raise RequestTimeoutError(f"no result within {budget}s") from None
+        except Exception:
+            self.stats.record_request(0.0, status="error")
+            raise
+        latency = time.perf_counter() - t0
+        self.stats.record_request(latency, status="ok")
+        self._emit(
+            "serve.request",
+            model=name,
+            status="ok",
+            latency_ms=latency * 1e3,
+            batch_size=outcome["batch_size"],
+        )
+        logits = outcome["logits"]
+        return {
+            "model": name,
+            "prediction": int(np.argmax(logits)),
+            "logits": [float(v) for v in logits],
+            "latency_ms": latency * 1e3,
+            "batch_size": outcome["batch_size"],
+        }
+
+    def predict_mc(
+        self,
+        name: str,
+        series,
+        draws: int = 32,
+        spread: float = 0.10,
+        seed: int = 0,
+    ) -> Dict:
+        """Monte-Carlo prediction with device-variation confidence.
+
+        Runs the *live* model (not the frozen plan) under a fresh
+        ±``spread`` :class:`~repro.circuits.UniformVariation` sampler
+        with ``draws`` batched hardware instances; the confidence is the
+        fraction of instances voting for the majority class.
+        Serialised by a lock (the sampler swap mutates the model).
+        """
+        from ..autograd import no_grad
+        from ..circuits import UniformVariation, VariationSampler
+
+        if not 1 <= draws <= 1024:
+            raise ValueError("draws must be in [1, 1024]")
+        if not 0 <= spread < 1:
+            raise ValueError("spread must be in [0, 1)")
+        model = self.registry.model(name)
+        plan, _ = self.registry.plan(name)
+        arr = plan.coerce_series(series)
+        t0 = time.perf_counter()
+        sampler = VariationSampler(
+            model=UniformVariation(spread), rng=np.random.default_rng(seed)
+        )
+        with self._mc_lock:
+            original = model.sampler
+            model.set_sampler(sampler)
+            try:
+                with no_grad(), sampler.batched(draws):
+                    logits = model(arr[None]).data[:, 0, :]
+            finally:
+                model.set_sampler(original)
+        votes = np.bincount(np.argmax(logits, axis=-1), minlength=model.n_classes)
+        prediction = int(np.argmax(votes))
+        latency = time.perf_counter() - t0
+        self.stats.record_request(latency, status="ok")
+        self._emit(
+            "serve.request",
+            model=name,
+            status="ok",
+            latency_ms=latency * 1e3,
+            batch_size=draws,
+            mc=True,
+        )
+        return {
+            "model": name,
+            "prediction": prediction,
+            "confidence": float(votes[prediction] / draws),
+            "class_votes": [int(v) for v in votes],
+            "mean_logits": [float(v) for v in logits.mean(axis=0)],
+            "draws": draws,
+            "spread": spread,
+            "latency_ms": latency * 1e3,
+        }
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        opts = self.options
+        pending = None
+        while True:
+            item = pending if pending is not None else self._queue.get()
+            pending = None
+            if item is _STOP:
+                break
+            batch = [item]
+            deadline = time.perf_counter() + opts.window_s
+            while len(batch) < opts.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP or not (
+                    nxt.name == item.name and nxt.series.shape == item.series.shape
+                ):
+                    # Incompatible (or shutdown): flush what we have, the
+                    # held-back item seeds the next batch.
+                    pending = nxt
+                    break
+                batch.append(nxt)
+            depth = self._queue.qsize()
+            live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+            if live:
+                self._executor.submit(self._run_batch, live, depth)
+
+    def _run_batch(self, live, depth: int) -> None:
+        name = live[0].name
+        wait_ms = (time.perf_counter() - live[0].submitted) * 1e3
+        t0 = time.perf_counter()
+        try:
+            plan, _ = self.registry.plan(name)
+            x = np.stack([r.series for r in live])
+            if self._pool is not None:
+                logits = self._pool.execute(
+                    name, x, timeout=self.options.batch_timeout_s
+                )
+            else:
+                logits = plan(x)
+        except BaseException as exc:  # noqa: BLE001 — delivered to every waiter
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            self._emit(
+                "serve.batch",
+                model=name,
+                size=len(live),
+                queue_depth=depth,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        exec_ms = (time.perf_counter() - t0) * 1e3
+        self.stats.record_batch(len(live), depth)
+        self._emit(
+            "serve.batch",
+            model=name,
+            size=len(live),
+            queue_depth=depth,
+            wait_ms=wait_ms,
+            exec_ms=exec_ms,
+        )
+        for i, request in enumerate(live):
+            if not request.future.done():
+                request.future.set_result(
+                    {"logits": np.array(logits[i]), "batch_size": len(live)}
+                )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def emit_stats(self) -> Dict:
+        """Emit (and return) a ``serve.stats`` snapshot."""
+        snapshot = self.stats.snapshot()
+        self._emit("serve.stats", **snapshot)
+        return snapshot
+
+    def close(self) -> None:
+        """Drain, stop the dispatcher/executor/pool, emit final stats."""
+        if self._closed:
+            return
+        self._closed = True
+        # Insert the dispatcher sentinel even into a wedged-full queue:
+        # displace pending requests (failed below) rather than stalling
+        # shutdown behind a dispatcher that may never drain them.
+        leftovers = []
+        while True:
+            try:
+                self._queue.put_nowait(_STOP)
+                break
+            except queue.Full:
+                try:
+                    leftovers.append(self._queue.get_nowait())
+                except queue.Empty:
+                    pass
+        self._dispatcher.join(timeout=10.0)
+        self._executor.shutdown(wait=True)
+        # Fail anything the dispatcher never picked up.
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for leftover in leftovers:
+            if leftover is not _STOP and not leftover.future.done():
+                leftover.future.set_exception(ServeError("service closed"))
+        if self._pool is not None:
+            self._pool.close()
+        snapshot = self.stats.snapshot()
+        self._emit("serve.stats", **snapshot)
+        self._emit("serve.end", **snapshot)
+
+    def __enter__(self) -> "MicroBatchService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatchService(models={len(self.registry)}, "
+            f"workers={self.options.workers}, closed={self._closed})"
+        )

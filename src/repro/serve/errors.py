@@ -1,0 +1,40 @@
+"""Serving-tier error taxonomy (maps 1:1 onto HTTP status codes)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "UnknownModelError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "WorkerCrashError",
+    "PoolBrokenError",
+]
+
+
+class ServeError(Exception):
+    """Base class of all serving-tier failures."""
+
+
+class UnknownModelError(ServeError, KeyError):
+    """Request names a model the service does not host (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class QueueFullError(ServeError):
+    """The bounded request queue rejected the request (HTTP 503)."""
+
+
+class RequestTimeoutError(ServeError, TimeoutError):
+    """No result within the per-request deadline (HTTP 504)."""
+
+
+class WorkerCrashError(ServeError):
+    """A plan worker died (or hung) while executing a batch, and the
+    retry after restart failed too (HTTP 500)."""
+
+
+class PoolBrokenError(ServeError):
+    """The worker pool exceeded its restart budget and shut down."""

@@ -1,0 +1,126 @@
+"""Per-model LRU cache of compiled :class:`~repro.compile.ForwardPlan`.
+
+Models are registered once and kept for the registry's lifetime (they
+are the source of truth — ``/predict_mc`` runs the live model, and an
+evicted plan can always be recompiled).  Compiled plans live in a
+bounded LRU: serving many models with a small capacity trades compile
+latency on the cold path for memory, which the ``serve.plan_compile`` /
+``serve.plan_evict`` telemetry makes visible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..compile import ForwardPlan, compile_plan
+from .errors import UnknownModelError
+
+__all__ = ["PlanRegistry"]
+
+
+class PlanRegistry:
+    """Thread-safe model registry with an LRU of frozen plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of compiled plans kept warm (≥ 1).
+    precision:
+        Precision policy plans are compiled under; the process-wide
+        active policy when omitted.
+    on_compile / on_evict:
+        Optional hooks ``(name, plan, compile_s)`` / ``(name, plan)``
+        — the serving tier uses them to emit telemetry and to ship /
+        drop plans in worker processes.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        precision: Optional[str] = None,
+        on_compile: Optional[Callable[[str, ForwardPlan, float], None]] = None,
+        on_evict: Optional[Callable[[str, ForwardPlan], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self.precision = precision
+        self._on_compile = on_compile
+        self._on_evict = on_evict
+        self._models: Dict[str, object] = {}
+        self._plans: "OrderedDict[str, ForwardPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def register(self, name: str, model) -> None:
+        """Host ``model`` under ``name`` (replacing drops any stale plan)."""
+        if not name or not isinstance(name, str):
+            raise ValueError("model name must be a non-empty string")
+        with self._lock:
+            self._models[name] = model
+            stale = self._plans.pop(name, None)
+            if stale is not None and self._on_evict is not None:
+                self._on_evict(name, stale)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def model(self, name: str):
+        """The live model hosted under ``name``."""
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError:
+                raise UnknownModelError(f"unknown model {name!r}") from None
+
+    def plan(self, name: str) -> Tuple[ForwardPlan, bool]:
+        """``(plan, was_hit)`` for ``name``, compiling on miss.
+
+        A miss beyond capacity evicts the least-recently-used plan
+        first (hook fires before the new compile hook).
+        """
+        with self._lock:
+            model = self.model(name)
+            plan = self._plans.get(name)
+            if plan is not None:
+                self._plans.move_to_end(name)
+                self.hits += 1
+                return plan, True
+            self.misses += 1
+            while len(self._plans) >= self.capacity:
+                evicted_name, evicted = self._plans.popitem(last=False)
+                self.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(evicted_name, evicted)
+            t0 = time.perf_counter()
+            plan = compile_plan(model, precision=self.precision)
+            self._plans[name] = plan
+            if self._on_compile is not None:
+                self._on_compile(name, plan, time.perf_counter() - t0)
+            return plan, False
+
+    def signatures(self) -> Dict[str, Dict]:
+        """``{name: plan signature}`` for every hosted model (compiling
+        as needed) — the ``/models`` endpoint payload."""
+        return {name: self.plan(name)[0].signature() for name in self.names()}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"PlanRegistry(models={len(self._models)}, "
+                f"plans={len(self._plans)}/{self.capacity})"
+            )

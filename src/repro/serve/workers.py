@@ -1,0 +1,272 @@
+"""Plan worker processes: crash/hang-isolated batch execution.
+
+Follows the :mod:`repro.parallel.worker` pattern — process isolation is
+what makes per-batch timeouts, kills and crash retries clean — but
+where a sweep worker runs one cell and exits, a plan worker is
+*persistent*: it holds the frozen plans it was sent (``load``) and
+answers ``batch`` messages until stopped.  Pipe protocol::
+
+    parent -> worker : ("load", name, plan) | ("unload", name)
+                     | ("batch", name, x)   | ("stop",)
+    worker -> parent : ("result", logits)   | ("error", message)
+
+The pool hands one worker exclusively to one batch at a time (an idle
+queue), so replies can never interleave.  A worker that crashes
+(pipe EOF) or hangs (no reply within the batch deadline) is killed,
+replaced — replaying the loaded plans into the fresh process — and the
+batch retried once on another worker.  Replacements count against a
+restart budget; exhausting it marks the pool broken rather than
+restart-looping forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..parallel.worker import reset_inherited_telemetry
+from .errors import PoolBrokenError, RequestTimeoutError, WorkerCrashError
+
+__all__ = ["PlanWorkerPool", "serve_worker_main"]
+
+
+def serve_worker_main(conn) -> None:
+    """Entry point of one plan worker process (see module docstring)."""
+    reset_inherited_telemetry()
+    plans: Dict[str, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        except Exception:
+            # Undecodable frame (e.g. an unpicklable fault-injection
+            # payload): the protocol state is unknowable, so die cleanly
+            # and let the pool's crash path replace this process.
+            break
+        kind = msg[0]
+        if kind == "load":
+            plans[msg[1]] = msg[2]
+        elif kind == "unload":
+            plans.pop(msg[1], None)
+        elif kind == "stop":
+            break
+        elif kind == "batch":
+            try:
+                out = ("result", plans[msg[1]](msg[2]))
+            except BaseException as exc:  # noqa: BLE001 — reported to parent
+                out = ("error", f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(out)
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    """One live worker process plus its parent-side pipe end."""
+
+    __slots__ = ("proc", "conn", "lock")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        # Serialises sends: `load` broadcasts may race an in-flight
+        # `batch` send from the executing thread (recv never races —
+        # only the thread that checked the worker out reads).
+        self.lock = threading.Lock()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def send(self, msg) -> None:
+        with self.lock:
+            self.conn.send(msg)
+
+
+class PlanWorkerPool:
+    """Fixed-size pool of persistent plan workers with fault recovery.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (≥ 1).
+    restart_limit:
+        Total crash/hang replacements tolerated before the pool
+        declares itself broken.
+    on_restart:
+        Optional ``(pid, reason)`` hook — the serving tier emits
+        ``serve.worker_restart`` telemetry from it.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        restart_limit: int = 8,
+        on_restart: Optional[Callable[[Optional[int], str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self._ctx = multiprocessing.get_context()
+        self._on_restart = on_restart
+        self._restart_limit = restart_limit
+        self.restarts = 0
+        self._plans: Dict[str, object] = {}
+        self._state_lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._idle: "queue.Queue[_Worker]" = queue.Queue()
+        self._broken = False
+        self._closed = False
+        for _ in range(workers):
+            self._idle.put(self._spawn())
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=serve_worker_main, args=(child,), daemon=True, name="plan-worker"
+        )
+        proc.start()
+        child.close()
+        worker = _Worker(proc, parent)
+        with self._state_lock:
+            self._workers.append(worker)
+            replay = list(self._plans.items())
+        for name, plan in replay:
+            worker.send(("load", name, plan))
+        return worker
+
+    def _discard(self, worker: _Worker, reason: str) -> None:
+        """Kill a misbehaving worker and, budget permitting, replace it."""
+        with self._state_lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        pid = worker.pid
+        worker.proc.terminate()
+        worker.proc.join(timeout=2.0)
+        if worker.proc.is_alive():
+            worker.proc.kill()
+            worker.proc.join(timeout=2.0)
+        self.restarts += 1
+        if self._on_restart is not None:
+            self._on_restart(pid, reason)
+        if self.restarts > self._restart_limit:
+            self._broken = True
+            return
+        if not self._closed:
+            self._idle.put(self._spawn())
+
+    def pids(self) -> List[int]:
+        """PIDs of the live workers (fault-injection tests kill these)."""
+        with self._state_lock:
+            return [w.pid for w in self._workers if w.pid is not None]
+
+    def close(self) -> None:
+        """Stop every worker (idle ones politely, the rest by terminate)."""
+        self._closed = True
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                worker.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        with self._state_lock:
+            workers = list(self._workers)
+            self._workers.clear()
+        for worker in workers:
+            worker.proc.terminate()
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # -- plan distribution ----------------------------------------------
+
+    def load(self, name: str, plan) -> None:
+        """Ship a compiled plan to every worker (and future respawns)."""
+        with self._state_lock:
+            self._plans[name] = plan
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.send(("load", name, plan))
+            except (BrokenPipeError, OSError):
+                pass  # dead worker — execute() will discover and replace it
+
+    def unload(self, name: str) -> None:
+        """Drop an evicted plan from every worker."""
+        with self._state_lock:
+            self._plans.pop(name, None)
+            workers = list(self._workers)
+        for worker in workers:
+            try:
+                worker.send(("unload", name))
+            except (BrokenPipeError, OSError):
+                pass
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, name: str, x, timeout: float = 30.0):
+        """Run one batch on an idle worker; returns the logits array.
+
+        Crash/hang → kill, replace, retry once on a fresh worker.  A
+        worker-side *application* error (the plan itself raised) is not
+        retried — the worker is healthy and a retry would fail again.
+        """
+        if self._broken:
+            raise PoolBrokenError(
+                f"worker pool exceeded its restart budget ({self._restart_limit})"
+            )
+        deadline = time.perf_counter() + timeout
+        last_error = "unknown"
+        for _attempt in range(2):
+            try:
+                worker = self._idle.get(timeout=max(0.0, deadline - time.perf_counter()))
+            except queue.Empty:
+                raise RequestTimeoutError(
+                    f"no idle plan worker within {timeout}s"
+                ) from None
+            try:
+                worker.send(("batch", name, x))
+                if not worker.conn.poll(max(0.0, deadline - time.perf_counter())):
+                    last_error = f"worker pid={worker.pid} hung (> {timeout}s)"
+                    self._discard(worker, reason="hang")
+                    continue
+                kind, payload = worker.conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                last_error = f"worker pid={worker.pid} crashed: {exc}"
+                self._discard(worker, reason="crash")
+                continue
+            self._idle.put(worker)
+            if kind == "result":
+                return payload
+            raise WorkerCrashError(f"plan execution failed in worker: {payload}")
+        if self._broken:
+            raise PoolBrokenError(
+                f"worker pool exceeded its restart budget ({self._restart_limit}); "
+                f"last error: {last_error}"
+            )
+        raise WorkerCrashError(f"batch failed twice: {last_error}")
+
+    def __repr__(self) -> str:
+        with self._state_lock:
+            alive = len(self._workers)
+        return f"PlanWorkerPool(workers={alive}, restarts={self.restarts})"

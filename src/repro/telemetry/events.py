@@ -58,6 +58,35 @@ Well-known kinds
     evaluations, …), forwarded by the orchestrator: ``cell``,
     ``worker_pid``, ``worker_kind`` and the original payload under
     ``fields``.
+``serve.start`` / ``serve.end``
+    Emitted by :class:`repro.serve.MicroBatchService` on creation and
+    close: the serving options (window, batch/queue bounds, worker
+    count, precision); the end event carries the final stats snapshot
+    (total requests, QPS, latency percentiles, batch histogram).
+``serve.request``
+    One per answered ``/predict`` request: ``model``, ``status``
+    (``ok``/``error``), ``latency_ms`` (submit → result, including the
+    batching window) and ``batch_size`` (companions it was coalesced
+    with).
+``serve.batch``
+    One per executed micro-batch: ``model``, ``size``, ``queue_depth``
+    at formation, ``wait_ms`` (window time) and ``exec_ms`` (plan
+    forward, including worker round-trip).
+``serve.queue_full`` / ``serve.timeout``
+    Graceful-degradation markers: a request rejected because the
+    bounded queue was full (HTTP 503), or one whose result did not
+    arrive within the per-request timeout (HTTP 504); both carry
+    ``model``.
+``serve.plan_compile`` / ``serve.plan_evict``
+    Plan-LRU activity: a model's frozen plan was compiled on miss
+    (``model``, ``compile_ms``, ``nbytes``) or evicted to make room
+    (``model``).
+``serve.worker_restart``
+    A crashed or hung plan worker was replaced: ``pid`` of the dead
+    worker and ``reason`` (``crash``/``hang``).
+``serve.stats``
+    Periodic/final stats snapshot from the serving tier (same payload
+    as the ``/stats`` endpoint).
 ``span``
     Optional per-span records when the run was opened with
     ``emit_span_events=True``: ``name``, ``dur_s``; aggregated span
@@ -105,6 +134,16 @@ EVENT_KINDS = (
     "sweep.timeout",
     "sweep.worker",
     "sweep.end",
+    "serve.start",
+    "serve.request",
+    "serve.batch",
+    "serve.queue_full",
+    "serve.timeout",
+    "serve.plan_compile",
+    "serve.plan_evict",
+    "serve.worker_restart",
+    "serve.stats",
+    "serve.end",
     "span",
     "gauges",
     "run_end",

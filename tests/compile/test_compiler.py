@@ -99,6 +99,33 @@ class TestValidation:
         with pytest.raises(ValueError):
             simulate_series(compiled, np.array([1.0]))
 
+    def test_rejects_0d_series_with_clear_error(self, rng):
+        """A bare scalar used to shape-crash (IndexError); it must raise
+        a ValueError naming the expected shape instead."""
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError, match="1-D.*or"):
+            simulate_series(compiled, 0.5)
+
+    def test_rejects_too_short_series(self, rng):
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError, match="at least 2 samples"):
+            simulate_series(compiled, np.array([0.1]))
+
+    def test_rejects_wrong_feature_count(self, rng):
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError, match=r"\(steps, 1\)"):
+            simulate_series(compiled, np.zeros((8, 3)))
+
+    def test_rejects_ragged_series(self, rng):
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError, match="numeric"):
+            simulate_series(compiled, [[0.1, 0.2], [0.3]])
+
+    def test_classify_series_propagates_clear_error(self, rng):
+        compiled = compile_model(PTPNC(2, rng=rng))
+        with pytest.raises(ValueError, match="at least 2 samples"):
+            classify_series(compiled, np.array([0.1]))
+
     def test_dt_carried_from_model(self, rng):
         model = AdaptPNC(2, rng=rng)
         assert compile_model(model).dt == model.blocks[0].filters.dt

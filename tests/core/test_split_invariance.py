@@ -1,0 +1,95 @@
+"""Property-based split invariance of the stateful temporal paths.
+
+A stream processed in arbitrary chunks — carrying the filter state
+``v_{k-1}`` across chunk boundaries — must be **bit-equal** to the
+one-shot forward.  This is the correctness contract that lets the
+serving tier chop incoming sensor streams wherever the transport does,
+and that incremental/online evaluation (ROADMAP item 3) builds on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, filter_scan, no_grad
+from repro.core import PTPNC, StreamingClassifier
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def chunked_stream(draw, min_steps=4, max_steps=48):
+    """A (seed, steps, sorted interior cut points) triple."""
+    steps = draw(st.integers(min_value=min_steps, max_value=max_steps))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=steps - 1),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    seed = draw(seeds)
+    return seed, steps, sorted(cuts)
+
+
+def _bounds(steps, cuts):
+    edges = [0] + list(cuts) + [steps]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+@given(chunked_stream())
+@settings(max_examples=30, deadline=None)
+def test_filter_scan_chunks_bit_equal_one_shot(case):
+    """Chunked scans carrying ``v0 = out[..., -1, :]`` across the cut
+    reproduce the one-shot scan bit-for-bit."""
+    seed, steps, cuts = case
+    rng = np.random.default_rng(seed)
+    batch, n = 2, 3
+    x = rng.uniform(-1, 1, (batch, steps, n))
+    a = rng.uniform(0.5, 0.999, n)
+    b = 1.0 - a
+    v0 = rng.uniform(-0.1, 0.1, (batch, n))
+    with no_grad():
+        full = filter_scan(Tensor(x), Tensor(a), Tensor(b), Tensor(v0)).data
+        state = v0
+        pieces = []
+        for lo, hi in _bounds(steps, cuts):
+            out = filter_scan(
+                Tensor(x[:, lo:hi, :]), Tensor(a), Tensor(b), Tensor(state)
+            ).data
+            pieces.append(out)
+            state = out[..., -1, :]
+    assert np.array_equal(np.concatenate(pieces, axis=1), full)
+
+
+_MODEL = PTPNC(2, rng=np.random.default_rng(7))
+
+
+@given(chunked_stream(max_steps=40))
+@settings(max_examples=20, deadline=None)
+def test_streaming_classifier_chunked_runs_bit_equal(case):
+    """Consecutive ``run(chunk)`` calls (no reset) concatenate to the
+    one-shot ``run(series)`` trajectory exactly."""
+    seed, steps, cuts = case
+    series = np.clip(
+        np.cumsum(np.random.default_rng(seed).normal(0, 0.2, steps)), -1, 1
+    )
+    one_shot = StreamingClassifier(_MODEL).run(series)
+    chunked = StreamingClassifier(_MODEL)
+    pieces = [chunked.run(series[lo:hi]) for lo, hi in _bounds(steps, cuts)]
+    assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
+    assert chunked.steps_seen == steps
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_streaming_final_state_matches_push_by_push(seed):
+    """run() is just push() in a loop: sample-level split invariance."""
+    series = np.clip(
+        np.cumsum(np.random.default_rng(seed).normal(0, 0.2, 12)), -1, 1
+    )
+    trajectory = StreamingClassifier(_MODEL).run(series)
+    pushed = StreamingClassifier(_MODEL)
+    last = [pushed.push(float(s)) for s in series][-1]
+    assert np.array_equal(last, trajectory[-1])

@@ -1,0 +1,33 @@
+"""Module-level fault-injection payloads for plan-worker tests.
+
+These stand in for compiled plans inside a worker process (anything
+callable can be ``load``-ed).  They live at module level so the pipe's
+pickle-by-reference can resolve them in a forked child.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def hang_forever(x):
+    """Simulates a wedged worker: never returns within any deadline."""
+    time.sleep(3600)
+
+
+def crash_hard(x):
+    """Simulates a segfault-style death: the interpreter exits without
+    sending anything back (the parent sees EOF on the pipe)."""
+    os._exit(13)
+
+
+def raise_app_error(x):
+    """A healthy worker whose plan raises: must surface, not retry."""
+    raise RuntimeError("injected plan failure")
+
+
+def slow_identity_logits(x):
+    """Slow but within deadline: returns zero logits after a beat."""
+    time.sleep(0.2)
+    return np.zeros((np.asarray(x).shape[0], 2))

@@ -1,0 +1,52 @@
+"""Fixtures for the serving-tier concurrency/fault suite.
+
+Flaky-timeout guard
+-------------------
+Every timing-sensitive wait in this suite goes through the ``t``
+fixture, which scales budgets by ``REPRO_SERVE_TIMEOUT_SCALE``
+(defaulting to 4 on CI, where schedulers stall threads for whole
+seconds).  Tests assert *correctness after* a wait, never that
+something completed *within* a tight bound — budgets are upper bounds
+sized generously so a slow machine cannot produce a false failure.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import PTPNC
+
+#: Multiplier for every timeout/window in this suite.
+TIMEOUT_SCALE = float(
+    os.environ.get("REPRO_SERVE_TIMEOUT_SCALE", "4" if os.environ.get("CI") else "1")
+)
+
+#: Fault-injection helpers pickle worker payloads by reference, which
+#: the child can only resolve when it was forked from this process.
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault-injection payloads require the fork start method",
+)
+
+
+@pytest.fixture
+def t():
+    """Scale a timeout budget: ``t(0.5)`` seconds, CI-multiplied."""
+
+    def scale(seconds: float) -> float:
+        return seconds * TIMEOUT_SCALE
+
+    return scale
+
+
+@pytest.fixture(scope="session")
+def served_model():
+    """One small trained-shape model shared by the whole suite."""
+    return PTPNC(2, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def series():
+    return np.clip(np.cumsum(np.random.default_rng(1).normal(0, 0.2, 24)), -1, 1)

@@ -1,0 +1,153 @@
+"""Fault-injection suite for :class:`repro.serve.PlanWorkerPool`.
+
+Injected faults (hang, hard crash, application error) are module-level
+callables in ``_faults.py`` — the worker pipe pickles payloads by
+reference, which a forked child can only resolve for names that existed
+before the fork.  Every test asserts *recovery*, not timing: after a
+kill or hang the pool must answer the next batch correctly.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_plan
+from repro.serve import (
+    MicroBatchService,
+    PlanWorkerPool,
+    PoolBrokenError,
+    ServeOptions,
+    WorkerCrashError,
+)
+
+from . import _faults
+from .conftest import fork_only
+
+pytestmark = [pytest.mark.serve, fork_only]
+
+
+@pytest.fixture
+def plan(served_model):
+    return compile_plan(served_model)
+
+
+@pytest.fixture
+def batch(series):
+    return np.stack([series, series[::-1].copy()])
+
+
+class TestPoolExecution:
+    def test_pool_matches_in_process_bitwise(self, plan, batch, t):
+        pool = PlanWorkerPool(workers=2)
+        try:
+            pool.load("m", plan)
+            logits = pool.execute("m", batch, timeout=t(30.0))
+            assert np.array_equal(logits, plan(batch))
+        finally:
+            pool.close()
+
+    def test_slow_worker_within_deadline_is_not_restarted(self, batch, t):
+        pool = PlanWorkerPool(workers=1)
+        try:
+            pool.load("slow", _faults.slow_identity_logits)
+            logits = pool.execute("slow", batch, timeout=t(30.0))
+            assert logits.shape == (2, 2)
+            assert pool.restarts == 0
+        finally:
+            pool.close()
+
+    def test_unload_makes_plan_unavailable(self, plan, batch, t):
+        pool = PlanWorkerPool(workers=1)
+        try:
+            pool.load("m", plan)
+            pool.unload("m")
+            with pytest.raises(WorkerCrashError, match="KeyError"):
+                pool.execute("m", batch, timeout=t(30.0))
+        finally:
+            pool.close()
+
+
+class TestFaultRecovery:
+    def test_killed_worker_is_replaced_and_batch_retried(self, plan, batch, t):
+        pool = PlanWorkerPool(workers=2)
+        try:
+            pool.load("m", plan)
+            expected = plan(batch)
+            os.kill(pool.pids()[0], signal.SIGKILL)
+            for _ in range(5):
+                assert np.array_equal(
+                    pool.execute("m", batch, timeout=t(30.0)), expected
+                )
+            assert pool.restarts >= 1
+            assert len(pool.pids()) == 2
+        finally:
+            pool.close()
+
+    def test_hanging_worker_is_killed_and_pool_stays_healthy(self, plan, batch, t):
+        pool = PlanWorkerPool(workers=1)
+        try:
+            pool.load("hang", _faults.hang_forever)
+            with pytest.raises(WorkerCrashError):
+                pool.execute("hang", batch, timeout=t(0.5))
+            assert pool.restarts >= 1
+            # The replacement worker (with plans replayed) still serves.
+            pool.load("m", plan)
+            assert np.array_equal(
+                pool.execute("m", batch, timeout=t(30.0)), plan(batch)
+            )
+        finally:
+            pool.close()
+
+    def test_application_error_surfaces_without_restart(self, plan, batch, t):
+        pool = PlanWorkerPool(workers=1)
+        try:
+            pool.load("boom", _faults.raise_app_error)
+            with pytest.raises(WorkerCrashError, match="injected plan failure"):
+                pool.execute("boom", batch, timeout=t(30.0))
+            assert pool.restarts == 0  # the worker itself is healthy
+            pool.load("m", plan)
+            assert np.array_equal(
+                pool.execute("m", batch, timeout=t(30.0)), plan(batch)
+            )
+        finally:
+            pool.close()
+
+    def test_restart_budget_exhaustion_breaks_the_pool(self, batch, t):
+        pool = PlanWorkerPool(workers=1, restart_limit=1)
+        try:
+            pool.load("die", _faults.crash_hard)
+            with pytest.raises((PoolBrokenError, WorkerCrashError)):
+                pool.execute("die", batch, timeout=t(30.0))
+            with pytest.raises(PoolBrokenError):
+                pool.execute("die", batch, timeout=t(30.0))
+        finally:
+            pool.close()
+
+
+class TestServiceWithWorkers:
+    def test_worker_service_matches_in_process_service(self, served_model, series, t):
+        with MicroBatchService(ServeOptions(workers=0)) as inproc:
+            inproc.register("demo", served_model)
+            oracle = inproc.predict("demo", series)
+        with MicroBatchService(
+            ServeOptions(workers=1, batch_timeout_s=t(30.0))
+        ) as svc:
+            svc.register("demo", served_model)
+            result = svc.predict("demo", series, timeout=t(30.0))
+        assert result["prediction"] == oracle["prediction"]
+        assert np.array_equal(
+            np.asarray(result["logits"]), np.asarray(oracle["logits"])
+        )
+
+    def test_service_survives_worker_kill(self, served_model, series, t):
+        with MicroBatchService(
+            ServeOptions(workers=1, batch_timeout_s=t(30.0))
+        ) as svc:
+            svc.register("demo", served_model)
+            before = svc.predict("demo", series, timeout=t(30.0))
+            os.kill(svc._pool.pids()[0], signal.SIGKILL)
+            after = svc.predict("demo", series, timeout=t(30.0))
+            assert after["prediction"] == before["prediction"]
+            assert svc.stats.snapshot()["worker_restarts"] >= 1

@@ -30,6 +30,7 @@ class TestPackageSurface:
             "cli",
             "telemetry",
             "parallel",
+            "serve",
         ],
     )
     def test_subpackages_importable(self, module):
@@ -37,7 +38,7 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize(
         "module",
-        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw", "telemetry", "parallel"],
+        ["autograd", "nn", "optim", "spice", "circuits", "data", "augment", "core", "analysis", "hw", "telemetry", "parallel", "serve"],
     )
     def test_all_exports_resolve(self, module):
         mod = __import__(f"repro.{module}", fromlist=["__all__"])

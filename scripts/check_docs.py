@@ -61,6 +61,7 @@ DOC_FILES = (
     "docs/TUTORIAL.md",
     "docs/OBSERVABILITY.md",
     "docs/SERVING.md",
+    "docs/ARCHITECTURE.md",
     "EXPERIMENTS.md",
 )
 

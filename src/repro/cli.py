@@ -17,6 +17,10 @@ Subcommands
   float32, mixed) through the fused SO-LF kernel and end-to-end
   training, and verify the float64 path is bit-equal across reruns
   while the reduced-precision policies stay within tolerance;
+* ``tape-bench`` — measure the tape graph backend (trace-once/replay
+  over arena buffers) against the interpreted oracle through an
+  end-to-end ``Trainer.fit`` run, and verify the float64
+  variation-aware trajectory is bit-equal between backends;
 * ``report`` — render a saved ``results.json`` as markdown;
 * ``runs`` — inspect telemetry run directories written by
   :class:`repro.telemetry.Run` (``list`` / ``show`` / ``tail``);
@@ -37,7 +41,11 @@ from typing import List, Optional
 __all__ = ["build_parser", "main"]
 
 
-def _config(scale: str, precision: Optional[str] = None):
+def _config(
+    scale: str,
+    precision: Optional[str] = None,
+    graph_backend: Optional[str] = None,
+):
     from dataclasses import replace
 
     from .core import ExperimentConfig
@@ -49,6 +57,10 @@ def _config(scale: str, precision: Optional[str] = None):
     }[scale]()
     if precision is not None:
         config = replace(config, training=replace(config.training, precision=precision))
+    if graph_backend is not None:
+        config = replace(
+            config, training=replace(config.training, graph_backend=graph_backend)
+        )
     return config
 
 
@@ -67,7 +79,9 @@ def _cmd_artifact(args: argparse.Namespace) -> int:
     from .hw import format_hardware_table
     from .utils import render_table
 
-    config = _config(args.scale, precision=args.precision)
+    config = _config(
+        args.scale, precision=args.precision, graph_backend=args.graph_backend
+    )
     name = args.command
     if name == "table1":
         print(format_table1(run_table1(config, verbose=args.verbose)))
@@ -256,6 +270,28 @@ def _cmd_dtype_bench(args: argparse.Namespace) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_tape_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import format_tape_benchmark, run_tape_benchmark
+
+    record = run_tape_benchmark(
+        batch=args.batch,
+        seq_len=args.seq_len,
+        epochs=args.epochs,
+        repeats=args.repeats,
+        seed=args.seed,
+        precision=args.precision,
+        oracle_epochs=args.oracle_epochs,
+    )
+    print(format_tape_benchmark(record))
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if record["tape_compiler"]["equivalent"] else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -263,7 +299,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core import format_fig7, format_table1, run_fig7_ablation, run_table1
     from .parallel import SweepOptions
 
-    config = _config(args.config, precision=args.precision)
+    config = _config(
+        args.config, precision=args.precision, graph_backend=args.graph_backend
+    )
     options = SweepOptions(
         executor=args.executor,
         max_workers=args.max_workers,
@@ -414,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     from .autograd.precision import PRECISION_POLICIES
+    from .core import GRAPH_BACKENDS
 
     for name in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "mu"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -423,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=PRECISION_POLICIES,
             default=None,
             help="training precision policy (default: the config preset's)",
+        )
+        p.add_argument(
+            "--graph-backend",
+            choices=GRAPH_BACKENDS,
+            default=None,
+            help="autograd graph backend (default: the config preset's)",
         )
         p.add_argument("--verbose", action="store_true")
         p.add_argument("--samples", type=int, default=10, help="mu-study sample count")
@@ -521,6 +566,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_dtype_bench)
 
     p = sub.add_parser(
+        "tape-bench",
+        help="benchmark the tape graph backend against the interpreted oracle",
+    )
+    p.add_argument("--batch", type=int, default=16, help="dataset size")
+    p.add_argument("--seq-len", type=int, default=8, help="sequence length T")
+    p.add_argument("--epochs", type=int, default=150, help="timed training epochs")
+    p.add_argument("--repeats", type=int, default=5, help="timed fits per backend")
+    p.add_argument(
+        "--precision",
+        choices=PRECISION_POLICIES,
+        default="float32",
+        help="precision policy of the timed (throughput) fits",
+    )
+    p.add_argument(
+        "--oracle-epochs",
+        type=int,
+        default=10,
+        help="epochs of the float64 bit-equality check",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write the record as JSON here")
+    p.set_defaults(func=_cmd_tape_bench)
+
+    p = sub.add_parser(
         "sweep", help="run a sharded (or serial-oracle) experiment sweep"
     )
     p.add_argument(
@@ -540,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PRECISION_POLICIES,
         default=None,
         help="training precision policy (default: the config preset's)",
+    )
+    p.add_argument(
+        "--graph-backend",
+        choices=GRAPH_BACKENDS,
+        default=None,
+        help="autograd graph backend (default: the config preset's)",
     )
     p.add_argument(
         "--executor",

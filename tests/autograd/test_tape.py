@@ -1,0 +1,302 @@
+"""Unit and property tests of the tape compiler.
+
+Covers the capture/compile/replay cycle directly (bit-equal forward
+replays, input rebinding, backward into leaf gradients), the peephole
+optimizer counters (fusion, dead-gradient elimination), cache
+signature invalidation (hypothesis: any shape/dtype/draws/flag change
+produces a distinct key, forcing a clean retrace), dynamic-leaf
+providers, fallback routing, and the interpreted engine's
+grad-bearing-parent pruning that the tape work introduced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.autograd.tape import (
+    CompiledTape,
+    TapeCache,
+    TapeCapture,
+    TapeError,
+    active_capture,
+    dynamic,
+    mark_dynamic,
+    tape_counters,
+    tracing,
+)
+
+
+def _trace_affine_tanh(rng, batch=4, n_in=3, n_out=2):
+    """Capture ``tanh(x @ w + b)`` summed to a scalar loss."""
+    x_arr = rng.uniform(-1, 1, (batch, n_in))
+    w = Tensor(rng.uniform(-1, 1, (n_in, n_out)), requires_grad=True)
+    b = Tensor(rng.uniform(-1, 1, n_out), requires_grad=True)
+    capture = TapeCapture()
+    capture.tag_input("x", x_arr)
+    with tracing(capture):
+        x = Tensor(x_arr)
+        loss = (x @ w + b).tanh().sum()
+    return capture, loss, (x_arr, w, b)
+
+
+class TestCaptureReplay:
+    def test_forward_replay_bit_equal(self, rng):
+        capture, loss, (x_arr, _, _) = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        out = compiled.replay_forward({"x": x_arr})
+        np.testing.assert_array_equal(out, loss.data)
+
+    def test_rebound_input_matches_fresh_interpretation(self, rng):
+        capture, loss, (x_arr, w, b) = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        x2 = rng.uniform(-1, 1, x_arr.shape)
+        want = ((Tensor(x2) @ w + b).tanh().sum()).data
+        np.testing.assert_array_equal(compiled.replay_forward({"x": x2}), want)
+
+    def test_binding_shape_mismatch_raises(self, rng):
+        capture, loss, (x_arr, _, _) = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        with pytest.raises(TapeError, match="binding"):
+            compiled.replay_forward({"x": x_arr[:2]})
+
+    def test_missing_binding_raises(self, rng):
+        capture, loss, _ = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        with pytest.raises(TapeError, match="missing binding"):
+            compiled.replay_forward({})
+
+    def test_backward_matches_interpreted_gradients(self, rng):
+        capture, loss, (x_arr, w, b) = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        loss.backward()
+        want_w, want_b = w.grad.copy(), b.grad.copy()
+        w.grad = b.grad = None
+        compiled.replay_forward({"x": x_arr})
+        compiled.replay_backward()
+        np.testing.assert_array_equal(w.grad, want_w)
+        np.testing.assert_array_equal(b.grad, want_b)
+
+    def test_empty_capture_rejected(self):
+        with pytest.raises(TapeError, match="empty capture"):
+            CompiledTape(TapeCapture(), Tensor(np.ones(2)))
+
+    def test_foreign_output_rejected(self, rng):
+        capture, _, _ = _trace_affine_tanh(rng)
+        with pytest.raises(TapeError, match="not produced"):
+            CompiledTape(capture, Tensor(np.ones(2)))
+
+    def test_unsupported_op_falls_back(self, rng):
+        capture, loss, _ = _trace_affine_tanh(rng)
+        fake = Tensor(np.ones(2))
+        capture(fake, (loss,), "fft", None)  # fabricated unknown op
+        with pytest.raises(TapeError, match="unsupported op"):
+            CompiledTape(capture, loss)
+
+    def test_captures_cannot_nest(self, rng):
+        with tracing(TapeCapture()):
+            with pytest.raises(TapeError, match="nest"):
+                with tracing(TapeCapture()):
+                    pass  # pragma: no cover
+        assert active_capture() is None
+
+
+class TestOptimizerCounters:
+    def test_matmul_add_fusion_counted(self, rng):
+        before = tape_counters.fused_ops
+        capture, loss, (x_arr, _, _) = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        assert tape_counters.fused_ops > before
+        np.testing.assert_array_equal(
+            compiled.replay_forward({"x": x_arr}), loss.data
+        )
+
+    def test_dead_gradient_elimination(self, rng):
+        """A non-grad operand contributes no backward step and stays
+        grad-free after a replayed backward."""
+        x_arr = rng.uniform(-1, 1, (4, 3))
+        w = Tensor(rng.uniform(-1, 1, (4, 3)), requires_grad=True)
+        frozen = Tensor(rng.uniform(0.5, 1.5, (4, 3)))  # no grad
+        before = tape_counters.dead_grad_skips
+        capture = TapeCapture()
+        capture.tag_input("x", x_arr)
+        with tracing(capture):
+            loss = ((Tensor(x_arr) * frozen) * w).sum()
+        compiled = CompiledTape(capture, loss)
+        assert tape_counters.dead_grad_skips > before
+        compiled.replay_forward({"x": x_arr})
+        compiled.replay_backward()
+        assert frozen.grad is None
+        np.testing.assert_array_equal(w.grad, x_arr * frozen.data)
+
+
+class TestDynamicLeaves:
+    def test_mark_dynamic_is_noop_outside_capture(self, rng):
+        arr = rng.uniform(size=3)
+        assert mark_dynamic(arr, lambda: arr) is arr
+
+    def test_provider_redraws_on_replay(self, rng):
+        """Each replay re-invokes the provider; the forward tracks it."""
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return np.full(3, float(len(calls)))  # 1.0 at trace, then 2, 3…
+
+        w = Tensor(rng.uniform(size=3), requires_grad=True)
+        capture = TapeCapture()
+        with tracing(capture):
+            eps = Tensor(dynamic(provider))
+            loss = (w * eps).sum()
+        compiled = CompiledTape(capture, loss)
+        first = compiled.replay_forward()
+        second = compiled.replay_forward()
+        assert first != second  # fresh draw per replay
+        np.testing.assert_allclose(second, float(w.data.sum()) * 3.0)
+
+    def test_provider_shape_drift_raises(self, rng):
+        shapes = iter([(3,), (4,)])
+
+        def provider():
+            return np.ones(next(shapes))
+
+        w = Tensor(rng.uniform(size=3), requires_grad=True)
+        capture = TapeCapture()
+        with tracing(capture):
+            loss = (w * Tensor(dynamic(provider))).sum()
+        compiled = CompiledTape(capture, loss)
+        with pytest.raises(TapeError, match="provider"):
+            compiled.replay_forward()
+
+    def test_ideal_sampler_draws_are_static(self):
+        """Deterministic samplers register no per-replay providers."""
+        from repro.circuits import UniformVariation, VariationSampler
+        from repro.circuits.variation import ideal_sampler
+
+        capture = TapeCapture()
+        with tracing(capture):
+            ideal_sampler().epsilon((2, 2))
+        assert not capture.providers
+
+        capture = TapeCapture()
+        sampler = VariationSampler(
+            model=UniformVariation(0.1), rng=np.random.default_rng(0)
+        )
+        with tracing(capture):
+            sampler.epsilon((2, 2))
+        assert len(capture.providers) == 1
+
+
+class TestCache:
+    def test_lookup_store_failed_routing(self, rng):
+        capture, loss, _ = _trace_affine_tanh(rng)
+        compiled = CompiledTape(capture, loss)
+        cache = TapeCache()
+        assert cache.lookup(("k",)) is None
+        cache.store(("k",), compiled)
+        assert cache.lookup(("k",)) is compiled
+        cache.mark_failed(("k",))
+        assert cache.lookup(("k",)) == "failed"
+        cache.clear()
+        assert cache.lookup(("k",)) is None
+
+    def test_trainer_routes_failed_signature_to_interpreter(self, rng):
+        """A signature marked failed counts a fallback and still returns
+        the interpreted loss."""
+        from repro.core import AdaptPNC, Trainer, TrainingConfig
+        from dataclasses import replace
+
+        x = rng.uniform(-1, 1, (6, 8))
+        y = rng.integers(0, 3, 6)
+        model = AdaptPNC(3, rng=np.random.default_rng(0))
+        config = replace(TrainingConfig.ci(), graph_backend="tape")
+        trainer = Trainer(model, config, seed=0)
+        xa = np.asarray(x, dtype=np.float64)
+        key = trainer._tape_signature(xa, y, "deterministic", 1)
+        trainer._tape_cache.mark_failed(key)
+        fallbacks_before = tape_counters.fallbacks
+        loss = trainer._loss(xa, y)
+        assert tape_counters.fallbacks == fallbacks_before + 1
+        want = trainer._interpreted_loss(xa, y)
+        assert float(loss.item()) == float(want.item())
+
+
+@st.composite
+def signature_inputs(draw):
+    batch = draw(st.integers(min_value=1, max_value=6))
+    seq = draw(st.integers(min_value=1, max_value=6))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    draws = draw(st.integers(min_value=1, max_value=4))
+    variant = draw(st.sampled_from(["deterministic", "batched", "sequential"]))
+    y = draw(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=4)
+    )
+    return batch, seq, dtype, draws, variant, tuple(y)
+
+
+class TestSignatures:
+    @staticmethod
+    def _trainer():
+        from repro.core import AdaptPNC, Trainer
+
+        return Trainer(AdaptPNC(3, rng=np.random.default_rng(0)), seed=0)
+
+    @given(signature_inputs(), signature_inputs())
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_inputs_produce_distinct_keys(self, a, b):
+        """Any shape/dtype/draws/variant/label change changes the key."""
+        trainer = self._trainer()
+        keys = []
+        for batch, seq, dtype, draws, variant, y in (a, b):
+            xa = np.zeros((batch, seq), dtype=dtype)
+            keys.append(trainer._tape_signature(xa, np.asarray(y), variant, draws))
+        assert (keys[0] == keys[1]) == (a == b)
+
+    @given(signature_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_same_inputs_produce_equal_keys(self, params):
+        """Signatures are stable across calls (memoised label hash)."""
+        trainer = self._trainer()
+        batch, seq, dtype, draws, variant, y = params
+        xa = np.zeros((batch, seq), dtype=dtype)
+        ya = np.asarray(y)
+        assert trainer._tape_signature(
+            xa, ya, variant, draws
+        ) == trainer._tape_signature(xa, ya, variant, draws)
+
+    def test_requires_grad_flip_changes_key(self, rng):
+        trainer = self._trainer()
+        xa = np.zeros((2, 4))
+        y = np.zeros(2, dtype=np.int64)
+        before = trainer._tape_signature(xa, y, "deterministic", 1)
+        param = trainer._sig_params[0]
+        param.requires_grad = not param.requires_grad
+        try:
+            after = trainer._tape_signature(xa, y, "deterministic", 1)
+        finally:
+            param.requires_grad = not param.requires_grad
+        assert before != after
+
+
+class TestInterpretedParentPruning:
+    """The interpreted micro-opt: ``_from_op`` drops non-grad parents
+    from ``_parents`` so ``backward()``'s DFS never visits them."""
+
+    def test_non_grad_parents_pruned(self, rng):
+        a = Tensor(rng.uniform(size=3), requires_grad=True)
+        frozen = Tensor(rng.uniform(size=3))
+        out = a * frozen
+        assert out._parents == (a,)
+
+    def test_gradients_unaffected_by_pruning(self, rng):
+        a = Tensor(rng.uniform(size=3), requires_grad=True)
+        frozen = Tensor(rng.uniform(size=3))
+        ((a * frozen).sum()).backward()
+        np.testing.assert_array_equal(a.grad, frozen.data)
+        assert frozen.grad is None
+
+    def test_all_parents_kept_when_all_require_grad(self, rng):
+        a = Tensor(rng.uniform(size=3), requires_grad=True)
+        b = Tensor(rng.uniform(size=3), requires_grad=True)
+        assert (a * b)._parents == (a, b)

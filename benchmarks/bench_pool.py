@@ -1,0 +1,173 @@
+"""Persistent pool vs spawn-per-cell: startup amortization and throughput.
+
+The spawn-per-cell ``"parallel"`` executor pays one process startup
+(fork + interpreter state) for *every* cell attempt; the ``"pool"``
+executor pays it once per worker and then streams tasks over pipes.
+On a campaign of many small cells the startup cost dominates, so the
+pooled executor's throughput must be at least the spawn-per-cell
+executor's — while staying bit-equal to the serial oracle.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pool.py --cells 40
+    PYTHONPATH=src python benchmarks/bench_pool.py --assert-speedup 1.0
+
+``--assert-speedup`` exits non-zero when pooled throughput is below
+that multiple of spawn-per-cell throughput; on single-core runners
+(``os.cpu_count() == 1``) the assertion is skipped — scheduling noise
+on one core can mask the startup win this benchmark isolates.
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.parallel import SweepCell, SweepOptions, run_cells
+
+
+def cell_small(i: int, size: int):
+    """A deliberately small cell (~1 ms): startup cost dominates it."""
+    rng = np.random.default_rng(i)
+    x = rng.standard_normal(size)
+    return {"i": i, "sum_sq": float(np.sum(x * x))}
+
+
+def _measure_startup(ctx_spawns: int = 5) -> float:
+    """Mean seconds to start + join one (trivial) worker process."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    t0 = time.perf_counter()
+    for _ in range(ctx_spawns):
+        proc = ctx.Process(target=int, daemon=True)
+        proc.start()
+        proc.join()
+    return (time.perf_counter() - t0) / ctx_spawns
+
+
+def run(n_cells: int = 40, max_workers: int = 2, size: int = 20_000) -> dict:
+    cells = [SweepCell(key=("cell", str(i)), args=(i, size)) for i in range(n_cells)]
+
+    t0 = time.perf_counter()
+    serial = run_cells(cell_small, cells, SweepOptions(executor="serial"))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    spawned = run_cells(
+        cell_small, cells, SweepOptions(executor="parallel", max_workers=max_workers)
+    )
+    spawn_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_cells(
+        cell_small, cells, SweepOptions(executor="pool", max_workers=max_workers)
+    )
+    pool_s = time.perf_counter() - t0
+
+    mismatches = [
+        "/".join(key)
+        for key in serial
+        if not (
+            serial[key].value == pooled[key].value == spawned[key].value
+            and serial[key].ok and pooled[key].ok and spawned[key].ok
+        )
+    ]
+
+    # Startup-amortization breakdown: the spawn-per-cell executor pays
+    # one process startup per cell, the pool one per worker slot.
+    startup_s = _measure_startup()
+    return {
+        "n_cells": n_cells,
+        "max_workers": max_workers,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "spawn_s": spawn_s,
+        "pool_s": pool_s,
+        "spawn_cells_per_s": n_cells / spawn_s if spawn_s > 0 else float("inf"),
+        "pool_cells_per_s": n_cells / pool_s if pool_s > 0 else float("inf"),
+        "pool_speedup_vs_spawn": spawn_s / pool_s if pool_s > 0 else float("inf"),
+        "startup_per_process_s": startup_s,
+        "startups_spawn": n_cells,
+        "startups_pool": max_workers,
+        "est_startup_overhead_spawn_s": n_cells * startup_s,
+        "est_startup_overhead_pool_s": max_workers * startup_s,
+        "bit_equal": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def test_pool_amortizes_startup(benchmark):
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nspawn {record['spawn_s']:.2f}s  pool {record['pool_s']:.2f}s  "
+        f"({record['pool_speedup_vs_spawn']:.2f}x) on {record['cpu_count']} cores"
+    )
+    assert record["bit_equal"], record["mismatches"]
+    if record["cpu_count"] >= 2:
+        assert record["pool_speedup_vs_spawn"] >= 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=40)
+    parser.add_argument("--max-workers", type=int, default=2)
+    parser.add_argument("--size", type=int, default=20_000, help="per-cell array size")
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless pool >= X times spawn throughput (skipped on 1 core)",
+    )
+    parser.add_argument("--output", default=None, help="write the record as JSON here")
+    args = parser.parse_args()
+
+    record = run(n_cells=args.cells, max_workers=args.max_workers, size=args.size)
+    print(
+        f"serial {record['serial_s']:.2f}s  "
+        f"spawn-per-cell {record['spawn_s']:.2f}s "
+        f"({record['spawn_cells_per_s']:.1f} cells/s)  "
+        f"pool {record['pool_s']:.2f}s ({record['pool_cells_per_s']:.1f} cells/s)"
+    )
+    print(
+        f"startup ~{record['startup_per_process_s'] * 1e3:.1f} ms/process: "
+        f"spawn-per-cell pays {record['startups_spawn']} startups "
+        f"(~{record['est_startup_overhead_spawn_s']:.2f}s), "
+        f"pool pays {record['startups_pool']} "
+        f"(~{record['est_startup_overhead_pool_s']:.2f}s)"
+    )
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {args.output}")
+
+    if not record["bit_equal"]:
+        print("FAIL: executors diverged on cells:", record["mismatches"])
+        return 1
+    print("pool and spawn-per-cell executors are bit-equal to the serial oracle")
+
+    if args.assert_speedup is not None:
+        if record["cpu_count"] < 2:
+            print(
+                f"single-core machine: skipping the >= {args.assert_speedup:.1f}x "
+                "pool-vs-spawn throughput assertion"
+            )
+        elif record["pool_speedup_vs_spawn"] < args.assert_speedup:
+            print(
+                f"FAIL: pool is only {record['pool_speedup_vs_spawn']:.2f}x "
+                f"spawn-per-cell (< required {args.assert_speedup:.1f}x)"
+            )
+            return 1
+        else:
+            print(
+                f"pool is {record['pool_speedup_vs_spawn']:.2f}x spawn-per-cell "
+                f">= {args.assert_speedup:.1f}x"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,12 @@ Block specs
     One ``name: type = default`` line per ``TrainingConfig`` field.
 ``event-kinds``
     The telemetry schema version and the event kinds the library emits.
+``campaign-schema [table...]``
+    The ``CREATE TABLE`` DDL of the SQLite campaign store
+    (``repro.parallel.store.SCHEMA``) — all tables, or the named ones.
+``campaign-query <name>``
+    One worked example from ``repro.parallel.store.EXAMPLE_QUERIES``
+    (the same statements ``python -m repro query --example`` runs).
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ DOC_FILES = (
     "docs/OBSERVABILITY.md",
     "docs/SERVING.md",
     "docs/ARCHITECTURE.md",
+    "docs/CAMPAIGNS.md",
     "EXPERIMENTS.md",
 )
 
@@ -112,10 +119,36 @@ def generate_event_kinds() -> str:
     return "\n".join(lines) + "\n"
 
 
+def generate_campaign_schema(*tables: str) -> str:
+    """``CREATE TABLE`` DDL of the SQLite campaign store, verbatim."""
+    from repro.parallel.store import SCHEMA
+
+    names = tables or tuple(SCHEMA)
+    for name in names:
+        if name not in SCHEMA:
+            raise KeyError(
+                f"no such campaign-store table: {name} (known: {', '.join(SCHEMA)})"
+            )
+    return "\n\n".join(SCHEMA[name] + ";" for name in names) + "\n"
+
+
+def generate_campaign_query(name: str) -> str:
+    """One worked example query from ``EXAMPLE_QUERIES``, verbatim."""
+    from repro.parallel.store import EXAMPLE_QUERIES
+
+    if name not in EXAMPLE_QUERIES:
+        raise KeyError(
+            f"no such example query: {name} (known: {', '.join(EXAMPLE_QUERIES)})"
+        )
+    return EXAMPLE_QUERIES[name] + "\n"
+
+
 GENERATORS: Dict[str, Callable[..., str]] = {
     "cli-help": generate_cli_help,
     "training-config": generate_training_config,
     "event-kinds": generate_event_kinds,
+    "campaign-schema": generate_campaign_schema,
+    "campaign-query": generate_campaign_query,
 }
 
 

@@ -6,8 +6,13 @@ Subcommands
   artefact at a chosen ``--scale``;
 * ``evaluate`` — run the whole suite and write ``results/<scale>/``;
 * ``sweep`` — run a whole table/figure campaign through the sharded
-  sweep orchestrator (worker processes, timeouts, retries, resumable
-  on-disk cell cache);
+  sweep orchestrator (worker processes or a persistent work-stealing
+  pool, timeouts, retries, resumable file/SQLite campaign storage);
+  ``--watch`` attaches a live terminal dashboard to a running or
+  finished campaign (see ``docs/CAMPAIGNS.md``);
+* ``query`` — run read-only SQL against the SQLite campaign store
+  (cross-campaign questions in one statement; ``--list-examples``
+  ships worked queries);
 * ``mc-bench`` — measure sequential-vs-batched Monte-Carlo training
   throughput and verify loss equivalence between the two backends;
 * ``scan-bench`` — measure the fused filter-scan kernel against the
@@ -292,12 +297,50 @@ def _cmd_tape_bench(args: argparse.Namespace) -> int:
     return 0 if record["tape_compiler"]["equivalent"] else 1
 
 
+def _resolve_watch_run(run_root: str, run: str) -> Optional[str]:
+    """Resolve ``--watch [RUN]`` to an ``events.jsonl`` path.
+
+    ``RUN`` may be a run directory, an ``events.jsonl`` path, or
+    ``"latest"`` (the newest run under ``run_root`` with an event
+    stream, preferring sweep runs).
+    """
+    import pathlib
+
+    from .telemetry import EVENTS_FILENAME
+
+    if run != "latest":
+        path = pathlib.Path(run)
+        if path.is_file():
+            return str(path)
+        if (path / EVENTS_FILENAME).is_file():
+            return str(path / EVENTS_FILENAME)
+        return None
+    root = pathlib.Path(run_root)
+    candidates = sorted(
+        root.glob(f"*/{EVENTS_FILENAME}"),
+        key=lambda p: (("sweep" in p.parent.name), p.stat().st_mtime),
+    )
+    return str(candidates[-1]) if candidates else None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     from . import telemetry
     from .core import format_fig7, format_table1, run_fig7_ablation, run_table1
     from .parallel import SweepOptions
+
+    if args.watch is not None:
+        from .parallel import watch
+
+        events_path = _resolve_watch_run(args.run_root, args.watch)
+        if events_path is None:
+            print(f"no run with an event stream found for --watch {args.watch!r}")
+            return 1
+        dashboard = watch(
+            events_path, interval_s=args.watch_interval, once=args.watch_once
+        )
+        return 1 if dashboard.failed else 0
 
     config = _config(
         args.config, precision=args.precision, graph_backend=args.graph_backend
@@ -309,6 +352,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         backoff_s=args.backoff,
         cache_dir=None if args.no_cache else args.cache_dir,
+        store=args.store,
+        pool_restarts=args.pool_restarts,
     )
     run_ctx = (
         nullcontext(None)
@@ -331,6 +376,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"WARNING: {n_failed} sweep cells failed after retries (see events.jsonl)")
         return 1
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+    import sqlite3
+
+    from .parallel import EXAMPLE_QUERIES, run_query
+
+    if args.list_examples:
+        for name in sorted(EXAMPLE_QUERIES):
+            print(f"-- {name}")
+            print(EXAMPLE_QUERIES[name])
+            print()
+        return 0
+    sql = EXAMPLE_QUERIES[args.example] if args.example else args.sql
+    if not sql:
+        print("provide a SQL statement, --example NAME, or --list-examples")
+        return 2
+    try:
+        columns, rows = run_query(args.db, sql)
+    except FileNotFoundError as exc:
+        print(f"error: {exc} (run a sweep with --store sqlite first)")
+        return 1
+    except sqlite3.Error as exc:
+        print(f"sql error: {exc}")
+        return 1
+    if args.as_json:
+        for row in rows:
+            print(json.dumps(dict(zip(columns, row)), default=str))
+        return 0
+    from .utils import render_table
+
+    print(render_table(columns, [[_cell_text(v) for v in row] for row in rows]))
+    print(f"{len(rows)} row{'s' if len(rows) != 1 else ''}")
+    return 0
+
+
+def _cell_text(value) -> str:
+    """Compact text for one query-result cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
 
 
 def _serve_self_test(server, name: str, dataset, n: int) -> List[str]:
@@ -453,6 +542,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .autograd.precision import PRECISION_POLICIES
     from .core import GRAPH_BACKENDS
+    from .parallel.orchestrator import EXECUTORS
+    from .parallel.store import EXAMPLE_QUERIES, STORE_BACKENDS
 
     for name in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "mu"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -618,9 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--executor",
-        choices=("serial", "parallel"),
+        choices=EXECUTORS,
         default="parallel",
-        help="serial oracle or sharded worker processes (bit-equal)",
+        help="serial oracle, spawn-per-cell workers, or a persistent "
+        "work-stealing pool (all bit-equal)",
     )
     p.add_argument("--max-workers", type=int, default=2, help="worker process budget")
     p.add_argument(
@@ -635,10 +727,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir",
         default="sweep_cache",
-        help="on-disk cell cache root (sweeps resume from it)",
+        help="campaign storage root (sweeps resume from it)",
+    )
+    p.add_argument(
+        "--store",
+        choices=STORE_BACKENDS,
+        default="files",
+        help="storage backend under --cache-dir: JSON files or the "
+        "queryable SQLite campaign store",
     )
     p.add_argument(
         "--no-cache", action="store_true", help="disable the resume cache entirely"
+    )
+    p.add_argument(
+        "--pool-restarts",
+        type=int,
+        default=2,
+        help="worker replacements the pool executor tolerates per campaign",
+    )
+    p.add_argument(
+        "--watch",
+        nargs="?",
+        const="latest",
+        default=None,
+        metavar="RUN",
+        help="render a live dashboard for RUN (a run dir or events.jsonl; "
+        "default: the latest sweep run under --run-root) instead of "
+        "launching a campaign",
+    )
+    p.add_argument(
+        "--watch-interval",
+        type=float,
+        default=0.5,
+        help="dashboard repaint interval in seconds",
+    )
+    p.add_argument(
+        "--watch-once",
+        action="store_true",
+        help="render one dashboard frame and exit (no TTY needed)",
     )
     p.add_argument(
         "--run-root", default="runs", help="telemetry root for the sweep run directory"
@@ -648,6 +774,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "query", help="run read-only SQL against the SQLite campaign store"
+    )
+    p.add_argument(
+        "sql",
+        nargs="?",
+        default=None,
+        help="one SQL statement (see --list-examples for schemas in action)",
+    )
+    p.add_argument(
+        "--db",
+        default="sweep_cache/campaigns.sqlite",
+        help="campaign database path (written by sweep --store sqlite)",
+    )
+    p.add_argument(
+        "--example",
+        choices=sorted(EXAMPLE_QUERIES),
+        default=None,
+        help="run a named worked example instead of positional SQL",
+    )
+    p.add_argument(
+        "--list-examples",
+        action="store_true",
+        help="print every worked example query and exit",
+    )
+    p.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit one JSON object per row instead of a table",
+    )
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
         "serve", help="train a model and serve it over HTTP (micro-batched)"

@@ -115,14 +115,23 @@ class SweepCache:
             return None
         return record["value"]
 
-    def store(self, key: Sequence[str], value: Dict) -> pathlib.Path:
-        """Atomically persist one completed cell's value dict."""
+    def store(
+        self, key: Sequence[str], value: Dict, meta: Optional[Dict] = None
+    ) -> pathlib.Path:
+        """Atomically persist one completed cell's value dict.
+
+        ``meta`` carries optional outcome bookkeeping (attempts, elapsed
+        seconds, worker pid) alongside the value — the same fields the
+        SQLite backend promotes to queryable columns.
+        """
         path = self._cell_path(key)
         record = {
             "key": [str(part) for part in key],
             "value": value,
             "stored_unix": time.time(),
         }
+        if meta:
+            record["meta"] = meta
         self._atomic_write(path, json.dumps(record, sort_keys=True, default=str) + "\n")
         return path
 
@@ -138,6 +147,13 @@ class SweepCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def close(self) -> None:
+        """No-op: file-backed cells hold no connection state.
+
+        Present so both storage backends satisfy the same interface
+        (see :func:`repro.parallel.store.open_storage`).
+        """
 
     def __repr__(self) -> str:
         return f"SweepCache(dir={str(self.dir)!r}, cells={len(self)})"

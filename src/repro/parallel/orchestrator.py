@@ -2,17 +2,22 @@
 
 Experiment campaigns (Table I, Fig. 7) are grids of *independent*
 cells — one ``(dataset, model, seed)`` training+evaluation unit each.
-:func:`run_cells` executes such a grid under one of two executors:
+:func:`run_cells` executes such a grid under one of three executors:
 
 * ``"serial"`` — every cell in deterministic submission order, in this
-  process.  This is the **oracle**: the parallel executor must produce
-  bit-identical values.
+  process.  This is the **oracle**: both process executors must
+  produce bit-identical values.
 * ``"parallel"`` — cells sharded across up to ``max_workers`` worker
   *processes* (one short-lived process per cell, so a wedged or killed
   cell never poisons a pool), with per-task timeouts, bounded
   retry-with-backoff and graceful degradation: a cell that still fails
   after its retries yields a ``failed`` :class:`CellOutcome` instead of
   aborting the sweep.
+* ``"pool"`` — persistent workers with a task queue and work-stealing
+  (:mod:`repro.parallel.pool`): interpreter/import startup is paid
+  once per worker instead of once per cell, dead workers are replaced
+  against a bounded restart budget, and the same timeout/retry
+  semantics apply.
 
 Bit-equality holds because every cell is a pure function of its
 arguments: all randomness inside a cell derives from the cell's own
@@ -22,12 +27,19 @@ independent of scheduling, interleaving and process boundaries.
 
 Caching and resume
 ------------------
-With ``cache_dir`` set, completed cells are persisted through
-:class:`~repro.parallel.cache.SweepCache`, keyed by a protocol
-fingerprint (config + cell function identity).  A sweep killed mid-run
-— including SIGKILL — resumes by rerunning the same command: cached
-cells short-circuit as ``cached=True`` outcomes and only unfinished
-cells recompute.
+With ``cache_dir`` set, completed cells are persisted through one of
+two storage backends behind a common interface (see
+:func:`repro.parallel.store.open_storage`): the fingerprinted on-disk
+:class:`~repro.parallel.cache.SweepCache` (``store="files"``, one JSON
+file per cell) or the SQLite :class:`~repro.parallel.store.CampaignStore`
+(``store="sqlite"``, queryable via ``python -m repro query``).  Both
+are keyed by the same protocol fingerprint (config + cell function
+identity), so a sweep killed mid-run — including SIGKILL — resumes by
+rerunning the same command: cached cells short-circuit as
+``cached=True`` outcomes and only unfinished cells recompute, on
+either backend.  The storage handle is closed in ``finally`` even when
+an executor fails to start or breaks mid-campaign (mirroring the
+scan-backend override restore in ``core/evaluation.py``).
 
 Telemetry
 ---------
@@ -51,7 +63,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from .cache import SweepCache
+from .store import STORE_BACKENDS, open_storage
 
 __all__ = [
     "EXECUTORS",
@@ -63,7 +75,7 @@ __all__ = [
 ]
 
 #: Valid sweep executors ("serial" is the bit-equal oracle).
-EXECUTORS = ("serial", "parallel")
+EXECUTORS = ("serial", "parallel", "pool")
 
 
 @dataclass(frozen=True)
@@ -73,9 +85,12 @@ class SweepOptions:
     Parameters
     ----------
     executor:
-        ``"serial"`` (in-process oracle) or ``"parallel"``.
+        ``"serial"`` (in-process oracle), ``"parallel"`` (one
+        short-lived process per cell) or ``"pool"`` (persistent
+        work-stealing workers).
     max_workers:
-        Maximum simultaneously live worker processes (parallel only).
+        Maximum simultaneously live worker processes (process
+        executors only).
     timeout_s:
         Per-attempt wall-clock budget of one cell; a worker exceeding
         it is terminated and the attempt counts as failed.  ``None``
@@ -88,7 +103,15 @@ class SweepOptions:
         Base of the linear retry backoff: attempt *n* (1-based failure
         count) waits ``backoff_s * n`` before relaunching.
     cache_dir:
-        Root of the on-disk cell cache; ``None`` disables caching.
+        Root of the campaign storage; ``None`` disables caching.
+    store:
+        Storage backend under ``cache_dir``: ``"files"`` (one JSON file
+        per cell) or ``"sqlite"`` (the queryable campaign store).  Both
+        resume each other's fingerprints bit-equally.
+    pool_restarts:
+        Worker replacements the ``"pool"`` executor tolerates per
+        campaign before raising
+        :class:`~repro.parallel.pool.PoolBrokenError`.
     forward_worker_events:
         Stream telemetry events from workers back into the parent run
         (wrapped as ``sweep.worker``); disable to keep only the
@@ -101,18 +124,24 @@ class SweepOptions:
     retries: int = 1
     backoff_s: float = 0.1
     cache_dir: Optional[str] = None
+    store: str = "files"
+    pool_restarts: int = 2
     forward_worker_events: bool = True
 
     def __post_init__(self) -> None:
-        """Validate executor name and numeric ranges."""
+        """Validate executor name, store backend and numeric ranges."""
         if self.executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
+        if self.store not in STORE_BACKENDS:
+            raise ValueError(f"store must be one of {STORE_BACKENDS}, got {self.store!r}")
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
         if self.backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
+        if self.pool_restarts < 0:
+            raise ValueError("pool_restarts must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive (or None)")
 
@@ -249,61 +278,84 @@ def run_cells(
     cells = list(cells)
     _check_cells(cells)
 
-    cache: Optional[SweepCache] = None
+    cache = None
     if options.cache_dir is not None:
         protocol = {
             "fn": f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}",
             "fingerprint": fingerprint or {},
         }
-        cache = SweepCache(options.cache_dir, protocol)
+        cache = open_storage(options.cache_dir, protocol, options.store)
 
     events = _SweepTelemetry(options, options.forward_worker_events)
     t0 = time.perf_counter()
     outcomes: Dict[Tuple[str, ...], CellOutcome] = {}
 
-    # Cache hits short-circuit identically under both executors.
-    to_run: List[SweepCell] = []
-    for cell in cells:
-        hit = cache.load(cell.key) if cache is not None else None
-        if hit is not None:
-            outcomes[cell.key] = CellOutcome(
-                key=cell.key, status="ok", value=hit, attempts=0, cached=True
-            )
+    # The storage handle must be released however the campaign ends —
+    # normal completion, a broken pool, or an executor that failed to
+    # start (same try/finally discipline as the scan-backend override
+    # in core/evaluation.py).
+    try:
+        # Cache hits short-circuit identically under every executor.
+        to_run: List[SweepCell] = []
+        for cell in cells:
+            hit = cache.load(cell.key) if cache is not None else None
+            if hit is not None:
+                outcomes[cell.key] = CellOutcome(
+                    key=cell.key, status="ok", value=hit, attempts=0, cached=True
+                )
+            else:
+                to_run.append(cell)
+
+        telemetry.emit(
+            "sweep.start",
+            executor=options.executor,
+            n_cells=len(cells),
+            n_cached=len(cells) - len(to_run),
+            max_workers=(
+                options.max_workers if options.executor in ("parallel", "pool") else 1
+            ),
+            timeout_s=options.timeout_s,
+            retries=options.retries,
+            cache_dir=options.cache_dir,
+            store=options.store,
+            cache_fingerprint=cache.fingerprint if cache is not None else None,
+        )
+        for cell in cells:
+            if cell.key in outcomes:
+                events.cell_end(outcomes[cell.key])
+
+        def persist(outcome: CellOutcome) -> None:
+            """Store an ok cell the moment it completes.
+
+            Called by every executor as each outcome lands (not batched
+            at the end of the sweep), so a campaign killed at any point
+            — including SIGKILL of the orchestrator itself — resumes
+            with every finished cell already on disk.
+            """
+            if cache is not None and outcome.ok and not outcome.cached:
+                cache.store(
+                    outcome.key,
+                    outcome.value,
+                    meta={
+                        "attempts": outcome.attempts,
+                        "elapsed_s": outcome.elapsed_s,
+                        "worker_pid": outcome.worker_pid,
+                    },
+                )
+
+        if options.executor == "serial":
+            computed = _run_serial(fn, to_run, options, events, persist)
+        elif options.executor == "pool":
+            from .pool import run_pool
+
+            computed = run_pool(fn, to_run, options, events, persist)
         else:
-            to_run.append(cell)
+            computed = _run_parallel(fn, to_run, options, events, persist)
 
-    telemetry.emit(
-        "sweep.start",
-        executor=options.executor,
-        n_cells=len(cells),
-        n_cached=len(cells) - len(to_run),
-        max_workers=options.max_workers if options.executor == "parallel" else 1,
-        timeout_s=options.timeout_s,
-        retries=options.retries,
-        cache_dir=options.cache_dir,
-        cache_fingerprint=cache.fingerprint if cache is not None else None,
-    )
-    for cell in cells:
-        if cell.key in outcomes:
-            events.cell_end(outcomes[cell.key])
-
-    def persist(outcome: CellOutcome) -> None:
-        """Store an ok cell the moment it completes.
-
-        Called by both executors as each outcome lands (not batched at
-        the end of the sweep), so a campaign killed at any point —
-        including SIGKILL of the orchestrator itself — resumes with
-        every finished cell already on disk.
-        """
-        if cache is not None and outcome.ok and not outcome.cached:
-            cache.store(outcome.key, outcome.value)
-
-    if options.executor == "serial":
-        computed = _run_serial(fn, to_run, options, events, persist)
-    else:
-        computed = _run_parallel(fn, to_run, options, events, persist)
-
-    outcomes.update(computed)
+        outcomes.update(computed)
+    finally:
+        if cache is not None:
+            cache.close()
 
     ordered = {cell.key: outcomes[cell.key] for cell in cells}
     n_ok = sum(1 for o in ordered.values() if o.ok)

@@ -1,0 +1,447 @@
+"""SQLite-backed campaign store: queryable sweeps behind one interface.
+
+The on-disk :class:`~repro.parallel.cache.SweepCache` makes campaigns
+resumable, but answering a cross-campaign question ("accuracy vs
+``mc_samples`` across all precision policies") against loose JSON files
+means walking directories and re-parsing every cell.  This module
+promotes the cache to a real store: one SQLite database holding every
+campaign ever run under a cache root, with campaigns, cells, artifacts
+and gauges as queryable tables (schema below, quoted verbatim in
+``docs/CAMPAIGNS.md`` and kept honest by ``scripts/check_docs.py``).
+
+Both backends satisfy one **storage interface** — ``fingerprint``,
+``load(key)``, ``store(key, value, meta=None)``, ``keys()``,
+``close()`` — selected via :func:`open_storage` (the orchestrator's
+``SweepOptions.store`` switch).  The contract they share:
+
+* keyed by the same protocol **fingerprint**
+  (:func:`~repro.parallel.cache.sweep_fingerprint`), so the two
+  backends resume each other's campaigns bit-equally and a changed
+  protocol can never poison a hit;
+* only *successful* cells are stored, the moment they complete, so a
+  campaign SIGKILLed at any point resumes without recomputing finished
+  cells;
+* corruption degrades to a clean cache **miss** (a corrupt database
+  file is moved aside and recreated; an unreadable cell row is
+  skipped), never an error or a poisoned value.
+
+Concurrency: the orchestrator process is the only writer (workers
+report results over pipes; the parent persists them), while any number
+of readers — the live dashboard, ``python -m repro query`` — open the
+database read-only in parallel.  WAL journaling is enabled where the
+filesystem supports it so readers never block the writer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .cache import CACHE_VERSION, SweepCache, sweep_fingerprint
+
+__all__ = [
+    "DB_FILENAME",
+    "EXAMPLE_QUERIES",
+    "SCHEMA",
+    "STORE_BACKENDS",
+    "CampaignStore",
+    "campaign_db_path",
+    "open_storage",
+    "run_query",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Valid storage backends for ``SweepOptions.store``.
+STORE_BACKENDS = ("files", "sqlite")
+
+#: Database file name under the cache root (shared by every campaign).
+DB_FILENAME = "campaigns.sqlite"
+
+#: The campaign-store schema, one ``CREATE TABLE`` per table.  Quoted
+#: verbatim in ``docs/CAMPAIGNS.md`` via the ``campaign-schema``
+#: generated block, so the documented schema can never drift.
+SCHEMA: Dict[str, str] = {
+    "campaigns": (
+        "CREATE TABLE IF NOT EXISTS campaigns (\n"
+        "  id INTEGER PRIMARY KEY,\n"
+        "  fingerprint TEXT NOT NULL UNIQUE,  -- sweep_fingerprint(protocol)\n"
+        "  protocol TEXT NOT NULL,            -- canonical protocol JSON\n"
+        "  created_unix REAL NOT NULL,\n"
+        "  last_opened_unix REAL NOT NULL\n"
+        ")"
+    ),
+    "cells": (
+        "CREATE TABLE IF NOT EXISTS cells (\n"
+        "  campaign_id INTEGER NOT NULL REFERENCES campaigns(id),\n"
+        "  cell_key TEXT NOT NULL,            -- '/'-joined SweepCell key\n"
+        "  value TEXT NOT NULL,               -- the cell's result dict (JSON)\n"
+        "  attempts INTEGER NOT NULL DEFAULT 0,\n"
+        "  elapsed_s REAL NOT NULL DEFAULT 0.0,\n"
+        "  worker_pid INTEGER,                -- NULL under the serial oracle\n"
+        "  stored_unix REAL NOT NULL,\n"
+        "  PRIMARY KEY (campaign_id, cell_key)\n"
+        ")"
+    ),
+    "artifacts": (
+        "CREATE TABLE IF NOT EXISTS artifacts (\n"
+        "  campaign_id INTEGER NOT NULL REFERENCES campaigns(id),\n"
+        "  name TEXT NOT NULL,                -- e.g. 'table1.md', 'events.jsonl'\n"
+        "  path TEXT NOT NULL,                -- filesystem location\n"
+        "  kind TEXT NOT NULL DEFAULT 'file', -- 'file' | 'run_dir' | 'report'\n"
+        "  created_unix REAL NOT NULL,\n"
+        "  PRIMARY KEY (campaign_id, name)\n"
+        ")"
+    ),
+    "gauges": (
+        "CREATE TABLE IF NOT EXISTS gauges (\n"
+        "  campaign_id INTEGER NOT NULL REFERENCES campaigns(id),\n"
+        "  gauge TEXT NOT NULL,               -- registry name, e.g. 'mc'\n"
+        "  key TEXT NOT NULL,                 -- dimension within the gauge\n"
+        "  seconds REAL NOT NULL DEFAULT 0.0,\n"
+        "  calls REAL NOT NULL DEFAULT 0.0,\n"
+        "  quantity REAL,\n"
+        "  recorded_unix REAL NOT NULL,\n"
+        "  PRIMARY KEY (campaign_id, gauge, key)\n"
+        ")"
+    ),
+}
+
+#: Worked cross-campaign queries (each is ONE SQL statement), shipped
+#: as ``python -m repro query --example <name>`` and documented in
+#: ``docs/CAMPAIGNS.md``.
+EXAMPLE_QUERIES: Dict[str, str] = {
+    # The ROADMAP's motivating question: robust accuracy vs the number
+    # of Monte-Carlo evaluation draws, broken out by precision policy,
+    # across every campaign in the store.
+    "accuracy-by-mc-precision": (
+        "SELECT json_extract(c.protocol, '$.fingerprint.config.eval_mc')"
+        " AS mc_samples,\n"
+        "       json_extract(c.protocol, '$.fingerprint.precision')"
+        " AS precision,\n"
+        "       COUNT(*) AS n_cells,\n"
+        "       AVG(json_extract(l.value, '$.robust_acc')) AS robust_acc\n"
+        "FROM cells l JOIN campaigns c ON l.campaign_id = c.id\n"
+        "WHERE json_extract(l.value, '$.robust_acc') IS NOT NULL\n"
+        "GROUP BY mc_samples, precision\n"
+        "ORDER BY mc_samples, precision"
+    ),
+    # Campaign inventory: protocol identity and completion state.
+    "campaigns": (
+        "SELECT c.fingerprint,\n"
+        "       json_extract(c.protocol, '$.fingerprint.artefact') AS artefact,\n"
+        "       json_extract(c.protocol, '$.fingerprint.precision') AS precision,\n"
+        "       COUNT(l.cell_key) AS n_cells,\n"
+        "       datetime(c.created_unix, 'unixepoch') AS created\n"
+        "FROM campaigns c LEFT JOIN cells l ON l.campaign_id = c.id\n"
+        "GROUP BY c.id ORDER BY c.created_unix"
+    ),
+    # Straggler hunt: the slowest stored cells across all campaigns.
+    "slowest-cells": (
+        "SELECT c.fingerprint, l.cell_key, l.elapsed_s, l.attempts\n"
+        "FROM cells l JOIN campaigns c ON l.campaign_id = c.id\n"
+        "ORDER BY l.elapsed_s DESC LIMIT 20"
+    ),
+}
+
+
+def campaign_db_path(root: PathLike) -> pathlib.Path:
+    """Database location for a cache root (``<root>/campaigns.sqlite``)."""
+    return pathlib.Path(root) / DB_FILENAME
+
+
+class CampaignStore:
+    """SQLite storage backend for one sweep campaign.
+
+    Satisfies the same interface as
+    :class:`~repro.parallel.cache.SweepCache` (``load`` / ``store`` /
+    ``keys`` / ``fingerprint`` / ``close``) against one shared database
+    under the cache root, so every campaign run with
+    ``SweepOptions(store="sqlite")`` lands in the same queryable file.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory; the database is created at
+        ``<root>/campaigns.sqlite``.
+    protocol:
+        JSON-serialisable protocol identity (the fingerprint input);
+        :data:`~repro.parallel.cache.CACHE_VERSION` is mixed in exactly
+        as ``SweepCache`` does, so both backends agree on fingerprints.
+    """
+
+    def __init__(self, root: PathLike, protocol: Dict) -> None:
+        self.protocol = {"cache_version": CACHE_VERSION, **protocol}
+        self.fingerprint = sweep_fingerprint(self.protocol)
+        self.path = campaign_db_path(root)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn: Optional[sqlite3.Connection] = None
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            self._quarantine_corrupt()
+            self._conn = self._open()
+        self.campaign_id = self._register_campaign()
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        try:
+            # WAL lets the dashboard / query CLI read while a campaign
+            # writes; some filesystems refuse it — journal mode is a
+            # performance choice, not a correctness requirement.
+            conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.DatabaseError:
+            pass
+        for ddl in SCHEMA.values():
+            # CREATE TABLE IF NOT EXISTS: reopening an existing store
+            # is a schema-migration no-op (regression-tested).
+            conn.execute(ddl)
+        conn.commit()
+        return conn
+
+    def _quarantine_corrupt(self) -> None:
+        """Move a corrupt database aside so the campaign starts clean.
+
+        Every cell of the quarantined store becomes a cache miss —
+        recomputation, never a poisoned hit.  The corrupt file is kept
+        (renamed ``campaigns.sqlite.corrupt-<unix>``) for post-mortems.
+        """
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self.path.exists():
+            quarantined = self.path.with_name(
+                f"{self.path.name}.corrupt-{int(time.time())}"
+            )
+            self.path.replace(quarantined)
+
+    def _register_campaign(self) -> int:
+        assert self._conn is not None
+        now = time.time()
+        self._conn.execute(
+            "INSERT INTO campaigns (fingerprint, protocol, created_unix,"
+            " last_opened_unix) VALUES (?, ?, ?, ?)"
+            " ON CONFLICT(fingerprint) DO UPDATE SET last_opened_unix = ?",
+            (
+                self.fingerprint,
+                json.dumps(self.protocol, sort_keys=True, default=str),
+                now,
+                now,
+                now,
+            ),
+        )
+        self._conn.commit()
+        row = self._conn.execute(
+            "SELECT id FROM campaigns WHERE fingerprint = ?", (self.fingerprint,)
+        ).fetchone()
+        return int(row[0])
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._conn is None
+
+    def close(self) -> None:
+        """Commit and release the database connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self._conn.commit()
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- cell access -------------------------------------------------------
+
+    @staticmethod
+    def _key_text(key: Sequence[str]) -> str:
+        return "/".join(str(part) for part in key)
+
+    def load(self, key: Sequence[str]) -> Optional[Dict]:
+        """Stored value dict for ``key``, or ``None`` on miss/corruption."""
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM cells WHERE campaign_id = ? AND cell_key = ?",
+                (self.campaign_id, self._key_text(key)),
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
+        if row is None:
+            return None
+        try:
+            value = json.loads(row[0])
+        except (TypeError, json.JSONDecodeError):
+            return None  # unreadable row — a miss, never an error
+        return value if isinstance(value, dict) else None
+
+    def store(
+        self, key: Sequence[str], value: Dict, meta: Optional[Dict] = None
+    ) -> None:
+        """Persist one completed cell (commit-per-cell, resume-safe).
+
+        ``meta`` carries outcome bookkeeping (``attempts`` /
+        ``elapsed_s`` / ``worker_pid``) into the queryable columns; the
+        result dict itself lands as canonical JSON in ``value``.
+        """
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        meta = meta or {}
+        self._conn.execute(
+            "INSERT OR REPLACE INTO cells (campaign_id, cell_key, value,"
+            " attempts, elapsed_s, worker_pid, stored_unix)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                self.campaign_id,
+                self._key_text(key),
+                json.dumps(value, sort_keys=True, default=str),
+                int(meta.get("attempts", 0) or 0),
+                float(meta.get("elapsed_s", 0.0) or 0.0),
+                meta.get("worker_pid"),
+                time.time(),
+            ),
+        )
+        # Commit each cell as it lands: a SIGKILLed campaign must keep
+        # every finished cell (same contract as SweepCache's atomic
+        # file-per-cell writes).
+        self._conn.commit()
+
+    def keys(self) -> Iterator[Tuple[str, ...]]:
+        """Keys of every stored cell of this campaign (insertion order)."""
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        for (key_text,) in self._conn.execute(
+            "SELECT cell_key FROM cells WHERE campaign_id = ? ORDER BY rowid",
+            (self.campaign_id,),
+        ):
+            yield tuple(key_text.split("/"))
+
+    def __len__(self) -> int:
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM cells WHERE campaign_id = ?", (self.campaign_id,)
+        ).fetchone()
+        return int(row[0])
+
+    # -- artifacts / gauges ------------------------------------------------
+
+    def store_artifact(self, name: str, path: PathLike, kind: str = "file") -> None:
+        """Register a campaign artifact (report, run directory, …)."""
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        self._conn.execute(
+            "INSERT OR REPLACE INTO artifacts (campaign_id, name, path, kind,"
+            " created_unix) VALUES (?, ?, ?, ?, ?)",
+            (self.campaign_id, str(name), str(path), str(kind), time.time()),
+        )
+        self._conn.commit()
+
+    def record_gauges(self, snapshot: Dict[str, Dict]) -> None:
+        """Flush a gauge-registry snapshot into the ``gauges`` table.
+
+        ``snapshot`` is the :meth:`repro.telemetry.GaugeRegistry.snapshot`
+        shape — ``{gauge: {key: {seconds, calls[, quantity]}}}``; nested
+        namespaces (e.g. the ``mc`` gauge's ``by_backend``) flatten to
+        ``namespace.key`` rows.  Non-numeric leaves are skipped.
+        """
+        if self._conn is None:
+            raise RuntimeError("campaign store is closed")
+        now = time.time()
+        rows = []
+        for gauge, entries in snapshot.items():
+            for key, entry in _flatten_gauge(entries):
+                rows.append(
+                    (
+                        self.campaign_id,
+                        str(gauge),
+                        key,
+                        float(entry.get("seconds", 0.0)),
+                        float(entry.get("calls", 0.0)),
+                        entry.get("quantity"),
+                        now,
+                    )
+                )
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO gauges (campaign_id, gauge, key, seconds,"
+            " calls, quantity, recorded_unix) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"cells={len(self)}"
+        return f"CampaignStore(path={str(self.path)!r}, {state})"
+
+
+def _flatten_gauge(entries: Dict) -> List[Tuple[str, Dict]]:
+    """Flatten a (possibly nested) gauge snapshot to ``(key, entry)`` rows."""
+    rows: List[Tuple[str, Dict]] = []
+    for key, entry in entries.items():
+        if not isinstance(entry, dict):
+            continue
+        if any(isinstance(v, dict) for v in entry.values()):
+            rows.extend(
+                (f"{key}.{sub}", sub_entry) for sub, sub_entry in _flatten_gauge(entry)
+            )
+        else:
+            numeric = {
+                k: v for k, v in entry.items() if isinstance(v, (int, float))
+            }
+            if numeric:
+                rows.append((str(key), numeric))
+    return rows
+
+
+def open_storage(root: PathLike, protocol: Dict, backend: str = "files"):
+    """Open the campaign storage backend selected by ``backend``.
+
+    ``"files"`` returns the fingerprinted on-disk
+    :class:`~repro.parallel.cache.SweepCache` (the fallback backend);
+    ``"sqlite"`` returns a :class:`CampaignStore`.  Both satisfy the
+    storage interface the orchestrator drives and key cells by the same
+    protocol fingerprint, so a campaign resumed on either backend is
+    bit-equal (regression-tested in ``tests/parallel/test_store.py``).
+    """
+    if backend not in STORE_BACKENDS:
+        raise ValueError(f"store must be one of {STORE_BACKENDS}, got {backend!r}")
+    if backend == "sqlite":
+        return CampaignStore(root, protocol)
+    return SweepCache(root, protocol)
+
+
+def run_query(
+    db: PathLike, sql: str, parameters: Sequence = ()
+) -> Tuple[List[str], List[Tuple]]:
+    """Execute one read-only SQL statement against a campaign database.
+
+    Opens the database with SQLite's ``mode=ro`` URI flag, so a query
+    can never mutate a store a live campaign is writing to.  Returns
+    ``(column_names, rows)``.
+    """
+    path = pathlib.Path(db)
+    if not path.exists():
+        raise FileNotFoundError(f"no campaign database at {path}")
+    uri = f"file:{path}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True, timeout=30.0)
+    try:
+        cursor = conn.execute(sql, tuple(parameters))
+        columns = [d[0] for d in cursor.description or ()]
+        return columns, cursor.fetchall()
+    finally:
+        conn.close()

@@ -468,10 +468,25 @@ def _sweep_section(events: List[Dict]) -> List[str]:
         )
         if start.get("cache_dir"):
             lines.append(
-                f"* cache: `{start['cache_dir']}` "
-                f"(fingerprint `{start.get('cache_fingerprint', '?')}`, "
+                f"* storage: `{start['cache_dir']}` "
+                f"({start.get('store', 'files')} backend, "
+                f"fingerprint `{start.get('cache_fingerprint', '?')}`, "
                 f"{start.get('n_cached', 0)} cells resumed)"
             )
+    pool_end = next(
+        (e for e in reversed(events) if e["kind"] == "sweep.pool.end"), None
+    )
+    if pool_end:
+        occupancy = pool_end.get("occupancy") or {}
+        busy = ", ".join(
+            f"{slot} {seconds:.1f}s" for slot, seconds in sorted(occupancy.items())
+        )
+        lines.append(
+            f"* pool: {pool_end.get('n_workers', '?')} workers, "
+            f"{pool_end.get('steals', 0)} steals, "
+            f"{pool_end.get('restarts', 0)} replaced"
+            + (f"; busy: {busy}" if busy else "")
+        )
     if end:
         lines.append(
             f"* cells: {end.get('n_ok', '?')}/{end.get('n_cells', '?')} ok, "

@@ -58,6 +58,19 @@ Well-known kinds
     evaluations, …), forwarded by the orchestrator: ``cell``,
     ``worker_pid``, ``worker_kind`` and the original payload under
     ``fields``.
+``sweep.pool.start`` / ``sweep.pool.end``
+    Emitted by the persistent-pool executor around a campaign:
+    ``n_workers``, worker ``pids``, per-worker ``shard_sizes`` and the
+    ``restart_budget``; the end event adds totals (``restarts``,
+    ``steals``) plus per-slot ``occupancy`` (busy seconds) and
+    ``cells_per_slot`` — the dashboard's occupancy column.
+``sweep.pool.steal``
+    An idle worker stole a cell from another worker's shard:
+    ``thief_slot``, ``victim_slot``, ``cell``.
+``sweep.pool.worker_replace``
+    A dead or wedged pool worker was killed and replaced: ``slot``,
+    ``old_pid``, ``new_pid``, ``reason`` and the running ``restarts``
+    count (bounded by ``SweepOptions.pool_restarts``).
 ``serve.start`` / ``serve.end``
     Emitted by :class:`repro.serve.MicroBatchService` on creation and
     close: the serving options (window, batch/queue bounds, worker
@@ -133,6 +146,10 @@ EVENT_KINDS = (
     "sweep.retry",
     "sweep.timeout",
     "sweep.worker",
+    "sweep.pool.start",
+    "sweep.pool.steal",
+    "sweep.pool.worker_replace",
+    "sweep.pool.end",
     "sweep.end",
     "serve.start",
     "serve.request",

@@ -91,7 +91,7 @@ def _invocations(counter_dir) -> int:
     return len(path.read_text().splitlines()) if path.exists() else 0
 
 
-EXECUTORS = ("serial", "parallel")
+EXECUTORS = ("serial", "parallel", "pool")
 
 
 # -- happy path --------------------------------------------------------------

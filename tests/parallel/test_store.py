@@ -1,0 +1,310 @@
+"""Campaign-store tests: schema, resume parity, corruption, queries.
+
+The SQLite backend must honour the same storage contract as the
+on-disk ``SweepCache`` — fingerprint-keyed cells, commit-per-cell
+resume safety, corruption degrading to a clean miss — and additionally
+make campaigns queryable (one SQL statement for cross-campaign
+questions, shipped as ``EXAMPLE_QUERIES``).
+"""
+
+import json
+import pathlib
+import sqlite3
+
+import pytest
+
+from repro.parallel import SweepCell, SweepOptions, run_cells
+from repro.parallel.cache import SweepCache
+from repro.parallel.store import (
+    DB_FILENAME,
+    EXAMPLE_QUERIES,
+    SCHEMA,
+    CampaignStore,
+    campaign_db_path,
+    open_storage,
+    run_query,
+)
+
+
+def cell_count_invocations(i: int, counter_dir: str):
+    with open(pathlib.Path(counter_dir) / "calls.log", "a") as fh:
+        fh.write(f"{i}\n")
+    return {"sq": i * i}
+
+
+def _invocations(counter_dir) -> int:
+    path = pathlib.Path(counter_dir) / "calls.log"
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+def _cells(n, extra_args=()):
+    return [SweepCell(key=("t", str(i)), args=(i, *extra_args)) for i in range(n)]
+
+
+# -- interface roundtrip -----------------------------------------------------
+
+
+def test_store_load_keys_roundtrip(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        assert store.load(("a", "1")) is None  # miss before any store
+        store.store(("a", "1"), {"x": 1}, meta={"attempts": 2, "elapsed_s": 0.5})
+        store.store(("b", "2"), {"x": 2})
+        assert store.load(("a", "1")) == {"x": 1}
+        assert list(store.keys()) == [("a", "1"), ("b", "2")]
+        assert len(store) == 2
+    assert store.closed
+    # Closed handles refuse access instead of failing obscurely.
+    with pytest.raises(RuntimeError, match="closed"):
+        store.load(("a", "1"))
+
+
+def test_meta_lands_in_queryable_columns(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store(
+            ("t", "0"), {"sq": 0},
+            meta={"attempts": 3, "elapsed_s": 1.25, "worker_pid": 4242},
+        )
+    _, rows = run_query(
+        campaign_db_path(tmp_path),
+        "SELECT attempts, elapsed_s, worker_pid FROM cells",
+    )
+    assert rows == [(3, 1.25, 4242)]
+
+
+def test_open_storage_backend_selection(tmp_path):
+    files = open_storage(tmp_path / "a", {"v": 1}, "files")
+    sqlite_store = open_storage(tmp_path / "b", {"v": 1}, "sqlite")
+    try:
+        assert isinstance(files, SweepCache)
+        assert isinstance(sqlite_store, CampaignStore)
+        with pytest.raises(ValueError, match="store must be one of"):
+            open_storage(tmp_path, {"v": 1}, "magic")
+    finally:
+        files.close()
+        sqlite_store.close()
+
+
+# -- schema / reopen ---------------------------------------------------------
+
+
+def test_reopen_is_schema_migration_noop(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store(("t", "0"), {"sq": 0})
+        first_campaign = store.campaign_id
+
+    def schema_sql():
+        conn = sqlite3.connect(campaign_db_path(tmp_path))
+        try:
+            return sorted(
+                row[0]
+                for row in conn.execute(
+                    "SELECT sql FROM sqlite_master WHERE type='table'"
+                )
+                if row[0]
+            )
+        finally:
+            conn.close()
+
+    before = schema_sql()
+    with CampaignStore(tmp_path, {"v": 1}) as reopened:
+        # Same protocol -> same campaign row, cells still present.
+        assert reopened.campaign_id == first_campaign
+        assert reopened.load(("t", "0")) == {"sq": 0}
+        assert len(reopened) == 1
+    assert schema_sql() == before  # CREATE TABLE IF NOT EXISTS: no DDL churn
+    assert set(SCHEMA) == {"campaigns", "cells", "artifacts", "gauges"}
+
+
+def test_campaigns_share_one_database(tmp_path):
+    """Different protocols are separate campaigns in the same file."""
+    with CampaignStore(tmp_path, {"config": "A"}) as a:
+        a.store(("t", "0"), {"from": "A"})
+        with CampaignStore(tmp_path, {"config": "B"}) as b:
+            b.store(("t", "0"), {"from": "B"})
+            assert a.campaign_id != b.campaign_id
+            # No cross-talk: each campaign sees only its own cell.
+            assert a.load(("t", "0")) == {"from": "A"}
+            assert b.load(("t", "0")) == {"from": "B"}
+
+
+# -- fingerprint parity / cross-backend bit-equality -------------------------
+
+
+def test_backends_agree_on_fingerprints(tmp_path):
+    protocol = {"fn": "m.f", "fingerprint": {"config": 1}}
+    files = SweepCache(tmp_path / "files", protocol)
+    with CampaignStore(tmp_path / "sqlite", protocol) as store:
+        assert store.fingerprint == files.fingerprint
+
+
+@pytest.mark.parametrize("store", ("files", "sqlite"))
+def test_resume_without_recompute(tmp_path, store):
+    counter = tmp_path / "counts"
+    counter.mkdir()
+    options = SweepOptions(
+        executor="serial", cache_dir=str(tmp_path / "cache"), store=store
+    )
+    cells = _cells(3, extra_args=(str(counter),))
+
+    first = run_cells(cell_count_invocations, cells, options, fingerprint={"v": 1})
+    assert _invocations(counter) == 3
+    second = run_cells(cell_count_invocations, cells, options, fingerprint={"v": 1})
+    assert _invocations(counter) == 3  # nothing recomputed
+    assert all(o.cached for o in second.values())
+    for key in first:
+        assert second[key].value == first[key].value
+
+
+def test_backends_produce_bit_equal_values(tmp_path):
+    counter = tmp_path / "counts"
+    counter.mkdir()
+    cells = _cells(3, extra_args=(str(counter),))
+    by_backend = {}
+    for store in ("files", "sqlite"):
+        options = SweepOptions(
+            executor="serial", cache_dir=str(tmp_path / f"cache-{store}"), store=store
+        )
+        out = run_cells(cell_count_invocations, cells, options, fingerprint={"v": 1})
+        by_backend[store] = {key: o.value for key, o in out.items()}
+    assert by_backend["files"] == by_backend["sqlite"]
+
+
+# -- corruption --------------------------------------------------------------
+
+
+def test_corrupt_database_quarantined_and_recreated(tmp_path):
+    db = campaign_db_path(tmp_path)
+    db.parent.mkdir(parents=True, exist_ok=True)
+    db.write_bytes(b"this is not a sqlite file, not even close" * 40)
+
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        # The corrupt file became a clean miss, not an error...
+        assert store.load(("t", "0")) is None
+        store.store(("t", "0"), {"sq": 0})
+        assert store.load(("t", "0")) == {"sq": 0}
+    # ...and was kept aside for post-mortems.
+    quarantined = list(tmp_path.glob(f"{DB_FILENAME}.corrupt-*"))
+    assert len(quarantined) == 1
+    assert db.exists() and db.stat().st_size > 0
+
+
+def test_unreadable_cell_row_is_a_miss(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store(("t", "0"), {"sq": 0})
+        store._conn.execute("UPDATE cells SET value = 'not json{'")
+        store._conn.commit()
+        assert store.load(("t", "0")) is None
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+def test_readers_do_not_block_the_writer(tmp_path):
+    """A read-only query succeeds while the writer's connection is open."""
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store(("t", "0"), {"sq": 0})
+        columns, rows = run_query(
+            campaign_db_path(tmp_path), "SELECT COUNT(*) AS n FROM cells"
+        )
+        assert columns == ["n"] and rows == [(1,)]
+        store.store(("t", "1"), {"sq": 1})  # writer still healthy afterwards
+        assert len(store) == 2
+
+
+def test_run_query_is_read_only(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store(("t", "0"), {"sq": 0})
+    with pytest.raises(sqlite3.OperationalError):
+        run_query(campaign_db_path(tmp_path), "DELETE FROM cells")
+    _, rows = run_query(campaign_db_path(tmp_path), "SELECT COUNT(*) FROM cells")
+    assert rows == [(1,)]
+
+
+def test_run_query_missing_database(tmp_path):
+    with pytest.raises(FileNotFoundError, match="no campaign database"):
+        run_query(tmp_path / "nope.sqlite", "SELECT 1")
+
+
+# -- cross-campaign queries --------------------------------------------------
+
+
+def _seed_campaign(root, eval_mc, precision, robust_acc):
+    protocol = {
+        "fn": "m.cell",
+        "fingerprint": {"config": {"eval_mc": eval_mc}, "precision": precision},
+    }
+    with CampaignStore(root, protocol) as store:
+        for i in range(2):
+            store.store(
+                ("d", str(i)), {"clean_acc": 0.9, "robust_acc": robust_acc + i * 0.02}
+            )
+
+
+def test_example_query_answers_cross_campaign_question(tmp_path):
+    """The flagship ROADMAP question is one SQL statement, no directory walk."""
+    _seed_campaign(tmp_path, eval_mc=10, precision="float64", robust_acc=0.80)
+    _seed_campaign(tmp_path, eval_mc=10, precision="float32", robust_acc=0.78)
+    _seed_campaign(tmp_path, eval_mc=100, precision="float64", robust_acc=0.86)
+
+    columns, rows = run_query(
+        campaign_db_path(tmp_path), EXAMPLE_QUERIES["accuracy-by-mc-precision"]
+    )
+    assert columns == ["mc_samples", "precision", "n_cells", "robust_acc"]
+    table = {(mc, prec): (n, round(acc, 6)) for mc, prec, n, acc in rows}
+    assert table == {
+        (10, "float32"): (2, 0.79),
+        (10, "float64"): (2, 0.81),
+        (100, "float64"): (2, 0.87),
+    }
+
+
+def test_every_example_query_executes(tmp_path):
+    _seed_campaign(tmp_path, eval_mc=10, precision="float64", robust_acc=0.80)
+    for name, sql in EXAMPLE_QUERIES.items():
+        columns, _ = run_query(campaign_db_path(tmp_path), sql)
+        assert columns, f"example query {name!r} returned no columns"
+
+
+# -- artifacts / gauges ------------------------------------------------------
+
+
+def test_artifacts_and_gauges_roundtrip(tmp_path):
+    with CampaignStore(tmp_path, {"v": 1}) as store:
+        store.store_artifact("table1.md", tmp_path / "table1.md", kind="report")
+        store.record_gauges(
+            {
+                "mc": {
+                    "by_backend": {
+                        "batched": {"seconds": 1.5, "calls": 3.0},
+                        "sequential": {"seconds": 4.0, "calls": 3.0},
+                    }
+                },
+                "sweep.pool": {"slot0": {"seconds": 2.0, "calls": 5.0}},
+                "junk": {"bad": {"note": "non-numeric leaves are skipped"}},
+            }
+        )
+    db = campaign_db_path(tmp_path)
+    _, artifacts = run_query(db, "SELECT name, kind FROM artifacts")
+    assert artifacts == [("table1.md", "report")]
+    _, gauges = run_query(
+        db, "SELECT gauge, key, seconds, calls FROM gauges ORDER BY gauge, key"
+    )
+    assert gauges == [
+        ("mc", "by_backend.batched", 1.5, 3.0),
+        ("mc", "by_backend.sequential", 4.0, 3.0),
+        ("sweep.pool", "slot0", 2.0, 5.0),
+    ]
+
+
+def test_protocol_stored_as_canonical_json(tmp_path):
+    protocol = {"fn": "m.f", "fingerprint": {"b": 2, "a": 1}}
+    with CampaignStore(tmp_path, protocol) as store:
+        fingerprint = store.fingerprint
+    _, rows = run_query(
+        campaign_db_path(tmp_path),
+        "SELECT protocol FROM campaigns WHERE fingerprint = ?",
+        (fingerprint,),
+    )
+    stored = json.loads(rows[0][0])
+    assert stored["fingerprint"] == {"a": 1, "b": 2}
+    assert "cache_version" in stored  # CACHE_VERSION is part of identity

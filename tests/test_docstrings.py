@@ -1,10 +1,12 @@
 """Docstring presence on the observability surface.
 
 Mirrors the CI ruff step (``ruff check --select D100,D101,D102,D103,D104``
-scoped to ``repro.core.training``, ``repro.autograd.function`` and the
-``repro.telemetry`` package) so the same guarantee holds in environments
-without ruff installed: module docstrings, and docstrings on every
-public class, function and method *defined* in those modules.
+scoped to ``repro.core.training``, ``repro.autograd.function``, the
+``repro.telemetry`` package, and the campaign fabric's
+``repro.parallel.pool`` / ``repro.parallel.store``) so the same
+guarantee holds in environments without ruff installed: module
+docstrings, and docstrings on every public class, function and method
+*defined* in those modules.
 """
 
 import importlib
@@ -23,7 +25,13 @@ def _telemetry_modules():
 
 
 MODULES = sorted(
-    ["repro.core.training", "repro.autograd.function", *_telemetry_modules()]
+    [
+        "repro.core.training",
+        "repro.autograd.function",
+        "repro.parallel.pool",
+        "repro.parallel.store",
+        *_telemetry_modules(),
+    ]
 )
 
 

@@ -1,0 +1,167 @@
+"""Streaming-session throughput: chunked stateful inference vs one-shot.
+
+Streams one long drifting sensor stream (T >> 64) through a
+:class:`repro.core.StreamingSession` at several transport chunk sizes
+and compares step throughput against the batched one-shot plan forward.
+The session pays a fixed per-step cost (elementwise recurrence + one
+``(1, in) @ (in, out)`` GEMM per layer) — that is exactly what buys the
+bit-exact split-invariance contract — so the batched forward is
+expected to be faster on throughput; the interesting numbers are the
+per-step latency of the streaming path and how little the chunk size
+matters to it.
+
+Equivalence is enforced, not assumed: every chunked pass must be
+bit-equal to the one-chunk session pass, and the session's final logits
+must agree with the batched plan forward to float64 accumulation
+tolerance.  No speedup assertion — the value of the streaming engine is
+state carry, not throughput.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src python benchmarks/bench_streaming.py --output streaming_bench.json
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.compile import compile_plan
+from repro.core import AdaptPNC, StreamingSession
+from repro.data import drift_stream
+
+EQUIVALENCE_ATOL = 1e-12
+
+
+def run(
+    steps_target: int = 2048,
+    chunk_sizes=(1, 16, 64, 256),
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    model = AdaptPNC(3, rng=np.random.default_rng(seed))
+    plan = compile_plan(model)
+    stream = drift_stream(
+        "Slope",
+        segments=max(2, steps_target // (64 * 8)),
+        windows_per_segment=8,
+        seed=seed,
+    )
+    x = stream.x
+    steps = x.size
+
+    # Oracle trajectory: the whole stream in one session call.
+    oracle = StreamingSession(plan).process(x)
+
+    rows = []
+    equivalent = True
+    max_abs_delta = 0.0
+    for chunk in chunk_sizes:
+        session = StreamingSession(plan)
+        best = float("inf")
+        for _ in range(repeats):
+            session.reset()
+            pieces = []
+            t0 = time.perf_counter()
+            for lo in range(0, steps, chunk):
+                pieces.append(session.process(x[lo : lo + chunk]))
+            best = min(best, time.perf_counter() - t0)
+        trajectory = np.concatenate(pieces, axis=0)
+        bit_equal = bool(np.array_equal(trajectory, oracle))
+        equivalent &= bit_equal
+        rows.append(
+            {
+                "chunk_size": int(chunk),
+                "seconds": best,
+                "steps_per_sec": steps / best,
+                "us_per_step": best / steps * 1e6,
+                "bit_equal_one_shot": bit_equal,
+            }
+        )
+
+    # Batched reference: the plan forward over the full (1, T) series.
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batched_logits = plan.forward(x[None])[0]
+        best = min(best, time.perf_counter() - t0)
+    max_abs_delta = float(np.max(np.abs(oracle[-1] - batched_logits)))
+    equivalent &= max_abs_delta <= EQUIVALENCE_ATOL
+
+    return {
+        "streaming": {
+            "model": plan.model_class,
+            "steps": int(steps),
+            "repeats": repeats,
+            "rows": rows,
+            "batched_forward_s": best,
+            "batched_steps_per_sec": steps / best,
+            "max_abs_logit_delta_vs_plan": max_abs_delta,
+            "equivalence_atol": EQUIVALENCE_ATOL,
+            "equivalent": bool(equivalent),
+        }
+    }
+
+
+def test_streaming_throughput(benchmark):
+    record = benchmark.pedantic(
+        lambda: run(steps_target=512, chunk_sizes=(1, 64), repeats=1),
+        rounds=1,
+        iterations=1,
+    )["streaming"]
+    print(
+        "\n"
+        + "  ".join(
+            f"chunk={row['chunk_size']}: {row['steps_per_sec']:.0f} steps/s"
+            for row in record["rows"]
+        )
+        + f"  batched: {record['batched_steps_per_sec']:.0f} steps/s"
+    )
+    assert record["equivalent"], record
+    assert all(row["bit_equal_one_shot"] for row in record["rows"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=2048, help="target stream length")
+    parser.add_argument(
+        "--chunk-sizes", type=int, nargs="+", default=[1, 16, 64, 256]
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timed repeats, min taken")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, help="write the record as JSON here")
+    args = parser.parse_args()
+
+    record = run(
+        steps_target=args.steps,
+        chunk_sizes=tuple(args.chunk_sizes),
+        repeats=args.repeats,
+        seed=args.seed,
+    )["streaming"]
+    print(f"{record['model']} over {record['steps']} steps:")
+    for row in record["rows"]:
+        marker = "bit-equal" if row["bit_equal_one_shot"] else "MISMATCH"
+        print(
+            f"  chunk {row['chunk_size']:>4}: {row['steps_per_sec']:9.0f} steps/s  "
+            f"({row['us_per_step']:6.1f} us/step)  {marker}"
+        )
+    print(
+        f"  batched  : {record['batched_steps_per_sec']:9.0f} steps/s  "
+        f"(plan.forward one-shot)"
+    )
+    print(
+        f"final-logit |delta| vs plan: {record['max_abs_logit_delta_vs_plan']:.2e} "
+        f"(tolerance {record['equivalence_atol']:.0e}) — "
+        + ("equivalent" if record["equivalent"] else "NOT equivalent")
+    )
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump({"streaming_bench": record}, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if record["equivalent"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ from .filters import (
     SCAN_BACKENDS,
     FirstOrderLearnableFilter,
     SecondOrderLearnableFilter,
+    filter_stages,
 )
 from .pdk import BASELINE_PDK, DEFAULT_PDK, PrintedPDK
 from .ptanh import PrintedTanh
@@ -38,6 +39,7 @@ __all__ = [
     "SecondOrderLearnableFilter",
     "DEFAULT_DT",
     "SCAN_BACKENDS",
+    "filter_stages",
     "PrintedPDK",
     "DEFAULT_PDK",
     "BASELINE_PDK",

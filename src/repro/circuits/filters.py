@@ -67,6 +67,7 @@ __all__ = [
     "FirstOrderLearnableFilter",
     "SecondOrderLearnableFilter",
     "SCAN_BACKENDS",
+    "filter_stages",
 ]
 
 #: Default temporal discretisation: 1 kHz sensor sampling.
@@ -191,6 +192,22 @@ def _unfused_recurrence(x: Tensor, a: Tensor, b: Tensor, v0: Tensor) -> Tensor:
     return stack(outputs, axis=-2)
 
 
+def filter_stages(filters) -> "List[_RCStage]":
+    """The ordered :class:`_RCStage` list of a learnable filter bank.
+
+    The **single** dispatch point shared by every consumer that freezes
+    or streams a filter bank — :func:`repro.compile.compile_plan`,
+    :class:`~repro.core.StreamingSession` and the SPICE exporter all
+    resolve stages through here, so their recurrence coefficients can
+    never drift apart.
+    """
+    if isinstance(filters, FirstOrderLearnableFilter):
+        return [filters.stage]
+    if isinstance(filters, SecondOrderLearnableFilter):
+        return [filters.stage1, filters.stage2]
+    raise TypeError(f"unsupported filter bank {type(filters).__name__}")
+
+
 def _run_recurrence(
     x: Tensor, a: Tensor, b: Tensor, v0: Tensor, backend: str = "fused"
 ) -> Tensor:
@@ -224,6 +241,50 @@ def _run_recurrence(
     mc_counters.record_scan(sw.elapsed, backend)
     record_span(f"scan.{backend}", sw.elapsed)
     return out
+
+
+def _chunk_forward(
+    filters, x: Tensor, state: Optional[Tuple[np.ndarray, ...]]
+) -> Tuple[Tensor, Tuple[np.ndarray, ...]]:
+    """Shared FO/SO implementation of ``forward_chunk`` (see below).
+
+    Runs each RC stage from a carried ``v_{k-1}`` and returns the new
+    per-stage state (the last output step of each stage).  Because the
+    recurrence is pure element-wise arithmetic, chaining chunks through
+    the returned state is **bit-equal** to the one-shot scan for any
+    partition of the time axis — provided the sampler draws are
+    deterministic (the ideal sampler; a stochastic sampler redraws
+    ε/μ/V₀ per call, which breaks cross-chunk equivalence by design).
+    """
+    _check_filter_input(x, filters.num_filters, filters.sampler)
+    if filters.sampler.draws is not None:
+        raise ValueError(
+            "forward_chunk streams a single instance; it cannot run inside "
+            "a batched-draws sampler context"
+        )
+    stages = filter_stages(filters)
+    if state is not None and len(state) != len(stages):
+        raise ValueError(
+            f"carried state has {len(state)} stage(s), filter bank has "
+            f"{len(stages)}"
+        )
+    batch, n = x.shape[-3], filters.num_filters
+    out = x
+    new_state = []
+    for i, stage in enumerate(stages):
+        a, b = stage.coefficients(filters.dt, filters.sampler)
+        if state is None:
+            v0 = np.asarray(filters.sampler.initial_voltage((batch, n)))
+        else:
+            v0 = np.asarray(state[i])
+            if v0.shape != (batch, n):
+                raise ValueError(
+                    f"stage {i} state must have shape {(batch, n)}, "
+                    f"got {v0.shape}"
+                )
+        out = _run_recurrence(out, a, b, Tensor(v0), backend=filters.scan_backend)
+        new_state.append(np.array(out.data[..., -1, :], copy=True))
+    return out, tuple(new_state)
 
 
 class FirstOrderLearnableFilter(Module):
@@ -274,6 +335,18 @@ class FirstOrderLearnableFilter(Module):
         a, b = self.stage.coefficients(self.dt, self.sampler)
         v0 = Tensor(self.sampler.initial_voltage((x.shape[-3], self.num_filters)))
         return _run_recurrence(x, a, b, v0, backend=self.scan_backend)
+
+    def forward_chunk(
+        self, x: Tensor, state: Optional[Tuple[np.ndarray, ...]] = None
+    ) -> Tuple[Tensor, Tuple[np.ndarray, ...]]:
+        """Stateful chunked filtering: resume from carried ``v_{k-1}``.
+
+        ``state`` is the tuple returned by the previous call (``None``
+        starts a fresh stream from the sampler's initial voltage).
+        Returns ``(filtered_chunk, new_state)``; chaining chunks is
+        bit-equal to one-shot :meth:`forward` under the ideal sampler.
+        """
+        return _chunk_forward(self, x, state)
 
     # -- hardware accounting ----------------------------------------------
 
@@ -361,6 +434,18 @@ class SecondOrderLearnableFilter(Module):
         v0_2 = Tensor(self.sampler.initial_voltage((batch, self.num_filters)))
         intermediate = _run_recurrence(x, a1, b1, v0_1, backend=self.scan_backend)
         return _run_recurrence(intermediate, a2, b2, v0_2, backend=self.scan_backend)
+
+    def forward_chunk(
+        self, x: Tensor, state: Optional[Tuple[np.ndarray, ...]] = None
+    ) -> Tuple[Tensor, Tuple[np.ndarray, ...]]:
+        """Stateful chunked filtering: resume both stages from carried state.
+
+        ``state`` is the 2-tuple ``(v_stage1, v_stage2)`` returned by the
+        previous call (``None`` starts a fresh stream).  Returns
+        ``(filtered_chunk, new_state)``; chaining chunks is bit-equal to
+        one-shot :meth:`forward` under the ideal sampler.
+        """
+        return _chunk_forward(self, x, state)
 
     # -- hardware accounting ----------------------------------------------
 

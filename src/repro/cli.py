@@ -34,6 +34,11 @@ Subcommands
 * ``serve`` — train a model and serve it over HTTP behind the
   micro-batching inference tier (frozen forward plans, bounded queue,
   optional crash-isolated worker processes; see ``docs/SERVING.md``);
+* ``stream-eval`` — train a model, then evaluate it *online* over
+  drifting/faulty sensor-stream scenarios through the stateful
+  :class:`repro.core.StreamingSession` (accuracy-over-time and
+  changepoint-recovery curves, ``stream.*`` telemetry, markdown
+  report section);
 * ``tune`` — tune augmentation hyper-parameters for one dataset.
 """
 
@@ -525,6 +530,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_eval(args: argparse.Namespace) -> int:
+    import json
+    from contextlib import nullcontext
+    from dataclasses import replace
+
+    import numpy as np
+
+    from . import telemetry
+    from .augment import default_config
+    from .compile import compile_plan
+    from .core import AdaptPNC, Trainer, TrainingConfig, evaluate_streaming
+    from .data import load_dataset, make_stream
+    from .report import _streaming_section
+
+    dataset = load_dataset(args.dataset, n_samples=args.samples, seed=args.seed)
+    model = AdaptPNC(dataset.info.n_classes, rng=np.random.default_rng(args.seed))
+    trainer = Trainer(
+        model,
+        replace(TrainingConfig.ci(), max_epochs=args.epochs),
+        variation_aware=True,
+        augmentation=default_config(args.dataset),
+        seed=args.seed,
+    )
+    trainer.fit(dataset.x_train, dataset.y_train, dataset.x_val, dataset.y_val)
+    plan = compile_plan(model, precision=args.precision)
+
+    run_ctx = (
+        nullcontext(None)
+        if args.no_telemetry
+        else telemetry.Run(root=args.run_root, name=f"stream-{args.dataset}")
+    )
+    results = []
+    with run_ctx as run:
+        for scenario in args.scenarios:
+            stream = make_stream(scenario, args.dataset, seed=args.seed)
+            results.append(
+                evaluate_streaming(plan, stream, chunk_size=args.chunk_size)
+            )
+        if run is not None:
+            print(f"telemetry: {run.dir}")
+    record = {
+        "streaming": {
+            "model": plan.model_class,
+            "dataset": args.dataset,
+            "chunk_size": args.chunk_size,
+            "scenarios": [r.to_record() for r in results],
+        }
+    }
+    print("\n".join(_streaming_section(record)))
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     # Delegates to the example script's logic without importing it.
     import subprocess
@@ -542,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .autograd.precision import PRECISION_POLICIES
     from .core import GRAPH_BACKENDS
+    from .data.streams import STREAM_SCENARIOS
     from .parallel.orchestrator import EXECUTORS
     from .parallel.store import EXAMPLE_QUERIES, STORE_BACKENDS
 
@@ -848,6 +910,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve in the background, fire N local requests, report and exit",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "stream-eval",
+        help="train a model and evaluate it online over sensor-stream scenarios",
+    )
+    p.add_argument("--dataset", default="Slope")
+    p.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(STREAM_SCENARIOS),
+        default=["drift", "dropout"],
+        help="stream scenarios to evaluate (seeded, replayable)",
+    )
+    p.add_argument("--samples", type=int, default=60, help="training dataset size")
+    p.add_argument("--epochs", type=int, default=8, help="training epochs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=16,
+        help="steps per StreamingSession.process call (results are "
+        "chunking-invariant; telemetry granularity is not)",
+    )
+    p.add_argument(
+        "--precision",
+        choices=PRECISION_POLICIES,
+        default=None,
+        help="plan compilation precision (default: the active policy)",
+    )
+    p.add_argument("--output", default=None, help="write the record as JSON here")
+    p.add_argument(
+        "--run-root", default="runs", help="telemetry root for the stream run directory"
+    )
+    p.add_argument(
+        "--no-telemetry", action="store_true", help="do not open a telemetry run"
+    )
+    p.set_defaults(func=_cmd_stream_eval)
 
     p = sub.add_parser("evaluate", help="run the full evaluation suite")
     p.add_argument("--scale", choices=("smoke", "ci", "paper"), default="ci")

@@ -49,7 +49,7 @@ from ..autograd.precision import (
     resolve_policy,
 )
 from ..circuits.crossbar import THETA_MAX, THETA_MIN
-from ..circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from ..circuits.filters import filter_stages
 
 __all__ = ["ForwardPlan", "PlanLayer", "PlanInputError", "compile_plan"]
 
@@ -281,14 +281,6 @@ class ForwardPlan:
         )
 
 
-def _filter_stages(filters) -> list:
-    if isinstance(filters, FirstOrderLearnableFilter):
-        return [filters.stage]
-    if isinstance(filters, SecondOrderLearnableFilter):
-        return [filters.stage1, filters.stage2]
-    raise TypeError(f"unsupported filter bank {type(filters).__name__}")
-
-
 def compile_plan(
     model, precision: "Optional[str | PrecisionPolicy]" = None
 ) -> ForwardPlan:
@@ -323,7 +315,7 @@ def compile_plan(
         dt = filters.dt
         stages = tuple(
             tuple(np.asarray(c, dtype=dtype) for c in stage.nominal_coefficients(dt))
-            for stage in _filter_stages(filters)
+            for stage in filter_stages(filters)
         )
 
         # Collapse the crossbar under ε ≡ 1, mirroring

@@ -45,7 +45,12 @@ from .scanbench import (
 )
 from .search import ArchitectureResult, architecture_space, search_architecture
 from .tapebench import format_tape_benchmark, run_tape_benchmark
-from .streaming import StreamingClassifier
+from .streaming import (
+    StreamingClassifier,
+    StreamingEvalResult,
+    StreamingSession,
+    evaluate_streaming,
+)
 from .tpb import PrintedTemporalProcessingBlock
 from .training import (
     CHECKPOINT_FILENAME,
@@ -90,6 +95,9 @@ __all__ = [
     "architecture_space",
     "search_architecture",
     "StreamingClassifier",
+    "StreamingSession",
+    "StreamingEvalResult",
+    "evaluate_streaming",
     "calibrate_instance",
     "calibration_study",
     "CalibrationResult",

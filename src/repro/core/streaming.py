@@ -1,74 +1,187 @@
-"""Streaming (sample-by-sample) inference.
+"""Streaming (stateful, chunked) inference over unbounded sensor streams.
 
 A deployed printed circuit never sees a batched sequence: the sensor
 voltage arrives one sample per Δt and the filter capacitors carry the
-state.  :class:`StreamingClassifier` mirrors that operating mode in the
-differentiable model — push one sample, read the instantaneous output
-voltages — and is guaranteed (by test) to match the batched forward
-pass exactly.
+state.  This module mirrors that operating mode in software:
 
-Useful for latency studies ("how many samples until the decision
-stabilises?") and as the software twin of the compiled netlist.
+* :class:`StreamingSession` — the streaming engine.  It executes a
+  frozen :class:`~repro.compile.ForwardPlan` (compiled on the fly from
+  a live model if needed) one time step at a time, carrying every RC
+  stage's ``v_{k-1}`` across :meth:`~StreamingSession.process` calls,
+  so an unbounded stream can be consumed in arbitrary chunk sizes.
+* :class:`StreamingClassifier` — the sample-by-sample façade kept from
+  the original demo (``push``/``run``/``decision_latency``), now a thin
+  wrapper over a :class:`StreamingSession` so it shares the *single*
+  coefficient-resolution path with ``compile_plan``
+  (:func:`repro.circuits.filter_stages` +
+  :meth:`~repro.circuits.filters._RCStage.nominal_coefficients`).
+* :func:`evaluate_streaming` — the online evaluation harness: stream a
+  :class:`~repro.data.SensorStream` scenario through a session, emit
+  ``stream.*`` telemetry and produce accuracy-over-time /
+  accuracy-around-changepoint curves (rendered by the ``## Streaming``
+  report section and the ``python -m repro stream-eval`` CLI).
+
+Split-invariance contract
+-------------------------
+For **any** partition of a stream into chunks — including single-sample
+chunks and one giant chunk — the concatenated per-step logits are
+**bit-equal** to processing the whole stream in one call.  This holds
+by construction: every arithmetic operation the session performs has a
+*fixed per-step shape* regardless of how the stream was chunked.  The
+RC recurrence is element-wise (trivially chunk-invariant), and the
+crossbar GEMM always runs as ``(1, in) @ (in, out)`` — one time step at
+a time.  A whole-chunk GEMM would *not* be invariant: BLAS selects
+different kernels (hence different accumulation orders) for different
+row counts, so ``X[lo:hi] @ W`` differs from ``(X @ W)[lo:hi]`` in the
+last ulp.  For the same reason the session agrees with the batched
+``model(x)`` / ``plan.forward(x)`` logits to floating-point
+accumulation tolerance (≤1e-12 in float64, exercised by test) rather
+than bitwise; the stateful recurrence trajectory itself *is* bitwise
+identical (see ``tests/core/test_split_invariance.py``).
+
+The model's variation sampler is bypassed: streaming executes the
+nominal (ideal) instance frozen into the plan, i.e. one fabricated
+circuit at its design point.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import dataclasses
+import time
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, no_grad
-from ..circuits.filters import FirstOrderLearnableFilter, SecondOrderLearnableFilter
+from ..telemetry import emit as telemetry_emit
 from .models import PrintedTemporalClassifier
 
-__all__ = ["StreamingClassifier"]
+__all__ = [
+    "StreamingClassifier",
+    "StreamingSession",
+    "StreamingEvalResult",
+    "evaluate_streaming",
+]
 
 
-class _StreamingStage:
-    """One RC stage's recurrence state for a single stream."""
+class StreamingSession:
+    """Stateful chunked inference over a frozen forward plan.
 
-    def __init__(self, a: np.ndarray, b: np.ndarray) -> None:
-        self.a = a
-        self.b = b
-        self.v = np.zeros_like(a)
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.compile.ForwardPlan` or a live
+        :class:`~repro.core.PrintedTemporalClassifier` (compiled with
+        :func:`~repro.compile.compile_plan` on construction, so the
+        session and the serving tier resolve recurrence coefficients
+        through the same path).
+    precision:
+        Optional precision policy for on-the-fly compilation; ignored
+        when ``source`` is already a plan.
 
-    def push(self, x: np.ndarray) -> np.ndarray:
-        self.v = self.a * self.v + self.b * x
-        return self.v
+    Example
+    -------
+    >>> session = StreamingSession(trained_model)
+    >>> for chunk in transport:           # any chunk sizes, any cuts
+    ...     logits = session.process(chunk)   # (steps, n_classes)
+    >>> prediction = session.predict()
+    """
 
+    def __init__(self, source, precision: Optional[str] = None) -> None:
+        from ..compile import ForwardPlan, compile_plan
 
-class _StreamingFilterBank:
-    """Streaming counterpart of a learnable filter bank (nominal values)."""
-
-    def __init__(self, filters) -> None:
-        dt = filters.dt
-        if isinstance(filters, FirstOrderLearnableFilter):
-            stages = [filters.stage]
-        elif isinstance(filters, SecondOrderLearnableFilter):
-            stages = [filters.stage1, filters.stage2]
+        if isinstance(source, ForwardPlan):
+            self.plan = source
+        elif isinstance(source, PrintedTemporalClassifier):
+            self.plan = compile_plan(source, precision=precision)
         else:
-            raise TypeError(f"unsupported filter bank {type(filters).__name__}")
-        self.stages: List[_StreamingStage] = []
-        for stage in stages:
-            a, b = stage.nominal_coefficients(dt)
-            self.stages.append(_StreamingStage(a, b))
+            raise TypeError(
+                f"StreamingSession expects a ForwardPlan or a "
+                f"PrintedTemporalClassifier, got {type(source).__name__}"
+            )
+        self._state: List[List[np.ndarray]] = []
+        self._steps = 0
+        self._last_logits: Optional[np.ndarray] = None
+        self.reset()
 
-    def push(self, x: np.ndarray) -> np.ndarray:
-        for stage in self.stages:
-            x = stage.push(x)
-        return x
+    # -- state ----------------------------------------------------------
+
+    @property
+    def steps_seen(self) -> int:
+        """Samples consumed since the last reset."""
+        return self._steps
+
+    @property
+    def last_logits(self) -> Optional[np.ndarray]:
+        """Logits after the most recent step (``None`` before any)."""
+        return self._last_logits
 
     def reset(self) -> None:
-        for stage in self.stages:
-            stage.v = np.zeros_like(stage.v)
+        """Discharge all filter state (power-cycle the circuit)."""
+        dtype = self.plan.dtype
+        self._state = [
+            [np.zeros(layer.in_features, dtype=dtype) for _ in layer.stages]
+            for layer in self.plan.layers
+        ]
+        self._steps = 0
+        self._last_logits = None
+
+    # -- execution ------------------------------------------------------
+
+    def process(self, chunk) -> np.ndarray:
+        """Consume one chunk ``(time,)`` or ``(time, in_channels)``.
+
+        Returns the per-step logits ``(time, n_classes)`` and carries
+        the filter state forward, so consecutive calls are bit-equal to
+        one call over the concatenated chunk (see module docstring).
+        """
+        plan = self.plan
+        x = plan.coerce_series(chunk)
+        steps = x.shape[0]
+        out = np.empty((steps, plan.n_classes), dtype=plan.dtype)
+        layers = plan.layers
+        state = self._state
+        for k in range(steps):
+            h = x[k]
+            for li, layer in enumerate(layers):
+                for si, (a, b) in enumerate(layer.stages):
+                    v = state[li][si]
+                    # Same per-element arithmetic as the batched scan
+                    # kernel (FilterScan / ForwardPlan._scan).
+                    v = a * v + b * h
+                    state[li][si] = v
+                    h = v
+                # Fixed (1, in) @ (in, out) GEMM on the plan's collapsed
+                # weights — shape-independent of the chunking.
+                mm = h.reshape(1, -1) @ layer.weights.swapaxes(-1, -2)
+                mm += layer.bias
+                e1, e2, e3, e4 = layer.eta
+                h = (e1 + e2 * np.tanh((mm - e3) * e4))[0]
+            out[k] = h
+        out *= plan.logit_scale
+        self._steps += steps
+        self._last_logits = out[-1].copy()
+        return out
+
+    def predict(self) -> int:
+        """Predicted class after the samples consumed so far."""
+        if self._last_logits is None:
+            raise ValueError("no samples processed yet")
+        return int(np.argmax(self._last_logits))
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSession({self.plan.model_class}, "
+            f"steps_seen={self._steps}, dtype={self.plan.dtype})"
+        )
 
 
 class StreamingClassifier:
     """Stateful single-stream inference over a trained printed model.
 
-    The model's variation sampler is bypassed: streaming uses the
-    nominal (ideal) component values, i.e. one fixed fabricated
-    instance at its design point.
+    A sample-by-sample façade over :class:`StreamingSession`: the model
+    is frozen through :func:`~repro.compile.compile_plan`, so streaming
+    and the serving plan share one coefficient-resolution path and can
+    never drift apart (pinned by regression test).
 
     Example
     -------
@@ -78,21 +191,20 @@ class StreamingClassifier:
     >>> prediction = int(np.argmax(logits))
     """
 
-    def __init__(self, model: PrintedTemporalClassifier) -> None:
+    def __init__(
+        self, model: PrintedTemporalClassifier, precision: Optional[str] = None
+    ) -> None:
         self.model = model
-        self._banks = [_StreamingFilterBank(block.filters) for block in model.blocks]
-        self._steps = 0
+        self.session = StreamingSession(model, precision=precision)
 
     @property
     def steps_seen(self) -> int:
         """Samples consumed since the last reset."""
-        return self._steps
+        return self.session.steps_seen
 
     def reset(self) -> None:
         """Discharge all filter state (power-cycle the circuit)."""
-        for bank in self._banks:
-            bank.reset()
-        self._steps = 0
+        self.session.reset()
 
     def push(self, sample) -> np.ndarray:
         """Consume one sensor sample (scalar, or a vector of
@@ -102,23 +214,14 @@ class StreamingClassifier:
         x = np.atleast_1d(np.asarray(sample, dtype=np.float64))
         if x.shape != (channels,):
             raise ValueError(f"push() takes {channels} sample value(s), got shape {x.shape}")
-        with no_grad():
-            for bank, block in zip(self._banks, self.model.blocks):
-                filtered = bank.push(x)
-                summed = block.crossbar(Tensor(filtered.reshape(1, -1)))
-                x = block.activation(summed).data[0]
-        self._steps += 1
-        return x * self.model.logit_scale
+        return self.session.process(x.reshape(1, channels))[0]
 
     def run(self, series: np.ndarray) -> np.ndarray:
         """Stream a whole series; returns logits at every step."""
         series = np.asarray(series, dtype=np.float64)
         if series.ndim != 1:
             raise ValueError("series must be 1-D")
-        out = np.zeros((series.size, self.model.n_classes))
-        for k, sample in enumerate(series):
-            out[k] = self.push(float(sample))
-        return out
+        return self.session.process(series)
 
     def decision_latency(self, series: np.ndarray) -> int:
         """Earliest step from which the predicted class never changes.
@@ -137,3 +240,208 @@ class StreamingClassifier:
                 break
             stable_from = k
         return int(stable_from)
+
+
+# -- online evaluation harness ---------------------------------------------
+
+
+def _rolling_accuracy(correct: np.ndarray, window: int) -> np.ndarray:
+    """Causal rolling mean of ``correct`` over the last ``window`` steps
+    (shorter prefix windows during warm-up)."""
+    csum = np.concatenate([[0.0], np.cumsum(correct, dtype=np.float64)])
+    steps = correct.size
+    idx = np.arange(1, steps + 1)
+    lo = np.maximum(idx - window, 0)
+    return (csum[idx] - csum[lo]) / (idx - lo)
+
+
+@dataclasses.dataclass
+class StreamingEvalResult:
+    """Everything :func:`evaluate_streaming` measured on one scenario."""
+
+    scenario: str
+    dataset: str
+    model: str
+    steps: int
+    chunk_size: int
+    accuracy: float
+    predictions: np.ndarray
+    correct: np.ndarray
+    #: Causal rolling accuracy per step (window :attr:`curve_window`).
+    accuracy_curve: np.ndarray
+    curve_window: int
+    changepoints: Tuple[int, ...]
+    #: Mean correctness aligned at the changepoints over
+    #: ``[-halo_pre, +halo_post)`` (``None`` without a complete halo).
+    changepoint_curve: Optional[np.ndarray]
+    changepoint_halo: Tuple[int, int]
+    segment_accuracy: Tuple[float, ...]
+    #: Mean accuracy in the halo before / after the changepoints.
+    pre_change_accuracy: Optional[float]
+    post_change_accuracy: Optional[float]
+    #: Accuracy on burst-corrupted vs clean steps (``None`` without bursts).
+    burst_accuracy: Optional[float]
+    clean_accuracy: Optional[float]
+    elapsed_s: float
+
+    def to_record(self) -> dict:
+        """JSON-serialisable record (consumed by ``repro.report``)."""
+        return {
+            "scenario": self.scenario,
+            "dataset": self.dataset,
+            "model": self.model,
+            "steps": int(self.steps),
+            "chunk_size": int(self.chunk_size),
+            "accuracy": float(self.accuracy),
+            "accuracy_curve": [float(v) for v in self.accuracy_curve],
+            "curve_window": int(self.curve_window),
+            "changepoints": [int(c) for c in self.changepoints],
+            "changepoint_curve": (
+                None
+                if self.changepoint_curve is None
+                else [float(v) for v in self.changepoint_curve]
+            ),
+            "changepoint_halo": [int(h) for h in self.changepoint_halo],
+            "segment_accuracy": [float(v) for v in self.segment_accuracy],
+            "pre_change_accuracy": self.pre_change_accuracy,
+            "post_change_accuracy": self.post_change_accuracy,
+            "burst_accuracy": self.burst_accuracy,
+            "clean_accuracy": self.clean_accuracy,
+            "elapsed_s": float(self.elapsed_s),
+        }
+
+
+def evaluate_streaming(
+    source,
+    stream,
+    chunk_size: int = 16,
+    curve_window: int = 64,
+    changepoint_halo: Tuple[int, int] = (64, 64),
+    precision: Optional[str] = None,
+) -> StreamingEvalResult:
+    """Online evaluation of one model over one sensor-stream scenario.
+
+    Streams ``stream.x`` through a fresh :class:`StreamingSession` in
+    ``chunk_size`` pieces, scoring the per-step prediction against the
+    per-step label.  Emits ``stream.start`` / ``stream.chunk`` /
+    ``stream.end`` telemetry into the active
+    :class:`repro.telemetry.Run` (no-op without one).
+
+    Parameters
+    ----------
+    source:
+        A trained model or an already-compiled plan.
+    stream:
+        A :class:`repro.data.SensorStream` (or anything with ``x``,
+        ``labels``, ``changepoints``, ``burst_mask``, ``name``,
+        ``dataset`` attributes).
+    chunk_size:
+        Steps per :meth:`~StreamingSession.process` call (the transport
+        chunking; the result is chunking-invariant, the telemetry
+        granularity is not).
+    curve_window:
+        Rolling window of the accuracy-over-time curve.
+    changepoint_halo:
+        ``(pre, post)`` steps of the accuracy-around-changepoint curve.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if curve_window < 1:
+        raise ValueError("curve_window must be >= 1")
+    session = StreamingSession(source, precision=precision)
+    x = np.asarray(stream.x, dtype=np.float64)
+    labels = np.asarray(stream.labels)
+    steps = x.shape[0]
+    if labels.shape[0] != steps:
+        raise ValueError(
+            f"stream has {steps} steps but {labels.shape[0]} labels"
+        )
+    changepoints = tuple(int(c) for c in stream.changepoints)
+    telemetry_emit(
+        "stream.start",
+        scenario=stream.name,
+        dataset=stream.dataset,
+        model=session.plan.model_class,
+        steps=steps,
+        chunk_size=chunk_size,
+        n_changepoints=len(changepoints),
+    )
+    predictions = np.empty(steps, dtype=np.int64)
+    t_start = time.perf_counter()
+    for lo in range(0, steps, chunk_size):
+        hi = min(lo + chunk_size, steps)
+        t0 = time.perf_counter()
+        logits = session.process(x[lo:hi])
+        chunk_pred = np.argmax(logits, axis=-1)
+        predictions[lo:hi] = chunk_pred
+        telemetry_emit(
+            "stream.chunk",
+            scenario=stream.name,
+            lo=lo,
+            hi=hi,
+            accuracy=float(np.mean(chunk_pred == labels[lo:hi])),
+            latency_ms=(time.perf_counter() - t0) * 1e3,
+        )
+    elapsed = time.perf_counter() - t_start
+
+    correct = (predictions == labels).astype(np.float64)
+    curve = _rolling_accuracy(correct, curve_window)
+
+    pre, post = changepoint_halo
+    halos = [
+        correct[cp - pre : cp + post]
+        for cp in changepoints
+        if cp - pre >= 0 and cp + post <= steps
+    ]
+    cp_curve = np.mean(halos, axis=0) if halos else None
+    pre_acc = float(np.mean(cp_curve[:pre])) if cp_curve is not None else None
+    post_acc = float(np.mean(cp_curve[pre:])) if cp_curve is not None else None
+
+    edges = [0] + list(changepoints) + [steps]
+    segment_accuracy = tuple(
+        float(np.mean(correct[lo:hi])) for lo, hi in zip(edges[:-1], edges[1:])
+    )
+
+    burst_mask = np.asarray(stream.burst_mask, dtype=bool)
+    if burst_mask.any():
+        burst_acc = float(np.mean(correct[burst_mask]))
+        clean_acc = float(np.mean(correct[~burst_mask]))
+    else:
+        burst_acc = clean_acc = None
+
+    result = StreamingEvalResult(
+        scenario=stream.name,
+        dataset=stream.dataset,
+        model=session.plan.model_class,
+        steps=steps,
+        chunk_size=chunk_size,
+        accuracy=float(np.mean(correct)),
+        predictions=predictions,
+        correct=correct.astype(bool),
+        accuracy_curve=curve,
+        curve_window=curve_window,
+        changepoints=changepoints,
+        changepoint_curve=cp_curve,
+        changepoint_halo=(int(pre), int(post)),
+        segment_accuracy=segment_accuracy,
+        pre_change_accuracy=pre_acc,
+        post_change_accuracy=post_acc,
+        burst_accuracy=burst_acc,
+        clean_accuracy=clean_acc,
+        elapsed_s=elapsed,
+    )
+    telemetry_emit(
+        "stream.end",
+        scenario=stream.name,
+        dataset=stream.dataset,
+        model=result.model,
+        steps=steps,
+        accuracy=result.accuracy,
+        segment_accuracy=list(result.segment_accuracy),
+        pre_change_accuracy=pre_acc,
+        post_change_accuracy=post_acc,
+        burst_accuracy=burst_acc,
+        clean_accuracy=clean_acc,
+        elapsed_s=elapsed,
+    )
+    return result

@@ -15,6 +15,17 @@ from .preprocessing import (
     resize_series,
     train_val_test_split,
 )
+from .streams import (
+    BURST_KINDS,
+    STREAM_SCENARIOS,
+    SensorStream,
+    burst_stream,
+    drift_stream,
+    inject_bursts,
+    long_horizon_stream,
+    make_stream,
+    resampled_stream,
+)
 
 __all__ = [
     "DatasetInfo",
@@ -32,4 +43,13 @@ __all__ = [
     "load_series_csv",
     "save_splits",
     "load_splits",
+    "SensorStream",
+    "BURST_KINDS",
+    "STREAM_SCENARIOS",
+    "make_stream",
+    "drift_stream",
+    "burst_stream",
+    "inject_bursts",
+    "resampled_stream",
+    "long_horizon_stream",
 ]

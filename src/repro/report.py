@@ -262,6 +262,59 @@ def _tape_section(record: Dict) -> List[str]:
     return lines
 
 
+def _streaming_section(record: Dict) -> List[str]:
+    """Render the streaming-evaluation record (``stream-eval``).
+
+    Expects ``record["streaming"]`` as written by the ``stream-eval``
+    CLI: ``{"model", "chunk_size", "scenarios": [result.to_record()]}``
+    with one entry per :class:`repro.core.StreamingEvalResult`.
+    """
+    streaming = record.get("streaming")
+    if not streaming:
+        return []
+    scenarios = streaming.get("scenarios") or []
+    lines = [
+        "## Streaming — stateful online inference over drifting streams",
+        "",
+        f"Model: {streaming.get('model', '?')}; "
+        f"chunk size {streaming.get('chunk_size', '?')} "
+        f"(chunking-invariant by construction).",
+        "",
+        "| Scenario | Steps | Accuracy | Accuracy over time |",
+        "|---|---|---|---|",
+    ]
+    for s in scenarios:
+        lines.append(
+            f"| {s.get('scenario', '?')} | {s.get('steps', '?')} | "
+            f"{s.get('accuracy', float('nan')):.3f} | "
+            f"`{sparkline(s.get('accuracy_curve') or [])}` |"
+        )
+    lines.append("")
+    for s in scenarios:
+        details = []
+        if s.get("pre_change_accuracy") is not None:
+            pre, post = s.get("changepoint_halo", ["?", "?"])
+            details.append(
+                f"around changepoints (±{pre}/{post} steps): "
+                f"{s['pre_change_accuracy']:.3f} before → "
+                f"{s['post_change_accuracy']:.3f} after, recovery "
+                f"`{sparkline(s.get('changepoint_curve') or [], width=24)}`"
+            )
+        if s.get("burst_accuracy") is not None:
+            details.append(
+                f"burst-corrupted steps {s['burst_accuracy']:.3f} vs "
+                f"clean {s['clean_accuracy']:.3f}"
+            )
+        if details:
+            lines.append(f"* **{s.get('scenario', '?')}** — " + "; ".join(details))
+    if any(
+        s.get("pre_change_accuracy") is not None or s.get("burst_accuracy") is not None
+        for s in scenarios
+    ):
+        lines.append("")
+    return lines
+
+
 def _fig_sections(record: Dict) -> List[str]:
     lines: List[str] = []
     fig5 = record.get("fig5")
@@ -310,6 +363,7 @@ def render_report(record: Dict) -> str:
     lines += _mc_section(record)
     lines += _filter_scan_section(record)
     lines += _tape_section(record)
+    lines += _streaming_section(record)
     lines += _fig_sections(record)
     return "\n".join(lines)
 
@@ -582,6 +636,36 @@ def _serve_section(events: List[Dict]) -> List[str]:
     return lines
 
 
+def _stream_run_section(events: List[Dict]) -> List[str]:
+    """Streaming-evaluation summary from ``stream.*`` events, if any.
+
+    One line per completed scenario (``stream.end``) plus the per-chunk
+    accuracy trajectory reconstructed from the ``stream.chunk`` events.
+    """
+    ends = [e for e in events if e["kind"] == "stream.end"]
+    if not ends:
+        return []
+    lines = [
+        "## Streaming",
+        "",
+        "| Scenario | Dataset | Steps | Accuracy | Chunk accuracy |",
+        "|---|---|---|---|---|",
+    ]
+    for end in ends:
+        chunk_accs = [
+            c.get("accuracy", 0.0)
+            for c in events
+            if c["kind"] == "stream.chunk" and c.get("scenario") == end.get("scenario")
+        ]
+        lines.append(
+            f"| {end.get('scenario', '?')} | {end.get('dataset', '?')} | "
+            f"{end.get('steps', '?')} | {end.get('accuracy', float('nan')):.3f} | "
+            f"`{sparkline(chunk_accs)}` |"
+        )
+    lines.append("")
+    return lines
+
+
 def render_run(run_dir: PathLike) -> str:
     """Render one telemetry run directory as a markdown report.
 
@@ -604,6 +688,7 @@ def render_run(run_dir: PathLike) -> str:
     run_end = next((e for e in events if e["kind"] == "run_end"), None)
     sweep_lines = _sweep_section(events)
     serve_lines = _serve_section(events)
+    stream_lines = _stream_run_section(events)
 
     lines = [
         f"# Run `{manifest.get('run_id', run_dir.name)}`",
@@ -644,5 +729,6 @@ def render_run(run_dir: PathLike) -> str:
         lines.append("")
     lines += sweep_lines
     lines += serve_lines
+    lines += stream_lines
     lines += _span_section(run_end)
     return "\n".join(lines)

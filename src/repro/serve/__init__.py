@@ -11,8 +11,11 @@ model — see ``tests/compile/test_plan.py``) and served by:
   optional crash-isolated worker processes, and graceful degradation
   (queue-full rejections, per-request timeouts, worker restarts);
 * :class:`ServeHTTPServer` — the stdlib HTTP transport
-  (``/predict``, ``/predict_mc``, ``/healthz``, ``/stats``,
-  ``/models``);
+  (``/predict``, ``/predict_mc``, ``/predict_stream``, ``/healthz``,
+  ``/stats``, ``/models``).  ``/predict_stream`` hosts stateful
+  :class:`~repro.core.StreamingSession` instances (LRU-bounded by
+  ``ServeOptions.max_sessions``) whose filter state carries across
+  requests — chunked delivery is bit-equal to one-shot;
 * ``serve.*`` telemetry events streamed into the active
   :class:`repro.telemetry.Run` and rendered by ``python -m repro
   report`` (see ``docs/SERVING.md`` and ``docs/OBSERVABILITY.md``).
@@ -28,6 +31,7 @@ from .errors import (
     RequestTimeoutError,
     ServeError,
     UnknownModelError,
+    UnknownSessionError,
     WorkerCrashError,
 )
 from .registry import PlanRegistry
@@ -48,6 +52,7 @@ __all__ = [
     "ServeOptions",
     "ServeStats",
     "UnknownModelError",
+    "UnknownSessionError",
     "WorkerCrashError",
     "percentile",
     "serve_worker_main",

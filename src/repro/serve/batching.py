@@ -36,6 +36,8 @@ import dataclasses
 import queue
 import threading
 import time
+import uuid
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional
@@ -43,7 +45,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..telemetry import emit as telemetry_emit
-from .errors import QueueFullError, RequestTimeoutError, ServeError
+from .errors import (
+    QueueFullError,
+    RequestTimeoutError,
+    ServeError,
+    UnknownSessionError,
+)
 from .registry import PlanRegistry
 from .stats import ServeStats
 from .workers import PlanWorkerPool
@@ -71,6 +78,7 @@ class ServeOptions:
     workers: int = 0
     worker_restart_limit: int = 8
     plan_capacity: int = 4
+    max_sessions: int = 64
     precision: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -78,6 +86,8 @@ class ServeOptions:
             raise ValueError("window_s must be >= 0")
         if self.max_batch < 1 or self.queue_size < 1 or self.plan_capacity < 1:
             raise ValueError("max_batch, queue_size and plan_capacity must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
         if self.request_timeout_s <= 0 or self.batch_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
         if self.workers < 0:
@@ -94,6 +104,19 @@ class _Request:
         self.submitted = time.perf_counter()
 
 
+class _StreamEntry:
+    """One hosted streaming session: the stateful engine plus its own
+    lock (chunks of the same session must serialise; different sessions
+    run concurrently)."""
+
+    __slots__ = ("name", "session", "lock")
+
+    def __init__(self, name: str, session) -> None:
+        self.name = name
+        self.session = session
+        self.lock = threading.Lock()
+
+
 class MicroBatchService:
     """The serving core: registry + queue + dispatcher (+ worker pool)."""
 
@@ -102,6 +125,8 @@ class MicroBatchService:
         self.stats = ServeStats()
         self._emit_lock = threading.Lock()
         self._mc_lock = threading.Lock()
+        self._sessions: "OrderedDict[str, _StreamEntry]" = OrderedDict()
+        self._sessions_lock = threading.Lock()
         self._closed = False
 
         self._pool: Optional[PlanWorkerPool] = (
@@ -294,6 +319,98 @@ class MicroBatchService:
             "latency_ms": latency * 1e3,
         }
 
+    def predict_stream(
+        self,
+        name: str,
+        chunk=None,
+        session_id: Optional[str] = None,
+        reset: bool = False,
+        close: bool = False,
+    ) -> Dict:
+        """Stateful streaming prediction over a hosted session.
+
+        Without ``session_id`` a new :class:`~repro.core.StreamingSession`
+        is opened over the model's frozen plan (sharing the registry's
+        compiled artifact — the session never touches the plan's scratch
+        arena, so concurrent sessions can share one plan) and its id is
+        returned for the caller to thread through subsequent chunks.
+        State carries across calls, so feeding a series chunk-by-chunk
+        is bit-equal to one shot (the split-invariance contract of
+        :mod:`repro.core.streaming`).  Sessions are LRU-bounded by
+        ``ServeOptions.max_sessions``; ``reset=True`` discharges the
+        filter state before processing, ``close=True`` discards the
+        session (``chunk`` may then be omitted).
+
+        Runs inline (not through the micro-batch queue): a stateful
+        chunk cannot be coalesced with other requests without breaking
+        the fixed per-step shapes that make chunking bit-invariant.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        if close:
+            if session_id is None:
+                raise ValueError('closing a stream requires a "session" id')
+            with self._sessions_lock:
+                entry = self._sessions.pop(session_id, None)
+            if entry is None:
+                raise UnknownSessionError(f"no such session: {session_id}")
+            return {
+                "model": entry.name,
+                "session": session_id,
+                "closed": True,
+                "steps_seen": entry.session.steps_seen,
+            }
+        if chunk is None:
+            raise ValueError('streaming request requires a "series" chunk')
+        if session_id is None:
+            from ..core.streaming import StreamingSession
+
+            plan, hit = self.registry.plan(name)
+            self.stats.record_plan(hit)
+            entry = _StreamEntry(name, StreamingSession(plan))
+            session_id = uuid.uuid4().hex
+            with self._sessions_lock:
+                self._sessions[session_id] = entry
+                while len(self._sessions) > self.options.max_sessions:
+                    self._sessions.popitem(last=False)
+        else:
+            with self._sessions_lock:
+                entry = self._sessions.get(session_id)
+                if entry is not None:
+                    self._sessions.move_to_end(session_id)
+            if entry is None:
+                raise UnknownSessionError(f"no such session: {session_id}")
+            if entry.name != name:
+                raise ValueError(
+                    f"session {session_id} belongs to model {entry.name!r}, "
+                    f"not {name!r}"
+                )
+        t0 = time.perf_counter()
+        with entry.lock:
+            if reset:
+                entry.session.reset()
+            logits = entry.session.process(chunk)
+            steps_seen = entry.session.steps_seen
+        latency = time.perf_counter() - t0
+        self.stats.record_request(latency, status="ok")
+        self._emit(
+            "serve.request",
+            model=name,
+            status="ok",
+            latency_ms=latency * 1e3,
+            batch_size=int(logits.shape[0]),
+            stream=True,
+        )
+        return {
+            "model": name,
+            "session": session_id,
+            "prediction": int(np.argmax(logits[-1])),
+            "logits": [float(v) for v in logits[-1]],
+            "steps_seen": steps_seen,
+            "chunk_steps": int(logits.shape[0]),
+            "latency_ms": latency * 1e3,
+        }
+
     # -- dispatcher ------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -408,6 +525,8 @@ class MicroBatchService:
                 leftover.future.set_exception(ServeError("service closed"))
         if self._pool is not None:
             self._pool.close()
+        with self._sessions_lock:
+            self._sessions.clear()
         snapshot = self.stats.snapshot()
         self._emit("serve.stats", **snapshot)
         self._emit("serve.end", **snapshot)

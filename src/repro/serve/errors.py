@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "ServeError",
     "UnknownModelError",
+    "UnknownSessionError",
     "QueueFullError",
     "RequestTimeoutError",
     "WorkerCrashError",
@@ -18,6 +19,14 @@ class ServeError(Exception):
 
 class UnknownModelError(ServeError, KeyError):
     """Request names a model the service does not host (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class UnknownSessionError(ServeError, KeyError):
+    """Request names a streaming session the service does not hold —
+    never created, already closed, or LRU-evicted (HTTP 404)."""
 
     def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
         return self.args[0] if self.args else ""

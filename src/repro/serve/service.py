@@ -11,10 +11,19 @@ Endpoints (JSON in, JSON out)::
     POST /predict_mc   -> {"model", "series", "draws"?, "spread"?, "seed"?}
                        -> adds {"confidence", "class_votes",
                                 "mean_logits", "draws", "spread"}
+    POST /predict_stream -> {"model", "series", "session"?, "reset"?,
+                             "close"?}
+                       -> {"model", "session", "prediction", "logits",
+                           "steps_seen", "chunk_steps", "latency_ms"}
+                          (omit "session" to open one; thread the
+                          returned id through subsequent chunks —
+                          filter state carries across requests;
+                          ``close: true`` discards it, "series" then
+                          optional)
 
-Error mapping: malformed payloads → 400, unknown model → 404, oversize
-body → 413, queue full → 503 (with ``Retry-After``), request timeout →
-504, anything else → 500.  Built on ``http.server.ThreadingHTTPServer``
+Error mapping: malformed payloads → 400, unknown model/session → 404,
+oversize body → 413, queue full → 503 (with ``Retry-After``), request
+timeout → 504, anything else → 500.  Built on ``http.server.ThreadingHTTPServer``
 — one thread per in-flight request, all funnelling into the service's
 bounded queue, so concurrency is capped by backpressure rather than by
 the transport.
@@ -34,6 +43,7 @@ from .errors import (
     RequestTimeoutError,
     ServeError,
     UnknownModelError,
+    UnknownSessionError,
 )
 
 __all__ = ["ServeHTTPServer", "MAX_BODY_BYTES"]
@@ -83,7 +93,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- POST ------------------------------------------------------------
 
-    def _read_request(self) -> Tuple[str, object, dict]:
+    def _read_request(self, require_series: bool = True) -> Tuple[str, object, dict]:
         """Parse and minimally validate the JSON body of a POST."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -102,33 +112,47 @@ class _Handler(BaseHTTPRequestHandler):
         name = payload.get("model")
         if not isinstance(name, str) or not name:
             raise _BadRequest('missing or non-string "model" field')
-        if "series" not in payload:
+        if require_series and "series" not in payload:
             raise _BadRequest('missing "series" field')
-        return name, payload["series"], payload
+        return name, payload.get("series"), payload
 
     def do_POST(self):  # noqa: N802 — http.server API
         try:
-            name, series, payload = self._read_request()
-            if self.path == "/predict":
-                result = self.service.predict(name, series)
-            elif self.path == "/predict_mc":
-                result = self.service.predict_mc(
+            if self.path == "/predict_stream":
+                # "series" may be omitted on close-only requests.
+                name, series, payload = self._read_request(require_series=False)
+                close = _bool_field(payload, "close", False)
+                if not close and series is None:
+                    raise _BadRequest('missing "series" field')
+                result = self.service.predict_stream(
                     name,
                     series,
-                    draws=_int_field(payload, "draws", 32),
-                    spread=_float_field(payload, "spread", 0.10),
-                    seed=_int_field(payload, "seed", 0),
+                    session_id=_opt_str_field(payload, "session"),
+                    reset=_bool_field(payload, "reset", False),
+                    close=close,
                 )
             else:
-                self._error(404, f"no such endpoint: {self.path}")
-                return
+                name, series, payload = self._read_request()
+                if self.path == "/predict":
+                    result = self.service.predict(name, series)
+                elif self.path == "/predict_mc":
+                    result = self.service.predict_mc(
+                        name,
+                        series,
+                        draws=_int_field(payload, "draws", 32),
+                        spread=_float_field(payload, "spread", 0.10),
+                        seed=_int_field(payload, "seed", 0),
+                    )
+                else:
+                    self._error(404, f"no such endpoint: {self.path}")
+                    return
         except _TooLarge as exc:
             self._error(413, str(exc))
         except _BadRequest as exc:
             self._error(400, str(exc))
         except (PlanInputError, ValueError) as exc:
             self._error(400, str(exc))
-        except UnknownModelError as exc:
+        except (UnknownModelError, UnknownSessionError) as exc:
             self._error(404, str(exc))
         except QueueFullError as exc:
             self._error(503, str(exc), retry_after=1)
@@ -160,6 +184,20 @@ def _float_field(payload: dict, key: str, default: float) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise _BadRequest(f'"{key}" must be a number')
     return float(value)
+
+
+def _bool_field(payload: dict, key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise _BadRequest(f'"{key}" must be a boolean')
+    return value
+
+
+def _opt_str_field(payload: dict, key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is not None and (not isinstance(value, str) or not value):
+        raise _BadRequest(f'"{key}" must be a non-empty string')
+    return value
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

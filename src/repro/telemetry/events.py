@@ -71,6 +71,17 @@ Well-known kinds
     A dead or wedged pool worker was killed and replaced: ``slot``,
     ``old_pid``, ``new_pid``, ``reason`` and the running ``restarts``
     count (bounded by ``SweepOptions.pool_restarts``).
+``stream.start`` / ``stream.end``
+    Emitted by :func:`repro.core.evaluate_streaming` around one online
+    evaluation pass: ``scenario``, ``dataset``, ``model``, ``steps``,
+    ``chunk_size`` and ``n_changepoints``; the end event adds the
+    overall ``accuracy``, per-segment accuracies, the
+    pre/post-changepoint and burst/clean accuracy splits (``null`` when
+    the scenario has no changepoints/bursts) and ``elapsed_s``.
+``stream.chunk``
+    One per processed chunk of a streaming evaluation: ``scenario``,
+    the half-open step span ``lo``/``hi``, the chunk ``accuracy`` and
+    the chunk processing ``latency_ms``.
 ``serve.start`` / ``serve.end``
     Emitted by :class:`repro.serve.MicroBatchService` on creation and
     close: the serving options (window, batch/queue bounds, worker
@@ -151,6 +162,9 @@ EVENT_KINDS = (
     "sweep.pool.worker_replace",
     "sweep.pool.end",
     "sweep.end",
+    "stream.start",
+    "stream.chunk",
+    "stream.end",
     "serve.start",
     "serve.request",
     "serve.batch",

@@ -1,30 +1,58 @@
-"""Property-based split invariance of the stateful temporal paths.
+"""Streaming conformance suite: split invariance of every stateful path.
 
 A stream processed in arbitrary chunks — carrying the filter state
 ``v_{k-1}`` across chunk boundaries — must be **bit-equal** to the
 one-shot forward.  This is the correctness contract that lets the
 serving tier chop incoming sensor streams wherever the transport does,
-and that incremental/online evaluation (ROADMAP item 3) builds on.
+and that online evaluation (``evaluate_streaming``) builds on.
+
+Covered surfaces (all hypothesis-driven over random chunkings,
+including single-sample chunks and the degenerate one-giant-chunk
+partition):
+
+* the fused ``filter_scan`` kernel with explicit ``v0`` threading;
+* ``forward_chunk`` on both filter-bank orders (FO and SO-LF);
+* :class:`repro.core.StreamingSession` over compiled plans — FO vs SO
+  models, every precision policy, multivariate channel sets;
+* the :class:`repro.core.StreamingClassifier` façade (run / push).
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.autograd import Tensor, filter_scan, no_grad
-from repro.core import PTPNC, StreamingClassifier
+from repro.autograd.precision import PRECISION_POLICIES
+from repro.circuits import (
+    FirstOrderLearnableFilter,
+    SecondOrderLearnableFilter,
+    ideal_sampler,
+)
+from repro.core import (
+    AdaptPNC,
+    PTPNC,
+    PrintedTemporalClassifier,
+    StreamingClassifier,
+    StreamingSession,
+)
 
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
 @st.composite
 def chunked_stream(draw, min_steps=4, max_steps=48):
-    """A (seed, steps, sorted interior cut points) triple."""
+    """A (seed, steps, sorted interior cut points) triple.
+
+    ``min_size=0`` keeps the degenerate no-cut partition (one giant
+    chunk) in the strategy — stateful one-call processing must also
+    equal the one-shot path.
+    """
     steps = draw(st.integers(min_value=min_steps, max_value=max_steps))
     cuts = draw(
         st.lists(
             st.integers(min_value=1, max_value=steps - 1),
-            min_size=1,
+            min_size=0,
             max_size=5,
             unique=True,
         )
@@ -36,6 +64,15 @@ def chunked_stream(draw, min_steps=4, max_steps=48):
 def _bounds(steps, cuts):
     edges = [0] + list(cuts) + [steps]
     return list(zip(edges[:-1], edges[1:]))
+
+
+def _series(seed, steps):
+    return np.clip(
+        np.cumsum(np.random.default_rng(seed).normal(0, 0.2, steps)), -1, 1
+    )
+
+
+# -- kernel level -----------------------------------------------------------
 
 
 @given(chunked_stream())
@@ -63,7 +100,111 @@ def test_filter_scan_chunks_bit_equal_one_shot(case):
     assert np.array_equal(np.concatenate(pieces, axis=1), full)
 
 
-_MODEL = PTPNC(2, rng=np.random.default_rng(7))
+# -- filter-bank level ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "bank_cls", [FirstOrderLearnableFilter, SecondOrderLearnableFilter]
+)
+@given(case=chunked_stream(max_steps=32))
+@settings(max_examples=15, deadline=None)
+def test_forward_chunk_chains_bit_equal_one_shot(bank_cls, case):
+    """``forward_chunk`` threading per-stage state across any partition
+    equals the bank's one-shot ``forward`` exactly (FO and SO)."""
+    seed, steps, cuts = case
+    rng = np.random.default_rng(seed)
+    n = 3
+    bank = bank_cls(n, sampler=ideal_sampler(), rng=np.random.default_rng(11))
+    x = rng.uniform(-1, 1, (2, steps, n))
+    with no_grad():
+        full = bank(Tensor(x)).data
+        state = None
+        pieces = []
+        for lo, hi in _bounds(steps, cuts):
+            out, state = bank.forward_chunk(Tensor(x[:, lo:hi, :]), state)
+            pieces.append(out.data)
+    assert np.array_equal(np.concatenate(pieces, axis=1), full)
+
+
+def test_forward_chunk_rejects_batched_draws():
+    bank = SecondOrderLearnableFilter(2, rng=np.random.default_rng(0))
+    x = Tensor(np.zeros((1, 4, 2)))
+    with bank.sampler.batched(3):
+        with pytest.raises(ValueError, match="batched-draws"):
+            bank.forward_chunk(x)
+
+
+def test_forward_chunk_rejects_wrong_state_arity():
+    bank = SecondOrderLearnableFilter(2, sampler=ideal_sampler(), rng=np.random.default_rng(0))
+    x = Tensor(np.zeros((1, 4, 2)))
+    with pytest.raises(ValueError, match="stage"):
+        bank.forward_chunk(x, (np.zeros((1, 2)),))
+
+
+# -- session level ----------------------------------------------------------
+
+_FO_MODEL = PTPNC(2, rng=np.random.default_rng(7))
+_SO_MODEL = AdaptPNC(3, rng=np.random.default_rng(7))
+_MV_MODEL = PrintedTemporalClassifier(
+    3, in_channels=3, rng=np.random.default_rng(9)
+)
+
+
+@pytest.mark.parametrize("model", [_FO_MODEL, _SO_MODEL], ids=["FO", "SO"])
+@given(case=chunked_stream(max_steps=40))
+@settings(max_examples=15, deadline=None)
+def test_streaming_session_chunked_bit_equal_one_shot(model, case):
+    """Session state carry is bit-equal to one-shot for any partition,
+    on first-order (pTPNC) and second-order (ADAPT-pNC) filter models."""
+    seed, steps, cuts = case
+    series = _series(seed, steps)
+    one_shot = StreamingSession(model).process(series)
+    chunked = StreamingSession(model)
+    pieces = [chunked.process(series[lo:hi]) for lo, hi in _bounds(steps, cuts)]
+    assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
+    assert chunked.steps_seen == steps
+    assert chunked.predict() == int(np.argmax(one_shot[-1]))
+
+
+@pytest.mark.parametrize("policy", PRECISION_POLICIES)
+@given(seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_streaming_session_split_invariant_under_every_precision(policy, seed):
+    """Chunking invariance is a structural property — it holds in every
+    precision policy, not just the float64 oracle."""
+    series = _series(seed, 24)
+    one_shot = StreamingSession(_SO_MODEL, precision=policy).process(series)
+    chunked = StreamingSession(_SO_MODEL, precision=policy)
+    pieces = [
+        chunked.process(series[lo:hi]) for lo, hi in _bounds(24, [5, 6, 17])
+    ]
+    assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
+
+
+@given(case=chunked_stream(max_steps=32))
+@settings(max_examples=10, deadline=None)
+def test_streaming_session_multivariate_bit_equal(case):
+    """Multivariate channel sets stream chunk-invariantly too."""
+    seed, steps, cuts = case
+    x = np.random.default_rng(seed).uniform(-1, 1, (steps, 3))
+    one_shot = StreamingSession(_MV_MODEL).process(x)
+    chunked = StreamingSession(_MV_MODEL)
+    pieces = [chunked.process(x[lo:hi]) for lo, hi in _bounds(steps, cuts)]
+    assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
+
+
+@given(seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_streaming_session_single_sample_chunks_bit_equal(seed):
+    """The extreme partition — every chunk one sample — is bit-equal."""
+    series = _series(seed, 16)
+    one_shot = StreamingSession(_SO_MODEL).process(series)
+    chunked = StreamingSession(_SO_MODEL)
+    pieces = [chunked.process(series[k : k + 1]) for k in range(16)]
+    assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
+
+
+# -- façade level -----------------------------------------------------------
 
 
 @given(chunked_stream(max_steps=40))
@@ -72,11 +213,9 @@ def test_streaming_classifier_chunked_runs_bit_equal(case):
     """Consecutive ``run(chunk)`` calls (no reset) concatenate to the
     one-shot ``run(series)`` trajectory exactly."""
     seed, steps, cuts = case
-    series = np.clip(
-        np.cumsum(np.random.default_rng(seed).normal(0, 0.2, steps)), -1, 1
-    )
-    one_shot = StreamingClassifier(_MODEL).run(series)
-    chunked = StreamingClassifier(_MODEL)
+    series = _series(seed, steps)
+    one_shot = StreamingClassifier(_FO_MODEL).run(series)
+    chunked = StreamingClassifier(_FO_MODEL)
     pieces = [chunked.run(series[lo:hi]) for lo, hi in _bounds(steps, cuts)]
     assert np.array_equal(np.concatenate(pieces, axis=0), one_shot)
     assert chunked.steps_seen == steps
@@ -86,10 +225,8 @@ def test_streaming_classifier_chunked_runs_bit_equal(case):
 @settings(max_examples=10, deadline=None)
 def test_streaming_final_state_matches_push_by_push(seed):
     """run() is just push() in a loop: sample-level split invariance."""
-    series = np.clip(
-        np.cumsum(np.random.default_rng(seed).normal(0, 0.2, 12)), -1, 1
-    )
-    trajectory = StreamingClassifier(_MODEL).run(series)
-    pushed = StreamingClassifier(_MODEL)
+    series = _series(seed, 12)
+    trajectory = StreamingClassifier(_FO_MODEL).run(series)
+    pushed = StreamingClassifier(_FO_MODEL)
     last = [pushed.push(float(s)) for s in series][-1]
     assert np.array_equal(last, trajectory[-1])

@@ -1,10 +1,19 @@
-"""Streaming inference equivalence and state management."""
+"""Streaming inference equivalence, plan regression and online evaluation."""
 
 import numpy as np
 import pytest
 
 from repro.autograd import no_grad
-from repro.core import AdaptPNC, PTPNC, StreamingClassifier
+from repro.circuits import filter_stages
+from repro.compile import compile_plan
+from repro.core import (
+    AdaptPNC,
+    PTPNC,
+    StreamingClassifier,
+    StreamingSession,
+    evaluate_streaming,
+)
+from repro.data import drift_stream, inject_bursts
 
 
 @pytest.fixture
@@ -65,6 +74,130 @@ class TestState:
         stream = StreamingClassifier(PTPNC(2, rng=rng))
         with pytest.raises(ValueError):
             stream.run(np.zeros((2, 5)))
+
+
+class TestPlanRegression:
+    """Streaming and ``compile.plan`` share ONE coefficient-resolution
+    path (``filter_stages`` + ``nominal_coefficients``) — these tests
+    pin the two together so they can never drift apart again."""
+
+    @pytest.mark.parametrize("cls", [PTPNC, AdaptPNC])
+    def test_session_coefficients_bit_equal_nominal(self, cls):
+        """Every frozen (a, b) pair in the session's plan is bitwise the
+        live filter bank's nominal coefficients."""
+        model = cls(3, rng=np.random.default_rng(5))
+        session = StreamingSession(model)
+        assert len(session.plan.layers) == len(model.blocks)
+        for layer, block in zip(session.plan.layers, model.blocks):
+            stages = filter_stages(block.filters)
+            assert len(layer.stages) == len(stages)
+            for (a, b), stage in zip(layer.stages, stages):
+                na, nb = stage.nominal_coefficients(block.filters.dt)
+                assert np.array_equal(a, na)
+                assert np.array_equal(b, nb)
+
+    def test_session_from_plan_equals_session_from_model(self, series):
+        """Compiling inside the session vs handing it a pre-compiled
+        plan is bitwise the same trajectory."""
+        model = AdaptPNC(3, rng=np.random.default_rng(6))
+        plan = compile_plan(model)
+        from_model = StreamingSession(model).process(series)
+        from_plan = StreamingSession(plan).process(series)
+        assert np.array_equal(from_model, from_plan)
+
+    def test_streaming_logits_agree_with_plan_forward(self, series):
+        """Final streamed logits agree with the batched plan forward to
+        accumulation tolerance (BLAS row-count kernels prevent bitwise)
+        and always pick the same class."""
+        model = AdaptPNC(3, rng=np.random.default_rng(6))
+        plan = compile_plan(model)
+        streamed = StreamingSession(plan).process(series)[-1]
+        batched = plan.forward(series[None])[0]
+        assert np.allclose(streamed, batched, atol=1e-12, rtol=0)
+        assert int(np.argmax(streamed)) == int(np.argmax(batched))
+
+    def test_session_rejects_non_model_source(self):
+        with pytest.raises(TypeError):
+            StreamingSession(object())
+
+    def test_predict_before_processing_raises(self):
+        session = StreamingSession(PTPNC(2, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            session.predict()
+
+
+class TestEvaluateStreaming:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AdaptPNC(3, rng=np.random.default_rng(2))
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return drift_stream("Slope", segments=3, windows_per_segment=2, seed=1)
+
+    def test_result_shape_and_sanity(self, model, stream):
+        result = evaluate_streaming(model, stream, chunk_size=32)
+        assert result.steps == stream.steps
+        assert result.scenario == stream.name
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.accuracy_curve.shape == (stream.steps,)
+        assert np.all((result.accuracy_curve >= 0) & (result.accuracy_curve <= 1))
+        assert len(result.segment_accuracy) == len(stream.changepoints) + 1
+        assert result.changepoint_curve is not None
+        assert result.changepoint_curve.shape == (sum(result.changepoint_halo),)
+        assert result.pre_change_accuracy is not None
+        assert result.burst_accuracy is None  # drift stream has no bursts
+
+    def test_result_is_chunking_invariant(self, model, stream):
+        fine = evaluate_streaming(model, stream, chunk_size=1)
+        coarse = evaluate_streaming(model, stream, chunk_size=stream.steps)
+        assert np.array_equal(fine.predictions, coarse.predictions)
+        assert fine.accuracy == coarse.accuracy
+
+    def test_burst_split_reported(self, model, stream):
+        corrupted = inject_bursts(stream, "dropout", rate=0.1, seed=3)
+        result = evaluate_streaming(model, corrupted, chunk_size=64)
+        assert result.burst_accuracy is not None
+        assert result.clean_accuracy is not None
+
+    def test_to_record_is_json_serialisable(self, model, stream):
+        import json
+
+        record = evaluate_streaming(model, stream, chunk_size=64).to_record()
+        loaded = json.loads(json.dumps(record))
+        assert loaded["steps"] == stream.steps
+        assert len(loaded["accuracy_curve"]) == stream.steps
+
+    def test_emits_stream_telemetry(self, model, stream, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import read_events
+
+        with telemetry.Run(root=tmp_path, name="stream-test") as run:
+            evaluate_streaming(model, stream, chunk_size=128)
+        events = read_events(run.dir / "events.jsonl")
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("stream.start") == 1
+        assert kinds.count("stream.end") == 1
+        n_chunks = -(-stream.steps // 128)  # ceil division
+        assert kinds.count("stream.chunk") == n_chunks
+        end = next(e for e in events if e["kind"] == "stream.end")
+        assert end["scenario"] == stream.name
+        assert 0.0 <= end["accuracy"] <= 1.0
+
+    def test_rejects_bad_chunk_size(self, model, stream):
+        with pytest.raises(ValueError):
+            evaluate_streaming(model, stream, chunk_size=0)
+
+    def test_rejects_label_mismatch(self, model, stream):
+        class Broken:
+            name = dataset = "broken"
+            x = stream.x
+            labels = stream.labels[:-3]
+            changepoints = ()
+            burst_mask = np.zeros(stream.steps, dtype=bool)
+
+        with pytest.raises(ValueError, match="labels"):
+            evaluate_streaming(model, Broken())
 
 
 class TestLatency:

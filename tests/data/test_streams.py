@@ -1,0 +1,172 @@
+"""Determinism and invariants of the sensor-stream scenario generators.
+
+Every scenario must be a pure function of ``(scenario, dataset, seed)``
+— identical in-process on repeat calls AND across interpreter processes
+(mirroring ``tests/core/test_mc_determinism.py``), because streaming
+evaluations are replayed from their recorded parameters.
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BURST_KINDS,
+    STREAM_SCENARIOS,
+    SensorStream,
+    drift_stream,
+    inject_bursts,
+    long_horizon_stream,
+    make_stream,
+    resampled_stream,
+)
+
+SCENARIOS = sorted(STREAM_SCENARIOS)
+
+
+def _digest(stream: SensorStream) -> str:
+    h = hashlib.sha256()
+    h.update(stream.x.tobytes())
+    h.update(stream.labels.tobytes())
+    h.update(stream.burst_mask.tobytes())
+    h.update(repr(stream.changepoints).encode())
+    return h.hexdigest()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_same_seed_identical(self, scenario):
+        a = make_stream(scenario, "Slope", seed=5)
+        b = make_stream(scenario, "Slope", seed=5)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.changepoints == b.changepoints
+        assert np.array_equal(a.burst_mask, b.burst_mask)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_different_seed_differs(self, scenario):
+        a = make_stream(scenario, "Slope", seed=5)
+        b = make_stream(scenario, "Slope", seed=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_cross_process_determinism(self):
+        """Replaying in a fresh interpreter yields the same bytes —
+        changepoints and burst masks reproduce across processes."""
+        local = {s: _digest(make_stream(s, "Slope", seed=9)) for s in SCENARIOS}
+        script = (
+            "import json, hashlib, sys\n"
+            "import numpy as np\n"
+            "from repro.data import make_stream\n"
+            "def digest(s):\n"
+            "    h = hashlib.sha256()\n"
+            "    h.update(s.x.tobytes()); h.update(s.labels.tobytes())\n"
+            "    h.update(s.burst_mask.tobytes())\n"
+            "    h.update(repr(s.changepoints).encode())\n"
+            "    return h.hexdigest()\n"
+            f"names = {SCENARIOS!r}\n"
+            "print(json.dumps({n: digest(make_stream(n, 'Slope', seed=9))"
+            " for n in names}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=300,
+        )
+        remote = json.loads(out.stdout.strip().splitlines()[-1])
+        assert remote == local
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_shapes_and_bounds(self, scenario):
+        s = make_stream(scenario, "Slope", seed=0)
+        assert s.x.ndim == 1 and s.x.size == s.steps
+        assert s.labels.shape == s.x.shape
+        assert s.burst_mask.shape == s.x.shape
+        assert np.all(np.abs(s.x) <= 1.0)
+        assert all(0 < cp < s.steps for cp in s.changepoints)
+        assert list(s.changepoints) == sorted(s.changepoints)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_labels_constant_within_segments(self, scenario):
+        s = make_stream(scenario, "Slope", seed=0)
+        for lo, hi, label in s.segments():
+            assert np.all(s.labels[lo:hi] == label)
+
+    def test_changepoints_change_the_label(self):
+        s = drift_stream("Slope", segments=5, seed=2)
+        for cp in s.changepoints:
+            assert s.labels[cp - 1] != s.labels[cp]
+
+    def test_burst_mask_only_under_burst_kinds(self):
+        for scenario in SCENARIOS:
+            s = make_stream(scenario, "Slope", seed=0)
+            if scenario in BURST_KINDS:
+                assert s.burst_mask.any()
+            else:
+                assert not s.burst_mask.any()
+
+    def test_long_horizon_much_longer_than_window(self):
+        s = long_horizon_stream("Slope", seed=0)
+        assert s.steps >= 1024
+
+    def test_resample_changes_segment_lengths(self):
+        base = drift_stream("Slope", segments=4, seed=3)
+        warped = resampled_stream("Slope", segments=4, seed=3)
+        assert warped.steps != base.steps
+
+    def test_unknown_scenario_and_dataset_raise(self):
+        with pytest.raises(KeyError, match="scenario"):
+            make_stream("nope")
+        with pytest.raises(KeyError, match="dataset"):
+            drift_stream("NoSuchDataset")
+
+
+class TestBursts:
+    def test_dropout_zeroes_masked_steps(self):
+        base = drift_stream("Slope", segments=3, seed=4)
+        s = inject_bursts(base, "dropout", rate=0.1, seed=4)
+        assert np.all(s.x[s.burst_mask] == 0.0)
+        assert np.array_equal(s.x[~s.burst_mask], base.x[~s.burst_mask])
+
+    def test_saturation_clips_to_rails(self):
+        base = drift_stream("Slope", segments=3, seed=4)
+        s = inject_bursts(base, "saturation", rate=0.1, seed=4)
+        assert set(np.unique(s.x[s.burst_mask])) <= {-1.0, 1.0}
+
+    def test_stuck_holds_constant_plateaus(self):
+        base = drift_stream("Slope", segments=3, seed=4)
+        s = inject_bursts(base, "stuck", rate=0.05, length_range=(6, 6), seed=4)
+        # The masked signal is piecewise constant: each burst contributes
+        # one plateau, so (overlaps included) the number of distinct
+        # plateaus is bounded by the burst budget rate·steps/mean_len.
+        n_bursts = max(1, round(0.05 * s.steps / 6))
+        masked = s.burst_mask
+        runs = int(masked[0]) + int(np.sum(~masked[:-1] & masked[1:]))
+        changes_within = int(
+            np.sum(masked[1:] & masked[:-1] & (s.x[1:] != s.x[:-1]))
+        )
+        assert 1 <= runs + changes_within <= n_bursts
+        # Unmasked steps are untouched.
+        assert np.array_equal(s.x[~masked], base.x[~masked])
+
+    def test_invalid_burst_parameters_raise(self):
+        base = drift_stream("Slope", segments=2, seed=0)
+        with pytest.raises(ValueError, match="kind"):
+            inject_bursts(base, "flood")
+        with pytest.raises(ValueError, match="rate"):
+            inject_bursts(base, "dropout", rate=0.0)
+        with pytest.raises(ValueError, match="length_range"):
+            inject_bursts(base, "dropout", length_range=(0, 4))
+
+    def test_labels_and_changepoints_survive_injection(self):
+        base = drift_stream("Slope", segments=3, seed=4)
+        s = inject_bursts(base, "dropout", rate=0.1, seed=4)
+        assert np.array_equal(s.labels, base.labels)
+        assert s.changepoints == base.changepoints

@@ -36,6 +36,28 @@ class TestParser:
         assert args.cache_dir == "sweep_cache"
         assert not args.no_cache and not args.no_telemetry
 
+    def test_stream_eval_defaults(self):
+        args = build_parser().parse_args(["stream-eval"])
+        assert args.dataset == "Slope"
+        assert args.scenarios == ["drift", "dropout"]
+        assert args.chunk_size == 16
+        assert not args.no_telemetry
+
+    def test_stream_eval_flags(self):
+        args = build_parser().parse_args(
+            [
+                "stream-eval", "--scenarios", "stuck", "long-horizon",
+                "--chunk-size", "1", "--output", "s.json", "--no-telemetry",
+            ]
+        )
+        assert args.scenarios == ["stuck", "long-horizon"]
+        assert args.chunk_size == 1
+        assert args.output == "s.json" and args.no_telemetry
+
+    def test_stream_eval_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream-eval", "--scenarios", "nope"])
+
     def test_sweep_flags(self):
         args = build_parser().parse_args(
             [

@@ -51,7 +51,15 @@ from ..autograd.precision import (
 from ..circuits.crossbar import THETA_MAX, THETA_MIN
 from ..circuits.filters import filter_stages
 
-__all__ = ["ForwardPlan", "PlanLayer", "PlanInputError", "compile_plan"]
+__all__ = [
+    "ForwardPlan",
+    "PlanLayer",
+    "PlanInputError",
+    "compile_plan",
+    "row_affine",
+    "row_ptanh",
+    "row_stage",
+]
 
 
 class PlanInputError(ValueError):
@@ -84,6 +92,73 @@ class _Arena:
             buf = build()
             self._buffers[key] = buf
         return buf
+
+
+# -- row-stable step kernels -------------------------------------------------
+#
+# The streaming engines (single-stream ``StreamingSession`` and the
+# batched ``MultiStreamSession`` fleet) advance one time step for a
+# ``(rows, features)`` matrix of concurrent streams.  Their contract is
+# that every row's result is **bit-equal regardless of how many rows
+# share the matrix** — a stream stepped alone and the same stream
+# stepped inside a 32-row fleet must produce identical bits.  BLAS
+# cannot promise that: GEMM kernels are selected by matrix shape, so
+# ``(A @ B)[i]`` differs from ``A[i:i+1] @ B`` in the last ulp for most
+# shapes (measured: float64 OpenBLAS diverges already at ``k=3, n=8``).
+# These kernels therefore stick to per-element-deterministic primitives:
+# elementwise ufuncs (whose results are independent of array shape) and
+# ``np.einsum`` with its default non-BLAS sum-of-products loop, which
+# accumulates the contracted axis in fixed index order per output
+# element — measured row-stable across shapes for float64 and float32.
+# Both streaming engines call exactly these functions, so their
+# bit-equality is structural, not coincidental.
+
+
+def row_stage(a: np.ndarray, b: np.ndarray, h: np.ndarray, v: np.ndarray,
+              out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """One RC-stage step ``out = a·v + b·h`` for ``(rows, n)`` state.
+
+    Identical per-element op order as the live scan kernel's
+    ``v_k = a ⊙ v_{k-1} + b ⊙ x_k``; ``out``/``tmp`` are caller scratch
+    of shape ``(rows, n)``.  ``out`` may alias ``v`` (the update is
+    purely elementwise) but must not alias ``tmp`` or ``h``.
+    """
+    np.multiply(a, v, out=out)
+    np.multiply(b, h, out=tmp)
+    out += tmp
+    return out
+
+
+def row_affine(h: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+               out: np.ndarray) -> np.ndarray:
+    """Row-count-invariant affine map ``out = h @ weights.T + bias``.
+
+    ``h`` is ``(rows, in)``, ``weights`` the plan's C-contiguous
+    ``(out, in)`` matrix, ``out`` caller scratch ``(rows, out)``.  The
+    contraction runs through ``np.einsum``'s C sum-of-products loop
+    (never BLAS), which reduces the ``in`` axis in fixed index order
+    per output element — so row ``i`` of the result carries the same
+    bits no matter how many rows are computed together (unlike a GEMM,
+    where kernel selection depends on the row count).
+    """
+    np.einsum("ri,oi->ro", h, weights, out=out)
+    out += bias
+    return out
+
+
+def row_ptanh(mm: np.ndarray, eta, out: np.ndarray) -> np.ndarray:
+    """Elementwise printed-tanh ``η₁ + η₂·tanh((mm − η₃)·η₄)`` on rows.
+
+    Same per-element op sequence as the live activation (ufuncs only),
+    writing into caller scratch ``out`` (may alias ``mm``).
+    """
+    e1, e2, e3, e4 = eta
+    np.subtract(mm, e3, out=out)
+    out *= e4
+    np.tanh(out, out=out)
+    out *= e2
+    out += e1
+    return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,6 +263,55 @@ class ForwardPlan:
         if not np.isfinite(arr).all():
             raise PlanInputError("batch contains non-finite values (NaN/Inf)")
         return arr
+
+    # -- streaming-state arenas -----------------------------------------
+
+    def stream_state(self, rows: int) -> "List[List[np.ndarray]]":
+        """Zeroed filter state for ``rows`` concurrent streams.
+
+        One ``(rows, in_features)`` matrix per RC stage per layer — the
+        discharged-capacitor initial condition.  ``rows=1`` is a single
+        :class:`~repro.core.StreamingSession`; a
+        :class:`~repro.core.MultiStreamSession` allocates its whole
+        fleet here so that every stream is one row of a shared matrix.
+        """
+        if rows < 1:
+            raise ValueError("stream_state needs rows >= 1")
+        return [
+            [
+                np.zeros((rows, layer.in_features), dtype=self.dtype)
+                for _ in layer.stages
+            ]
+            for layer in self.layers
+        ]
+
+    def stream_scratch(self, rows: int) -> "Dict[str, list]":
+        """Preallocated per-step scratch for ``rows``-stream stepping.
+
+        Keys: ``stage`` / ``stage_tmp`` — per layer ``(rows,
+        in_features)`` buffers for :func:`row_stage`; ``affine`` — per
+        layer ``(rows, out_features)`` buffers for :func:`row_affine` /
+        :func:`row_ptanh`.  Allocated once per engine, reused every
+        step, never shared between engines (plans themselves stay
+        stateless for streaming).
+        """
+        if rows < 1:
+            raise ValueError("stream_scratch needs rows >= 1")
+        dtype = self.dtype
+        return {
+            "stage": [
+                np.empty((rows, layer.in_features), dtype=dtype)
+                for layer in self.layers
+            ],
+            "stage_tmp": [
+                np.empty((rows, layer.in_features), dtype=dtype)
+                for layer in self.layers
+            ],
+            "affine": [
+                np.empty((rows, layer.out_features), dtype=dtype)
+                for layer in self.layers
+            ],
+        }
 
     # -- execution ------------------------------------------------------
 

@@ -46,6 +46,7 @@ from .scanbench import (
 from .search import ArchitectureResult, architecture_space, search_architecture
 from .tapebench import format_tape_benchmark, run_tape_benchmark
 from .streaming import (
+    MultiStreamSession,
     StreamingClassifier,
     StreamingEvalResult,
     StreamingSession,
@@ -94,6 +95,7 @@ __all__ = [
     "ArchitectureResult",
     "architecture_space",
     "search_architecture",
+    "MultiStreamSession",
     "StreamingClassifier",
     "StreamingSession",
     "StreamingEvalResult",

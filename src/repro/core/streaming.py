@@ -4,11 +4,22 @@ A deployed printed circuit never sees a batched sequence: the sensor
 voltage arrives one sample per Δt and the filter capacitors carry the
 state.  This module mirrors that operating mode in software:
 
-* :class:`StreamingSession` — the streaming engine.  It executes a
+* :class:`StreamingSession` — the single-stream engine.  It executes a
   frozen :class:`~repro.compile.ForwardPlan` (compiled on the fly from
   a live model if needed) one time step at a time, carrying every RC
   stage's ``v_{k-1}`` across :meth:`~StreamingSession.process` calls,
   so an unbounded stream can be consumed in arbitrary chunk sizes.
+  :meth:`~StreamingSession.state_dict` / ``save_state`` /
+  ``load_state`` snapshot the carried state to an npz for bit-equal
+  resume after a restart.
+* :class:`MultiStreamSession` — the batched fleet engine.  The filter
+  state of up to ``capacity`` concurrent streams lives as one
+  ``(streams, features)`` matrix per RC stage, and one call advances
+  every active stream per layer per step.  Streams join/leave/reset
+  mid-flight against a row free-list; ragged chunk lengths are padded
+  and masked.  Each row is **bit-equal** to a lone
+  :class:`StreamingSession` fed the same chunks, whatever the
+  interleaving (see the contract below).
 * :class:`StreamingClassifier` — the sample-by-sample façade kept from
   the original demo (``push``/``run``/``decision_latency``), now a thin
   wrapper over a :class:`StreamingSession` so it shares the *single*
@@ -21,23 +32,26 @@ state.  This module mirrors that operating mode in software:
   accuracy-around-changepoint curves (rendered by the ``## Streaming``
   report section and the ``python -m repro stream-eval`` CLI).
 
-Split-invariance contract
--------------------------
+Split- and fleet-invariance contract
+------------------------------------
 For **any** partition of a stream into chunks — including single-sample
 chunks and one giant chunk — the concatenated per-step logits are
-**bit-equal** to processing the whole stream in one call.  This holds
-by construction: every arithmetic operation the session performs has a
-*fixed per-step shape* regardless of how the stream was chunked.  The
-RC recurrence is element-wise (trivially chunk-invariant), and the
-crossbar GEMM always runs as ``(1, in) @ (in, out)`` — one time step at
-a time.  A whole-chunk GEMM would *not* be invariant: BLAS selects
-different kernels (hence different accumulation orders) for different
-row counts, so ``X[lo:hi] @ W`` differs from ``(X @ W)[lo:hi]`` in the
-last ulp.  For the same reason the session agrees with the batched
-``model(x)`` / ``plan.forward(x)`` logits to floating-point
-accumulation tolerance (≤1e-12 in float64, exercised by test) rather
-than bitwise; the stateful recurrence trajectory itself *is* bitwise
-identical (see ``tests/core/test_split_invariance.py``).
+**bit-equal** to processing the whole stream in one call; and a stream
+stepped inside a :class:`MultiStreamSession` fleet is bit-equal to the
+same stream stepped alone, whatever the other rows are doing.  Both
+hold by construction: every step runs through the shared row-stable
+kernels (:func:`~repro.compile.plan.row_stage`,
+:func:`~repro.compile.plan.row_affine`,
+:func:`~repro.compile.plan.row_ptanh`), whose per-row results are
+independent of how many rows share the matrix — elementwise ufuncs and
+``einsum``'s fixed-order sum-of-products loop, never a BLAS GEMM
+(whose kernel choice, hence accumulation order, depends on the row
+count).  The session agrees with the batched ``model(x)`` /
+``plan.forward(x)`` logits to floating-point accumulation tolerance
+(≤1e-12 in float64, exercised by test) rather than bitwise; the
+stateful recurrence trajectory itself *is* bitwise reproducible (see
+``tests/core/test_split_invariance.py`` and
+``tests/core/test_multistream.py``).
 
 The model's variation sampler is bypassed: streaming executes the
 nominal (ideal) instance frozen into the plan, i.e. one fabricated
@@ -47,8 +61,9 @@ circuit at its design point.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -56,11 +71,26 @@ from ..telemetry import emit as telemetry_emit
 from .models import PrintedTemporalClassifier
 
 __all__ = [
+    "MultiStreamSession",
     "StreamingClassifier",
     "StreamingSession",
     "StreamingEvalResult",
     "evaluate_streaming",
 ]
+
+
+def _resolve_plan(source, precision: Optional[str], owner: str):
+    """Accept a ForwardPlan or a live model; compile the latter."""
+    from ..compile import ForwardPlan, compile_plan
+
+    if isinstance(source, ForwardPlan):
+        return source
+    if isinstance(source, PrintedTemporalClassifier):
+        return compile_plan(source, precision=precision)
+    raise TypeError(
+        f"{owner} expects a ForwardPlan or a "
+        f"PrintedTemporalClassifier, got {type(source).__name__}"
+    )
 
 
 class StreamingSession:
@@ -86,19 +116,13 @@ class StreamingSession:
     >>> prediction = session.predict()
     """
 
-    def __init__(self, source, precision: Optional[str] = None) -> None:
-        from ..compile import ForwardPlan, compile_plan
+    #: npz snapshot format tag (bumped on layout changes).
+    STATE_FORMAT = "repro-streaming-state-v1"
 
-        if isinstance(source, ForwardPlan):
-            self.plan = source
-        elif isinstance(source, PrintedTemporalClassifier):
-            self.plan = compile_plan(source, precision=precision)
-        else:
-            raise TypeError(
-                f"StreamingSession expects a ForwardPlan or a "
-                f"PrintedTemporalClassifier, got {type(source).__name__}"
-            )
+    def __init__(self, source, precision: Optional[str] = None) -> None:
+        self.plan = _resolve_plan(source, precision, "StreamingSession")
         self._state: List[List[np.ndarray]] = []
+        self._scratch = self.plan.stream_scratch(1)
         self._steps = 0
         self._last_logits: Optional[np.ndarray] = None
         self.reset()
@@ -117,13 +141,94 @@ class StreamingSession:
 
     def reset(self) -> None:
         """Discharge all filter state (power-cycle the circuit)."""
-        dtype = self.plan.dtype
-        self._state = [
-            [np.zeros(layer.in_features, dtype=dtype) for _ in layer.stages]
-            for layer in self.plan.layers
-        ]
+        self._state = self.plan.stream_state(1)
         self._steps = 0
         self._last_logits = None
+
+    # -- snapshot / restore ---------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Everything needed to resume this stream bit-exactly.
+
+        A flat ``{key: ndarray}`` mapping (npz-compatible): the format
+        tag, the plan identity (``model_class`` + ``dtype``, checked on
+        load), ``steps_seen``, every RC stage's carried ``v`` row as
+        ``state_<layer>_<stage>``, and ``last_logits`` when a step has
+        been taken.  All arrays are copies — mutating the snapshot does
+        not touch the live session.
+        """
+        d: Dict[str, np.ndarray] = {
+            "format": np.array(self.STATE_FORMAT),
+            "model_class": np.array(self.plan.model_class),
+            "dtype": np.array(np.dtype(self.plan.dtype).name),
+            "steps_seen": np.array(self._steps, dtype=np.int64),
+        }
+        for li, stages in enumerate(self._state):
+            for si, v in enumerate(stages):
+                d[f"state_{li}_{si}"] = v.copy()
+        if self._last_logits is not None:
+            d["last_logits"] = self._last_logits.copy()
+        return d
+
+    def save_state(self, path) -> None:
+        """Snapshot to an ``.npz`` file (see :meth:`state_dict`)."""
+        np.savez(path, **self.state_dict())
+
+    def load_state(self, source) -> None:
+        """Restore from a :meth:`state_dict` mapping or an npz path.
+
+        Validates the format tag, the plan identity and every state
+        shape before touching the session, so a failed load leaves the
+        current state intact.  After a successful load, processing the
+        remainder of a stream is bit-equal to never having snapshotted.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            with np.load(source) as npz:
+                data = {k: npz[k] for k in npz.files}
+        elif isinstance(source, Mapping):
+            data = dict(source)
+        else:
+            raise TypeError(
+                "load_state expects a state_dict mapping or an npz path, "
+                f"got {type(source).__name__}"
+            )
+
+        def scalar(key):
+            value = data.get(key)
+            return value.item() if isinstance(value, np.ndarray) else value
+
+        fmt = scalar("format")
+        if fmt != self.STATE_FORMAT:
+            raise ValueError(f"unsupported streaming snapshot format: {fmt!r}")
+        if scalar("model_class") != self.plan.model_class:
+            raise ValueError(
+                f"snapshot is for model {scalar('model_class')!r}, "
+                f"session plan is {self.plan.model_class!r}"
+            )
+        if scalar("dtype") != np.dtype(self.plan.dtype).name:
+            raise ValueError(
+                f"snapshot dtype {scalar('dtype')!r} does not match plan "
+                f"dtype {np.dtype(self.plan.dtype).name!r}"
+            )
+        fresh = self.plan.stream_state(1)
+        for li, stages in enumerate(fresh):
+            for si, v in enumerate(stages):
+                key = f"state_{li}_{si}"
+                if key not in data:
+                    raise ValueError(f"snapshot is missing {key!r}")
+                arr = np.asarray(data[key])
+                if arr.shape != v.shape:
+                    raise ValueError(
+                        f"snapshot {key} has shape {arr.shape}, "
+                        f"plan expects {v.shape}"
+                    )
+                v[...] = arr
+        last = data.get("last_logits")
+        self._state = fresh
+        self._steps = int(scalar("steps_seen"))
+        self._last_logits = (
+            None if last is None else np.array(last, dtype=self.plan.dtype)
+        )
 
     # -- execution ------------------------------------------------------
 
@@ -134,29 +239,28 @@ class StreamingSession:
         the filter state forward, so consecutive calls are bit-equal to
         one call over the concatenated chunk (see module docstring).
         """
+        from ..compile.plan import row_affine, row_ptanh, row_stage
+
         plan = self.plan
         x = plan.coerce_series(chunk)
         steps = x.shape[0]
         out = np.empty((steps, plan.n_classes), dtype=plan.dtype)
         layers = plan.layers
         state = self._state
+        stage_tmp = self._scratch["stage_tmp"]
+        affine = self._scratch["affine"]
         for k in range(steps):
-            h = x[k]
+            h = x[k : k + 1]
             for li, layer in enumerate(layers):
+                tmp = stage_tmp[li]
                 for si, (a, b) in enumerate(layer.stages):
-                    v = state[li][si]
                     # Same per-element arithmetic as the batched scan
-                    # kernel (FilterScan / ForwardPlan._scan).
-                    v = a * v + b * h
-                    state[li][si] = v
-                    h = v
-                # Fixed (1, in) @ (in, out) GEMM on the plan's collapsed
-                # weights — shape-independent of the chunking.
-                mm = h.reshape(1, -1) @ layer.weights.swapaxes(-1, -2)
-                mm += layer.bias
-                e1, e2, e3, e4 = layer.eta
-                h = (e1 + e2 * np.tanh((mm - e3) * e4))[0]
-            out[k] = h
+                    # kernel (FilterScan / ForwardPlan._scan), in place
+                    # on the carried (1, in) state row.
+                    h = row_stage(a, b, h, state[li][si], out=state[li][si], tmp=tmp)
+                mm = row_affine(h, layer.weights, layer.bias, out=affine[li])
+                h = row_ptanh(mm, layer.eta, out=mm)
+            out[k] = h[0]
         out *= plan.logit_scale
         self._steps += steps
         self._last_logits = out[-1].copy()
@@ -172,6 +276,192 @@ class StreamingSession:
         return (
             f"StreamingSession({self.plan.model_class}, "
             f"steps_seen={self._steps}, dtype={self.plan.dtype})"
+        )
+
+
+class MultiStreamSession:
+    """A fleet of concurrent streams stepped as one state matrix.
+
+    Where :class:`StreamingSession` pays one Python-level step loop per
+    stream, this engine holds the RC filter state of up to ``capacity``
+    streams as a single ``(capacity, features)`` matrix per stage and
+    advances **all active streams with one kernel call per layer per
+    step** — the per-step interpreter overhead amortises over the whole
+    fleet, which is where the serving-scale throughput comes from.
+
+    Rows are allocated from a free-list: :meth:`open` claims a row,
+    :meth:`close` discharges and releases it, :meth:`reset`
+    power-cycles it in place — streams join and leave mid-flight
+    without disturbing their neighbours.  :meth:`process_many` takes a
+    ``{row: chunk}`` mapping of *ragged* chunks (any lengths, any
+    subset of open rows): shorter chunks are zero-padded to the longest
+    and a per-step mask freezes each row's state the moment its chunk
+    ends, so per-stream chunk boundaries never synchronise.
+
+    **Fleet-invariance.**  Every row's logits are bit-equal to a lone
+    :class:`StreamingSession` over the same plan fed the same chunks
+    in the same order, for arbitrary interleavings of
+    ``process``/``reset``/``open``/``close`` across rows.  Structural
+    guarantee: both engines call exactly the row-stable kernels in
+    ``repro.compile.plan`` (elementwise ufuncs + fixed-order
+    ``einsum``), whose per-row bits do not depend on the row count.
+    Free and masked rows are carried untouched (masked write-back), so
+    a padded step cannot perturb anyone's state.
+
+    Not thread-safe: the serving tier serialises access through its
+    fleet scheduler.
+    """
+
+    def __init__(self, source, capacity: int = 32,
+                 precision: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.plan = _resolve_plan(source, precision, "MultiStreamSession")
+        self.capacity = int(capacity)
+        self._state = self.plan.stream_state(self.capacity)
+        self._scratch = self.plan.stream_scratch(self.capacity)
+        self._occupied = np.zeros(self.capacity, dtype=bool)
+        # pop() hands out the lowest free row first.
+        self._free: List[int] = list(range(self.capacity - 1, -1, -1))
+        self._steps = np.zeros(self.capacity, dtype=np.int64)
+        self._last: List[Optional[np.ndarray]] = [None] * self.capacity
+        self._lens = np.zeros(self.capacity, dtype=np.int64)
+
+    # -- row lifecycle --------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Open rows."""
+        return self.capacity - len(self._free)
+
+    @property
+    def free_rows(self) -> int:
+        """Rows available to :meth:`open`."""
+        return len(self._free)
+
+    def open(self) -> int:
+        """Claim a discharged row for a new stream; returns its index."""
+        if not self._free:
+            raise RuntimeError(f"fleet is full ({self.capacity} rows)")
+        row = self._free.pop()
+        self._occupied[row] = True
+        self._discharge(row)
+        return row
+
+    def close(self, row: int) -> None:
+        """Release a row back to the free-list (state discharged)."""
+        self._check_row(row)
+        self._discharge(row)
+        self._occupied[row] = False
+        self._free.append(int(row))
+
+    def reset(self, row: int) -> None:
+        """Power-cycle one stream in place; its row stays claimed."""
+        self._check_row(row)
+        self._discharge(row)
+
+    def _discharge(self, row: int) -> None:
+        for stages in self._state:
+            for v in stages:
+                v[row] = 0.0
+        self._steps[row] = 0
+        self._last[row] = None
+
+    def _check_row(self, row) -> None:
+        if not (0 <= int(row) < self.capacity and self._occupied[int(row)]):
+            raise KeyError(f"row {row} is not an open stream")
+
+    # -- per-row views --------------------------------------------------
+
+    def steps_seen(self, row: int) -> int:
+        """Samples consumed by one stream since its last reset."""
+        self._check_row(row)
+        return int(self._steps[row])
+
+    def last_logits(self, row: int) -> Optional[np.ndarray]:
+        """One stream's logits after its most recent step."""
+        self._check_row(row)
+        return self._last[row]
+
+    def predict(self, row: int) -> int:
+        """One stream's predicted class so far."""
+        self._check_row(row)
+        if self._last[row] is None:
+            raise ValueError("no samples processed yet")
+        return int(np.argmax(self._last[row]))
+
+    # -- execution ------------------------------------------------------
+
+    def process(self, row: int, chunk) -> np.ndarray:
+        """Advance a single stream (convenience over :meth:`process_many`)."""
+        return self.process_many({row: chunk})[int(row)]
+
+    def process_many(self, chunks: Mapping[int, "np.ndarray"]) -> Dict[int, np.ndarray]:
+        """Advance several streams together through one batched step loop.
+
+        ``chunks`` maps open row indices to series chunks of *any*
+        (per-row independent) lengths.  Returns ``{row: (len, n_classes)
+        logits}``; each row's state, ``steps_seen`` and ``last_logits``
+        advance exactly as if it were processed alone.
+        """
+        from ..compile.plan import row_affine, row_ptanh, row_stage
+
+        plan = self.plan
+        coerced: Dict[int, np.ndarray] = {}
+        for row, chunk in chunks.items():
+            self._check_row(row)
+            coerced[int(row)] = plan.coerce_series(chunk)
+        if not coerced:
+            return {}
+        lens = self._lens
+        lens[:] = 0
+        for row, x in coerced.items():
+            lens[row] = x.shape[0]
+        max_len = int(lens.max())
+        # Padded fleet input and per-step output trajectory.  Zero
+        # padding is inert for free rows (a·0 + b·0 = 0); occupied rows
+        # past their chunk end are frozen by the write-back mask below.
+        X = np.zeros((max_len, self.capacity, plan.in_channels), dtype=plan.dtype)
+        for row, x in coerced.items():
+            X[: x.shape[0], row, :] = x
+        Y = np.empty((max_len, self.capacity, plan.n_classes), dtype=plan.dtype)
+        layers = plan.layers
+        state = self._state
+        stage_scr = self._scratch["stage"]
+        stage_tmp = self._scratch["stage_tmp"]
+        affine = self._scratch["affine"]
+        active = np.empty((self.capacity, 1), dtype=bool)
+        for k in range(max_len):
+            np.greater(lens, k, out=active[:, 0])
+            h = X[k]
+            for li, layer in enumerate(layers):
+                scr = stage_scr[li]
+                tmp = stage_tmp[li]
+                for si, (a, b) in enumerate(layer.stages):
+                    v = state[li][si]
+                    new = row_stage(a, b, h, v, out=scr, tmp=tmp)
+                    # Only rows still inside their chunk advance; the
+                    # rest keep their carried state bit-for-bit.
+                    np.copyto(v, new, where=active)
+                    h = v
+                mm = row_affine(h, layer.weights, layer.bias, out=affine[li])
+                h = row_ptanh(mm, layer.eta, out=mm)
+            Y[k] = h
+        out: Dict[int, np.ndarray] = {}
+        for row, x in coerced.items():
+            n = x.shape[0]
+            logits = Y[:n, row].copy()
+            logits *= plan.logit_scale
+            out[row] = logits
+            self._steps[row] += n
+            self._last[row] = logits[-1].copy()
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiStreamSession({self.plan.model_class}, "
+            f"occupancy={self.occupancy}/{self.capacity}, "
+            f"dtype={self.plan.dtype})"
         )
 
 

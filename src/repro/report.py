@@ -637,32 +637,71 @@ def _serve_section(events: List[Dict]) -> List[str]:
 
 
 def _stream_run_section(events: List[Dict]) -> List[str]:
-    """Streaming-evaluation summary from ``stream.*`` events, if any.
+    """Streaming summary from ``stream.*`` events, if any.
 
     One line per completed scenario (``stream.end``) plus the per-chunk
-    accuracy trajectory reconstructed from the ``stream.chunk`` events.
+    accuracy trajectory reconstructed from the ``stream.chunk`` events,
+    and — when the run hosted a serving fleet — the batched
+    fleet-stepping summary from the ``stream.batch.*`` events (rows
+    coalesced per step, fleet occupancy, evictions).
     """
     ends = [e for e in events if e["kind"] == "stream.end"]
-    if not ends:
+    steps = [e for e in events if e["kind"] == "stream.batch.step"]
+    opens = [e for e in events if e["kind"] == "stream.batch.open"]
+    evicts = [e for e in events if e["kind"] == "stream.batch.evict"]
+    if not ends and not (steps or opens):
         return []
-    lines = [
-        "## Streaming",
-        "",
-        "| Scenario | Dataset | Steps | Accuracy | Chunk accuracy |",
-        "|---|---|---|---|---|",
-    ]
-    for end in ends:
-        chunk_accs = [
-            c.get("accuracy", 0.0)
-            for c in events
-            if c["kind"] == "stream.chunk" and c.get("scenario") == end.get("scenario")
+    lines = ["## Streaming", ""]
+    if ends:
+        lines += [
+            "| Scenario | Dataset | Steps | Accuracy | Chunk accuracy |",
+            "|---|---|---|---|---|",
         ]
-        lines.append(
-            f"| {end.get('scenario', '?')} | {end.get('dataset', '?')} | "
-            f"{end.get('steps', '?')} | {end.get('accuracy', float('nan')):.3f} | "
-            f"`{sparkline(chunk_accs)}` |"
+        for end in ends:
+            chunk_accs = [
+                c.get("accuracy", 0.0)
+                for c in events
+                if c["kind"] == "stream.chunk"
+                and c.get("scenario") == end.get("scenario")
+            ]
+            lines.append(
+                f"| {end.get('scenario', '?')} | {end.get('dataset', '?')} | "
+                f"{end.get('steps', '?')} | {end.get('accuracy', float('nan')):.3f} | "
+                f"`{sparkline(chunk_accs)}` |"
+            )
+        lines.append("")
+    if steps or opens:
+        ok_steps = [e for e in steps if e.get("status") != "error"]
+        rows = [int(e.get("rows", 0)) for e in ok_steps]
+        total_rows = sum(rows)
+        occupancies = [int(e.get("occupancy", 0)) for e in ok_steps + opens]
+        capacity = next(
+            (int(e["capacity"]) for e in ok_steps + opens if "capacity" in e), 0
         )
-    lines.append("")
+        lines.append("**Fleet stepping** (batched `/predict_stream`):")
+        lines.append("")
+        lines.append(
+            f"* {len(ok_steps)} fleet steps advanced {total_rows} stream-chunks"
+            + (
+                f" ({total_rows / len(ok_steps):.2f} rows/step, "
+                f"max {max(rows)})"
+                if ok_steps
+                else ""
+            )
+        )
+        lines.append(
+            f"* {len(opens)} sessions opened; peak occupancy "
+            f"{max(occupancies) if occupancies else 0}"
+            + (f"/{capacity}" if capacity else "")
+            + f"; {len(evicts)} LRU evictions"
+        )
+        if ok_steps:
+            lines.append(
+                "* rows per step: `"
+                + sparkline([float(r) for r in rows])
+                + "`"
+            )
+        lines.append("")
     return lines
 
 

@@ -18,7 +18,20 @@ HTTP layer:
 * optionally a :class:`~repro.serve.workers.PlanWorkerPool` executing
   batches in crash-isolated worker processes (``workers=0`` executes
   in-process — the bit-stable oracle configuration the fault tests
-  compare against).
+  compare against);
+* a **fleet scheduler** for ``/predict_stream``: every hosted
+  streaming session is one row of a per-model
+  :class:`~repro.core.MultiStreamSession`, and a dedicated stream
+  dispatcher coalesces concurrent chunks for the same model (one per
+  session, any lengths) into a single batched fleet step — the
+  per-step Python overhead amortises across every active stream
+  instead of being paid per session.  Row bit-equality to a lone
+  :class:`~repro.core.StreamingSession` is the engine's contract, so
+  coalescing never changes anyone's logits.  The stream queue is
+  bounded like the request queue (full → :class:`QueueFullError` →
+  HTTP 503 + ``Retry-After``), and LRU eviction under
+  ``max_sessions`` pressure detaches the session's fleet row
+  (``stream.batch.evict``; the next chunk 404s).
 
 Determinism contract: a request's **prediction** is independent of the
 batch companions it happens to be coalesced with; logits agree to
@@ -37,10 +50,10 @@ import queue
 import threading
 import time
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +92,13 @@ class ServeOptions:
     worker_restart_limit: int = 8
     plan_capacity: int = 4
     max_sessions: int = 64
+    #: Bounded queue of pending stream chunks (full → 503, like
+    #: ``queue_size`` for ``/predict``).
+    stream_queue_size: int = 128
+    #: Coalesce window of the fleet scheduler; ``None`` inherits
+    #: ``window_s``.  ``0`` steps every chunk alone (the unbatched
+    #: baseline ``bench_streaming.py --multi`` measures against).
+    stream_window_s: Optional[float] = None
     precision: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -88,10 +108,19 @@ class ServeOptions:
             raise ValueError("max_batch, queue_size and plan_capacity must be >= 1")
         if self.max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if self.stream_queue_size < 1:
+            raise ValueError("stream_queue_size must be >= 1")
+        if self.stream_window_s is not None and self.stream_window_s < 0:
+            raise ValueError("stream_window_s must be >= 0 (or None)")
         if self.request_timeout_s <= 0 or self.batch_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+
+    @property
+    def effective_stream_window_s(self) -> float:
+        """The fleet scheduler's coalesce window."""
+        return self.window_s if self.stream_window_s is None else self.stream_window_s
 
 
 class _Request:
@@ -105,16 +134,58 @@ class _Request:
 
 
 class _StreamEntry:
-    """One hosted streaming session: the stateful engine plus its own
-    lock (chunks of the same session must serialise; different sessions
-    run concurrently)."""
+    """One hosted streaming session: a claimed row of its model's
+    fleet.  ``evicted`` flips (under the service's session lock) when
+    the row is detached — by an explicit close or by LRU pressure — so
+    an in-flight chunk that raced the detach fails cleanly with
+    :class:`UnknownSessionError` instead of stepping a row that may
+    have been re-assigned."""
 
-    __slots__ = ("name", "session", "lock")
+    __slots__ = ("name", "row", "evicted")
 
-    def __init__(self, name: str, session) -> None:
+    def __init__(self, name: str, row: int = -1) -> None:
         self.name = name
-        self.session = session
+        self.row = row
+        self.evicted = False
+
+
+class _StreamRequest:
+    """One pending ``/predict_stream`` chunk awaiting a fleet step."""
+
+    __slots__ = (
+        "name", "session_id", "entry", "chunk", "reset", "future", "submitted",
+    )
+
+    def __init__(self, name: str, session_id: str, entry: _StreamEntry,
+                 chunk: np.ndarray, reset: bool) -> None:
+        self.name = name
+        self.session_id = session_id
+        self.entry = entry
+        self.chunk = chunk
+        self.reset = reset
+        self.future: Future = Future()
+        self.submitted = time.perf_counter()
+
+
+class _Fleet:
+    """One model's batched stream engine plus its scheduler state.
+
+    ``lock`` serialises every engine mutation (steps, row open/close).
+    ``dead`` collects rows of LRU-evicted sessions; eviction happens
+    under the *session* lock and must never wait on a fleet mid-step,
+    so it only marks the entry and parks the row here — the next
+    holder of ``lock`` reclaims them via ``MicroBatchService.
+    _drain_dead_rows`` (its own tiny ``dead_lock`` keeps the handoff
+    race-free without ordering against any other lock)."""
+
+    __slots__ = ("name", "engine", "lock", "dead", "dead_lock")
+
+    def __init__(self, name: str, engine) -> None:
+        self.name = name
+        self.engine = engine
         self.lock = threading.Lock()
+        self.dead: List[int] = []
+        self.dead_lock = threading.Lock()
 
 
 class MicroBatchService:
@@ -127,6 +198,8 @@ class MicroBatchService:
         self._mc_lock = threading.Lock()
         self._sessions: "OrderedDict[str, _StreamEntry]" = OrderedDict()
         self._sessions_lock = threading.Lock()
+        self._fleets: Dict[str, _Fleet] = {}
+        self._fleets_lock = threading.Lock()
         self._closed = False
 
         self._pool: Optional[PlanWorkerPool] = (
@@ -156,6 +229,21 @@ class MicroBatchService:
             target=self._dispatch_loop, name="serve-dispatch", daemon=True
         )
         self._dispatcher.start()
+        # Stream chunks coalesce through their own bounded queue and
+        # dispatcher: a stateful chunk can never join a /predict batch,
+        # but chunks of *different* sessions of the same model step
+        # together as one fleet advance.
+        self._stream_queue: "queue.Queue" = queue.Queue(
+            maxsize=self.options.stream_queue_size
+        )
+        self._stream_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-fleet"
+        )
+        self._stream_dispatcher = threading.Thread(
+            target=self._stream_dispatch_loop, name="serve-stream-dispatch",
+            daemon=True,
+        )
+        self._stream_dispatcher.start()
         self._emit(
             "serve.start",
             window_s=self.options.window_s,
@@ -319,6 +407,84 @@ class MicroBatchService:
             "latency_ms": latency * 1e3,
         }
 
+    # -- streaming fleet --------------------------------------------------
+
+    def _get_fleet(self, name: str, plan) -> _Fleet:
+        """The per-model fleet, created on first stream open."""
+        from ..core.streaming import MultiStreamSession
+
+        with self._fleets_lock:
+            fleet = self._fleets.get(name)
+            if fleet is None:
+                fleet = _Fleet(
+                    name,
+                    MultiStreamSession(plan, capacity=self.options.max_sessions),
+                )
+                self._fleets[name] = fleet
+            return fleet
+
+    def _drain_dead_rows(self, fleet: _Fleet) -> None:
+        """Reclaim LRU-detached rows.  Caller holds ``fleet.lock``."""
+        with fleet.dead_lock:
+            dead, fleet.dead = fleet.dead, []
+        for row in dead:
+            fleet.engine.close(row)
+
+    def _park_dead_row(self, session_id: str, entry: _StreamEntry) -> None:
+        """Hand an evicted session's row to its fleet for reclamation."""
+        if entry.row < 0:
+            return  # still opening; its opener sees ``evicted`` and rolls back
+        with self._fleets_lock:
+            fleet = self._fleets.get(entry.name)
+        if fleet is None:  # pragma: no cover — fleet outlives its sessions
+            return
+        with fleet.dead_lock:
+            fleet.dead.append(entry.row)
+        self.stats.record_stream_eviction()
+        self._emit(
+            "stream.batch.evict",
+            model=entry.name,
+            session=session_id,
+            row=entry.row,
+            reason="lru",
+        )
+
+    def _open_stream(self, name: str, plan) -> Tuple[str, _StreamEntry]:
+        """Claim a fleet row for a new session; LRU-evict on pressure."""
+        fleet = self._get_fleet(name, plan)
+        session_id = uuid.uuid4().hex
+        entry = _StreamEntry(name)
+        evicted: List[Tuple[str, _StreamEntry]] = []
+        with self._sessions_lock:
+            self._sessions[session_id] = entry
+            while len(self._sessions) > self.options.max_sessions:
+                old_id, old = self._sessions.popitem(last=False)
+                old.evicted = True
+                evicted.append((old_id, old))
+        for old_id, old in evicted:
+            self._park_dead_row(old_id, old)
+        with fleet.lock:
+            self._drain_dead_rows(fleet)
+            row = fleet.engine.open()
+            entry.row = row
+            if entry.evicted:
+                # Evicted between map insert and row claim (pathological
+                # churn): roll the row back and report like any eviction.
+                fleet.engine.close(row)
+                raise UnknownSessionError(
+                    f"session {session_id} was evicted before its first chunk"
+                )
+            occupancy = fleet.engine.occupancy
+        self._emit(
+            "stream.batch.open",
+            model=name,
+            session=session_id,
+            row=row,
+            occupancy=occupancy,
+            capacity=fleet.engine.capacity,
+        )
+        return session_id, entry
+
     def predict_stream(
         self,
         name: str,
@@ -326,24 +492,29 @@ class MicroBatchService:
         session_id: Optional[str] = None,
         reset: bool = False,
         close: bool = False,
+        timeout: Optional[float] = None,
     ) -> Dict:
-        """Stateful streaming prediction over a hosted session.
+        """Stateful streaming prediction over a hosted fleet row.
 
-        Without ``session_id`` a new :class:`~repro.core.StreamingSession`
-        is opened over the model's frozen plan (sharing the registry's
-        compiled artifact — the session never touches the plan's scratch
-        arena, so concurrent sessions can share one plan) and its id is
+        Without ``session_id`` the model's fleet (a
+        :class:`~repro.core.MultiStreamSession` over the registry's
+        frozen plan) assigns the new session a state row and its id is
         returned for the caller to thread through subsequent chunks.
         State carries across calls, so feeding a series chunk-by-chunk
-        is bit-equal to one shot (the split-invariance contract of
-        :mod:`repro.core.streaming`).  Sessions are LRU-bounded by
-        ``ServeOptions.max_sessions``; ``reset=True`` discharges the
-        filter state before processing, ``close=True`` discards the
-        session (``chunk`` may then be omitted).
+        is bit-equal to one shot, and — by the fleet-invariance
+        contract of :mod:`repro.core.streaming` — bit-equal no matter
+        which other sessions' chunks were coalesced into the same
+        batched step.  Sessions are LRU-bounded by
+        ``ServeOptions.max_sessions`` (eviction detaches the row; the
+        next chunk 404s); ``reset=True`` discharges the filter state
+        before processing, ``close=True`` releases the row (``chunk``
+        may then be omitted).
 
-        Runs inline (not through the micro-batch queue): a stateful
-        chunk cannot be coalesced with other requests without breaking
-        the fixed per-step shapes that make chunking bit-invariant.
+        Chunks go through the bounded stream queue (full →
+        :class:`QueueFullError`, HTTP 503 + ``Retry-After``) to the
+        fleet dispatcher, which coalesces concurrent chunks of the
+        same model — at most one in-flight chunk per session, so
+        per-session FIFO order is preserved.
         """
         if self._closed:
             raise ServeError("service is closed")
@@ -352,27 +523,32 @@ class MicroBatchService:
                 raise ValueError('closing a stream requires a "session" id')
             with self._sessions_lock:
                 entry = self._sessions.pop(session_id, None)
+                if entry is not None:
+                    entry.evicted = True
             if entry is None:
                 raise UnknownSessionError(f"no such session: {session_id}")
+            with self._fleets_lock:
+                fleet = self._fleets.get(entry.name)
+            steps_seen = 0
+            if fleet is not None and entry.row >= 0:
+                with fleet.lock:
+                    self._drain_dead_rows(fleet)
+                    steps_seen = fleet.engine.steps_seen(entry.row)
+                    fleet.engine.close(entry.row)
             return {
                 "model": entry.name,
                 "session": session_id,
                 "closed": True,
-                "steps_seen": entry.session.steps_seen,
+                "steps_seen": steps_seen,
             }
         if chunk is None:
             raise ValueError('streaming request requires a "series" chunk')
-        if session_id is None:
-            from ..core.streaming import StreamingSession
-
-            plan, hit = self.registry.plan(name)
-            self.stats.record_plan(hit)
-            entry = _StreamEntry(name, StreamingSession(plan))
-            session_id = uuid.uuid4().hex
-            with self._sessions_lock:
-                self._sessions[session_id] = entry
-                while len(self._sessions) > self.options.max_sessions:
-                    self._sessions.popitem(last=False)
+        plan, hit = self.registry.plan(name)
+        self.stats.record_plan(hit)
+        series = plan.coerce_series(chunk)
+        opened = session_id is None
+        if opened:
+            session_id, entry = self._open_stream(name, plan)
         else:
             with self._sessions_lock:
                 entry = self._sessions.get(session_id)
@@ -385,14 +561,37 @@ class MicroBatchService:
                     f"session {session_id} belongs to model {entry.name!r}, "
                     f"not {name!r}"
                 )
+        request = _StreamRequest(name, session_id, entry, series, reset)
         t0 = time.perf_counter()
-        with entry.lock:
-            if reset:
-                entry.session.reset()
-            logits = entry.session.process(chunk)
-            steps_seen = entry.session.steps_seen
+        try:
+            self._stream_queue.put_nowait(request)
+        except queue.Full:
+            if opened:
+                # Roll the never-fed session back so a rejected open
+                # does not leak a fleet row.
+                with self._sessions_lock:
+                    self._sessions.pop(session_id, None)
+                    entry.evicted = True
+                self._park_dead_row(session_id, entry)
+            self.stats.record_request(0.0, status="queue_full")
+            self._emit("serve.queue_full", model=name, stream=True)
+            raise QueueFullError(
+                f"stream queue full ({self.options.stream_queue_size} pending)"
+            ) from None
+        budget = timeout if timeout is not None else self.options.request_timeout_s
+        try:
+            outcome = request.future.result(timeout=budget)
+        except FutureTimeoutError:
+            request.future.cancel()
+            self.stats.record_request(0.0, status="timeout")
+            self._emit("serve.timeout", model=name, stream=True)
+            raise RequestTimeoutError(f"no result within {budget}s") from None
+        except Exception:
+            self.stats.record_request(0.0, status="error")
+            raise
         latency = time.perf_counter() - t0
         self.stats.record_request(latency, status="ok")
+        logits = outcome["logits"]
         self._emit(
             "serve.request",
             model=name,
@@ -406,10 +605,146 @@ class MicroBatchService:
             "session": session_id,
             "prediction": int(np.argmax(logits[-1])),
             "logits": [float(v) for v in logits[-1]],
-            "steps_seen": steps_seen,
+            "steps_seen": outcome["steps_seen"],
             "chunk_steps": int(logits.shape[0]),
+            "batch_rows": outcome["batch_rows"],
             "latency_ms": latency * 1e3,
         }
+
+    def _stream_dispatch_loop(self) -> None:
+        """Coalesce pending stream chunks into per-model fleet batches.
+
+        Held-back chunks (other model, or a second chunk of a session
+        already in the forming batch) stay in arrival order in ``held``
+        and seed subsequent batches — per-session FIFO is preserved
+        because ``held`` is always scanned before the queue.
+        """
+        window = self.options.effective_stream_window_s
+        cap = self.options.max_sessions
+        held: deque = deque()
+        while True:
+            item = held.popleft() if held else self._stream_queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            sids = {item.session_id}
+            model = item.name
+            deadline = time.perf_counter() + window
+            still: deque = deque()
+            while held:
+                nxt = held.popleft()
+                if (
+                    nxt is not _STOP
+                    and len(batch) < cap
+                    and nxt.name == model
+                    and nxt.session_id not in sids
+                ):
+                    batch.append(nxt)
+                    sids.add(nxt.session_id)
+                else:
+                    still.append(nxt)
+            held = still
+            stop = False
+            while len(batch) < cap:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._stream_queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                if nxt.name == model and nxt.session_id not in sids:
+                    batch.append(nxt)
+                    sids.add(nxt.session_id)
+                else:
+                    held.append(nxt)
+            live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+            if live:
+                self._stream_executor.submit(self._run_stream_batch, live)
+            if stop:
+                break
+        failure = ServeError("service closed")
+        for leftover in held:
+            if leftover is not _STOP and not leftover.future.done():
+                leftover.future.set_exception(failure)
+
+    def _run_stream_batch(self, live: List[_StreamRequest]) -> None:
+        """Advance one model's fleet by one coalesced ragged batch."""
+        model = live[0].name
+        wait_ms = (time.perf_counter() - live[0].submitted) * 1e3
+        with self._fleets_lock:
+            fleet = self._fleets.get(model)
+        if fleet is None:  # pragma: no cover — opens precede chunks
+            exc = UnknownSessionError(f"no fleet for model {model!r}")
+            for r in live:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            return
+        t0 = time.perf_counter()
+        with fleet.lock:
+            self._drain_dead_rows(fleet)
+            ready = []
+            for r in live:
+                # The evicted flag flips before the row is released, so
+                # a chunk that raced a close/eviction dies here instead
+                # of stepping a row that may belong to someone else.
+                if r.entry.evicted:
+                    r.future.set_exception(
+                        UnknownSessionError(f"no such session: {r.session_id}")
+                    )
+                else:
+                    ready.append(r)
+            if not ready:
+                return
+            try:
+                for r in ready:
+                    if r.reset:
+                        fleet.engine.reset(r.entry.row)
+                results = fleet.engine.process_many(
+                    {r.entry.row: r.chunk for r in ready}
+                )
+                steps_seen = {
+                    r.entry.row: fleet.engine.steps_seen(r.entry.row)
+                    for r in ready
+                }
+                occupancy = fleet.engine.occupancy
+            except BaseException as exc:  # noqa: BLE001 — delivered to waiters
+                for r in ready:
+                    if not r.future.done():
+                        r.future.set_exception(exc)
+                self._emit(
+                    "stream.batch.step",
+                    model=model,
+                    rows=len(ready),
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return
+        exec_ms = (time.perf_counter() - t0) * 1e3
+        steps = max(r.chunk.shape[0] for r in ready)
+        self.stats.record_stream_batch(len(ready), steps, occupancy)
+        self._emit(
+            "stream.batch.step",
+            model=model,
+            rows=len(ready),
+            steps=steps,
+            occupancy=occupancy,
+            capacity=fleet.engine.capacity,
+            wait_ms=wait_ms,
+            exec_ms=exec_ms,
+        )
+        for r in ready:
+            if not r.future.done():
+                r.future.set_result(
+                    {
+                        "logits": results[r.entry.row],
+                        "steps_seen": steps_seen[r.entry.row],
+                        "batch_rows": len(ready),
+                    }
+                )
 
     # -- dispatcher ------------------------------------------------------
 
@@ -514,12 +849,25 @@ class MicroBatchService:
                     pass
         self._dispatcher.join(timeout=10.0)
         self._executor.shutdown(wait=True)
-        # Fail anything the dispatcher never picked up.
+        # Same drill for the stream dispatcher and its queue.
         while True:
             try:
-                leftovers.append(self._queue.get_nowait())
-            except queue.Empty:
+                self._stream_queue.put_nowait(_STOP)
                 break
+            except queue.Full:
+                try:
+                    leftovers.append(self._stream_queue.get_nowait())
+                except queue.Empty:
+                    pass
+        self._stream_dispatcher.join(timeout=10.0)
+        self._stream_executor.shutdown(wait=True)
+        # Fail anything the dispatchers never picked up.
+        for q in (self._queue, self._stream_queue):
+            while True:
+                try:
+                    leftovers.append(q.get_nowait())
+                except queue.Empty:
+                    break
         for leftover in leftovers:
             if leftover is not _STOP and not leftover.future.done():
                 leftover.future.set_exception(ServeError("service closed"))
@@ -527,6 +875,8 @@ class MicroBatchService:
             self._pool.close()
         with self._sessions_lock:
             self._sessions.clear()
+        with self._fleets_lock:
+            self._fleets.clear()
         snapshot = self.stats.snapshot()
         self._emit("serve.stats", **snapshot)
         self._emit("serve.end", **snapshot)

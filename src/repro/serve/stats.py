@@ -38,6 +38,12 @@ class ServeStats:
         self._batched_requests = 0
         self._max_queue_depth = 0
         self._worker_restarts = 0
+        self._stream_batches = 0
+        self._stream_rows = 0
+        self._stream_steps = 0
+        self._stream_max_rows = 0
+        self._stream_max_occupancy = 0
+        self._stream_evictions = 0
         self._plan_hits = 0
         self._plan_misses = 0
         self._plan_evictions = 0
@@ -68,6 +74,22 @@ class ServeStats:
     def record_worker_restart(self) -> None:
         with self._lock:
             self._worker_restarts += 1
+
+    def record_stream_batch(self, rows: int, steps: int, occupancy: int) -> None:
+        """One executed fleet step batch: how many stream rows advanced
+        together, the longest chunk in the batch, and the fleet
+        occupancy at execution."""
+        with self._lock:
+            self._stream_batches += 1
+            self._stream_rows += rows
+            self._stream_steps += steps
+            self._stream_max_rows = max(self._stream_max_rows, rows)
+            self._stream_max_occupancy = max(self._stream_max_occupancy, occupancy)
+
+    def record_stream_eviction(self) -> None:
+        """One streaming session detached from its fleet by LRU pressure."""
+        with self._lock:
+            self._stream_evictions += 1
 
     def record_plan(self, hit: bool, evicted: bool = False) -> None:
         with self._lock:
@@ -109,6 +131,18 @@ class ServeStats:
                 },
                 "max_queue_depth": self._max_queue_depth,
                 "worker_restarts": self._worker_restarts,
+                "stream": {
+                    "batches": self._stream_batches,
+                    "rows_stepped": self._stream_rows,
+                    "mean_rows_per_batch": (
+                        self._stream_rows / self._stream_batches
+                        if self._stream_batches
+                        else 0.0
+                    ),
+                    "max_rows_per_batch": self._stream_max_rows,
+                    "max_occupancy": self._stream_max_occupancy,
+                    "evictions": self._stream_evictions,
+                },
                 "plan_cache": {
                     "hits": self._plan_hits,
                     "misses": self._plan_misses,

@@ -82,6 +82,20 @@ Well-known kinds
     One per processed chunk of a streaming evaluation: ``scenario``,
     the half-open step span ``lo``/``hi``, the chunk ``accuracy`` and
     the chunk processing ``latency_ms``.
+``stream.batch.open``
+    A stream joined a serving fleet (claimed a row of the batched
+    multi-stream state matrix): ``model``, ``session``, ``row``, the
+    fleet ``occupancy`` after the join and its ``capacity``.
+``stream.batch.step``
+    One per executed fleet step batch — concurrent ``/predict_stream``
+    chunks coalesced into one batched advance: ``model``, ``rows``
+    (streams stepped per kernel call), ``steps`` (longest chunk in the
+    batch), fleet ``occupancy``/``capacity``, ``wait_ms`` (coalesce
+    window time of the oldest chunk) and ``exec_ms``.
+``stream.batch.evict``
+    A session's fleet row was detached by LRU pressure: ``model``,
+    ``session``, ``row``, ``reason`` (``lru``).  The next chunk for
+    that session 404s (``UnknownSessionError``).
 ``serve.start`` / ``serve.end``
     Emitted by :class:`repro.serve.MicroBatchService` on creation and
     close: the serving options (window, batch/queue bounds, worker
@@ -165,6 +179,9 @@ EVENT_KINDS = (
     "stream.start",
     "stream.chunk",
     "stream.end",
+    "stream.batch.open",
+    "stream.batch.step",
+    "stream.batch.evict",
     "serve.start",
     "serve.request",
     "serve.batch",

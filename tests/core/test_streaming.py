@@ -212,3 +212,91 @@ class TestLatency:
         series = np.full(64, 0.9)
         latency = stream.decision_latency(series)
         assert latency < 32  # settles within the first half
+
+
+class TestSnapshotRestore:
+    """state_dict / save_state / load_state round-trips are bit-exact."""
+
+    @pytest.fixture
+    def plan(self):
+        return compile_plan(AdaptPNC(3, rng=np.random.default_rng(0)))
+
+    def test_dict_round_trip_resumes_bit_equal(self, plan, series):
+        full = StreamingSession(plan)
+        whole = full.process(series)
+
+        first = StreamingSession(plan)
+        head = first.process(series[:13])
+        snap = first.state_dict()
+
+        second = StreamingSession(plan)
+        second.load_state(snap)
+        tail = second.process(series[13:])
+        assert np.array_equal(np.concatenate([head, tail], axis=0), whole)
+        assert second.steps_seen == series.size
+        assert np.array_equal(second.last_logits, full.last_logits)
+
+    def test_npz_round_trip(self, plan, series, tmp_path):
+        path = tmp_path / "stream.npz"
+        first = StreamingSession(plan)
+        head = first.process(series[:9])
+        first.save_state(path)
+
+        second = StreamingSession(plan)
+        second.load_state(path)
+        assert np.array_equal(second.process(series[9:]),
+                              StreamingSession(plan).process(series)[9:])
+        assert np.array_equal(second.last_logits,
+                              StreamingSession(plan).process(series)[-1])
+        assert head.shape == (9, plan.n_classes)
+
+    def test_snapshot_is_a_copy(self, plan, series):
+        session = StreamingSession(plan)
+        session.process(series[:5])
+        snap = session.state_dict()
+        before = session.process(series[5:10])
+        for key, value in snap.items():
+            if key.startswith("state_"):
+                value.fill(1e9)  # must not touch the live session
+        session.reset()
+        session.load_state({k: v for k, v in session.state_dict().items()})
+        fresh = StreamingSession(plan)
+        fresh.process(series[:5])
+        assert np.array_equal(before, fresh.process(series[5:10]))
+
+    def test_fresh_snapshot_has_no_logits(self, plan):
+        snap = StreamingSession(plan).state_dict()
+        assert "last_logits" not in snap
+        assert int(snap["steps_seen"]) == 0
+
+    @pytest.mark.parametrize(
+        "corrupt, match",
+        [
+            (lambda d: d.update(format=np.array("bogus-v0")), "format"),
+            (lambda d: d.update(model_class=np.array("Other")), "model"),
+            (lambda d: d.update(dtype=np.array("float16")), "dtype"),
+            (lambda d: d.pop("state_0_0"), "missing"),
+            (
+                lambda d: d.update(state_0_0=np.zeros((1, 99))),
+                "shape",
+            ),
+        ],
+    )
+    def test_invalid_snapshots_rejected(self, plan, series, corrupt, match):
+        session = StreamingSession(plan)
+        session.process(series[:7])
+        snap = session.state_dict()
+        corrupt(snap)
+        victim = StreamingSession(plan)
+        victim.process(series[:3])
+        expected_state = victim.state_dict()
+        with pytest.raises(ValueError, match=match):
+            victim.load_state(snap)
+        # a failed load leaves the session untouched
+        after = victim.state_dict()
+        for key, value in expected_state.items():
+            assert np.array_equal(after[key], value)
+
+    def test_bad_source_type(self, plan):
+        with pytest.raises(TypeError, match="state_dict mapping or an npz"):
+            StreamingSession(plan).load_state(42)
